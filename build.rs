@@ -1,0 +1,14 @@
+//! Generates typed Rust stubs for the paper's `Test` interface at build
+//! time — the role the Firefly stub compiler played ("The stubs are
+//! generated as Modula-2+ source, which is compiled by the normal
+//! compiler", §2.2). The output lands in `OUT_DIR/test_stubs.rs` and is
+//! included by `firefly::generated`.
+
+fn main() {
+    let out_dir = std::env::var("OUT_DIR").expect("OUT_DIR set by cargo");
+    let interface = firefly_idl::test_interface();
+    let stubs = firefly_idl::codegen::rust_stubs(&interface);
+    let path = std::path::Path::new(&out_dir).join("test_stubs.rs");
+    std::fs::write(&path, stubs).expect("write generated stubs");
+    println!("cargo:rerun-if-changed=build.rs");
+}

@@ -1,0 +1,184 @@
+//! Criterion microbenchmarks of the real stack's fast-path components:
+//! the modern-hardware counterparts of Tables II–VI and IX.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use firefly_idl::{parse_interface, test_interface, CompiledStub, InterpStub, StubEngine, Value};
+use firefly_pool::BufferPool;
+use firefly_rpc::transport::LoopbackNet;
+use firefly_rpc::{Config, Endpoint, ServiceBuilder};
+use firefly_wire::{internet_checksum, ActivityId, Frame, FrameBuilder, PacketType};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Table VI's "Calculate UDP checksum" rows: 74- and 1514-byte frames.
+fn bench_checksum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checksum");
+    for size in [74usize, 1514] {
+        let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| internet_checksum(black_box(data)));
+        });
+    }
+    g.finish();
+}
+
+/// The Sender's job: build a complete frame with headers and checksum.
+fn bench_frame_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_build");
+    for payload in [0usize, 1440] {
+        let data = vec![0xa5u8; payload];
+        let builder = FrameBuilder::new(PacketType::Call)
+            .activity(ActivityId::new(1, 2, 3))
+            .call_seq(42);
+        g.bench_with_input(BenchmarkId::from_parameter(payload), &data, |b, data| {
+            b.iter(|| builder.build(black_box(data)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// The receive interrupt's job: validate and parse a frame.
+fn bench_frame_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_parse");
+    for payload in [0usize, 1440] {
+        let data = vec![0xa5u8; payload];
+        let frame = FrameBuilder::new(PacketType::Call).build(&data).unwrap();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(payload),
+            frame.bytes(),
+            |b, bytes| {
+                b.iter(|| Frame::parse(black_box(bytes)).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Tables II–IV: marshalling by argument kind on the compiled engine.
+fn bench_marshal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("marshal");
+    // Table II: four integers by value.
+    let iface =
+        parse_interface("DEFINITION MODULE M; PROCEDURE P(a, b, x, y: INTEGER); END M.").unwrap();
+    let p = iface.procedure("P").unwrap();
+    let ints = CompiledStub::new(p.name(), Arc::clone(p.plan()));
+    let args: Vec<Value> = (0..4).map(Value::Integer).collect();
+    let mut buf = vec![0u8; 64];
+    g.bench_function("four_integers", |b| {
+        b.iter(|| ints.marshal_call(black_box(&args), &mut buf).unwrap());
+    });
+    // Table IV: the 1440-byte open array.
+    let iface = test_interface();
+    let p = iface.procedure("MaxArg").unwrap();
+    let blob = CompiledStub::new(p.name(), Arc::clone(p.plan()));
+    let args = vec![Value::char_array(1440)];
+    let mut big = vec![0u8; 1500];
+    g.throughput(Throughput::Bytes(1440));
+    g.bench_function("open_array_1440", |b| {
+        b.iter(|| blob.marshal_call(black_box(&args), &mut big).unwrap());
+    });
+    // Table V: a 128-byte Text.T round trip (allocation included).
+    let iface = parse_interface("DEFINITION MODULE T; PROCEDURE P(t: Text.T); END T.").unwrap();
+    let p = iface.procedure("P").unwrap();
+    let text = CompiledStub::new(p.name(), Arc::clone(p.plan()));
+    let targs = vec![Value::text(&"z".repeat(128))];
+    let mut tbuf = vec![0u8; 256];
+    g.bench_function("text_128_round_trip", |b| {
+        b.iter(|| {
+            let n = text.marshal_call(black_box(&targs), &mut tbuf).unwrap();
+            let args = text.unmarshal_call(&tbuf[..n]).unwrap();
+            black_box(args.len())
+        });
+    });
+    g.finish();
+}
+
+/// Table IX analog: interpreted vs compiled stub engines on the same
+/// marshalling plan.
+fn bench_stub_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stub_dispatch");
+    let iface = test_interface();
+    let p = iface.procedure("MaxResult").unwrap();
+    let comp = CompiledStub::new(p.name(), Arc::clone(p.plan()));
+    let interp = InterpStub::new(p.name(), Arc::clone(p.plan()));
+    let out = vec![Value::Bytes(vec![0xabu8; 1440])];
+    let mut buf = vec![0u8; 1500];
+    g.throughput(Throughput::Bytes(1440));
+    g.bench_function("compiled", |b| {
+        b.iter(|| comp.marshal_result(black_box(&out), &mut buf).unwrap());
+    });
+    g.bench_function("interpreted", |b| {
+        b.iter(|| interp.marshal_result(black_box(&out), &mut buf).unwrap());
+    });
+    g.finish();
+}
+
+/// The buffer pool's fast path: alloc/free and the recycling path.
+fn bench_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool");
+    let pool = BufferPool::new(8);
+    g.bench_function("alloc_free", |b| {
+        b.iter(|| {
+            let buf = pool.alloc().unwrap();
+            black_box(&buf);
+        });
+    });
+    g.bench_function("recycle_take", |b| {
+        b.iter(|| {
+            let buf = pool.take_receive_buffer().unwrap();
+            pool.recycle_to_receive_queue(buf);
+        });
+    });
+    g.finish();
+}
+
+/// End-to-end round trips: local (shared memory) and remote (loopback
+/// Ethernet) Null() and MaxResult(b) — the modern Table I row 1.
+fn bench_rpc_round_trip(c: &mut Criterion) {
+    let net = LoopbackNet::new();
+    let server = Endpoint::new(net.station(1), Config::default()).unwrap();
+    let caller = Endpoint::new(net.station(2), Config::default()).unwrap();
+    let service = ServiceBuilder::new(test_interface())
+        .on_call("Null", |_a, _w| Ok(()))
+        .on_call("MaxResult", |_a, w| {
+            w.next_bytes(1440)?.fill(0);
+            Ok(())
+        })
+        .on_call("MaxArg", |_a, _w| Ok(()))
+        .build()
+        .unwrap();
+    server.export(service).unwrap();
+    let remote = caller.bind(&test_interface(), server.address()).unwrap();
+    let local = server.bind_local(&test_interface()).unwrap();
+
+    let mut g = c.benchmark_group("rpc_round_trip");
+    g.bench_function("remote_null", |b| {
+        b.iter(|| remote.call("Null", &[]).unwrap());
+    });
+    g.throughput(Throughput::Bytes(1440));
+    g.bench_function("remote_max_result", |b| {
+        let arg = [Value::char_array(1440)];
+        b.iter(|| remote.call("MaxResult", black_box(&arg)).unwrap());
+    });
+    g.bench_function("local_null", |b| {
+        b.iter(|| local.call("Null", &[]).unwrap());
+    });
+    g.bench_function("local_max_result", |b| {
+        let arg = [Value::char_array(1440)];
+        b.iter(|| local.call("MaxResult", black_box(&arg)).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_checksum,
+    bench_frame_build,
+    bench_frame_parse,
+    bench_marshal,
+    bench_stub_dispatch,
+    bench_pool,
+    bench_rpc_round_trip
+);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Table I: Time for 10000 RPCs, 1–8 caller threads.
+//!
+//! Runs the closed-loop workload on the Firefly simulator and prints the
+//! reproduction next to the paper's values. With `--real`, additionally
+//! runs the same workload shape on the real Rust stack over the loopback
+//! transport (modern hardware: absolute numbers differ by orders of
+//! magnitude; the *scaling shape* with threads is the comparison).
+
+use firefly_bench::{emit, mode_from_args, vs, Mode, TABLE_I};
+use firefly_metrics::Table;
+use firefly_sim::workload::{run, Procedure, WorkloadSpec};
+
+fn main() {
+    let mode = mode_from_args();
+    let calls: u64 = if std::env::args().any(|a| a == "--full") {
+        10_000
+    } else {
+        2_000
+    };
+    let scale = 10_000.0 / calls as f64;
+
+    let mut t = Table::new(&[
+        "# of caller threads",
+        "Null secs (paper)",
+        "Null RPCs/s (paper)",
+        "MaxResult secs (paper)",
+        "MaxResult Mb/s (paper)",
+    ])
+    .title("Table I: Time for 10000 RPCs (simulated vs paper)");
+
+    for &(threads, p_ns, p_rps, p_ms, p_mb) in TABLE_I {
+        let rn = run(&WorkloadSpec {
+            threads,
+            calls,
+            procedure: Procedure::Null,
+            ..WorkloadSpec::default()
+        });
+        let rm = run(&WorkloadSpec {
+            threads,
+            calls,
+            procedure: Procedure::MaxResult,
+            ..WorkloadSpec::default()
+        });
+        t.row_owned(vec![
+            threads.to_string(),
+            vs(rn.seconds * scale, p_ns, 2),
+            vs(rn.rpcs_per_sec, p_rps, 0),
+            vs(rm.seconds * scale, p_ms, 2),
+            vs(rm.megabits_per_sec, p_mb, 2),
+        ]);
+    }
+    emit(&t, mode);
+
+    // The §2.1 CPU-utilization note: ~1.2 CPUs on the caller at max
+    // throughput, slightly less on the server, ~0.15 idle.
+    let peak = run(&WorkloadSpec {
+        threads: 4,
+        calls,
+        procedure: Procedure::MaxResult,
+        ..WorkloadSpec::default()
+    });
+    println!(
+        "At max throughput: caller {:.2} CPUs (paper ~1.2), server {:.2} (paper: slightly less)",
+        peak.caller_cpus_used, peak.server_cpus_used
+    );
+
+    if std::env::args().any(|a| a == "--real") {
+        real_stack(mode);
+    }
+}
+
+/// The same experiment on the real Rust RPC stack (loopback transport).
+fn real_stack(mode: Mode) {
+    use firefly_idl::{test_interface, Value};
+    use firefly_rpc::transport::LoopbackNet;
+    use firefly_rpc::{Config, Endpoint, ServiceBuilder};
+    use std::sync::Arc;
+
+    let net = LoopbackNet::new();
+    let server = Endpoint::new(net.station(1), Config::default()).unwrap();
+    let caller = Endpoint::new(net.station(2), Config::default()).unwrap();
+    let service = ServiceBuilder::new(test_interface())
+        .on_call("Null", |_a, _w| Ok(()))
+        .on_call("MaxResult", |_a, w| {
+            w.next_bytes(1440)?.fill(0);
+            Ok(())
+        })
+        .on_call("MaxArg", |_a, _w| Ok(()))
+        .build()
+        .unwrap();
+    server.export(service).unwrap();
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+
+    let mut t = Table::new(&["threads", "Null RPCs/s", "MaxResult Mb/s"])
+        .title("Real Rust stack over loopback (shape comparison only)");
+    let calls_per_thread = 2000;
+    for threads in [1usize, 2, 4, 8] {
+        let mut null_rps = 0.0;
+        let mut mb = 0.0;
+        for proc_name in ["Null", "MaxResult"] {
+            let w = firefly_metrics::Stopwatch::start();
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                let client = client.clone();
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..calls_per_thread {
+                        let args = if proc_name == "Null" {
+                            vec![]
+                        } else {
+                            vec![Value::char_array(1440)]
+                        };
+                        client.call(proc_name, &args).unwrap();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let secs = w.elapsed().as_secs_f64();
+            let total = (threads * calls_per_thread) as u64;
+            if proc_name == "Null" {
+                null_rps = firefly_metrics::rpcs_per_sec(total, secs);
+            } else {
+                mb = firefly_metrics::megabits_per_sec(total, 1440, secs);
+            }
+        }
+        t.row_owned(vec![
+            threads.to_string(),
+            format!("{null_rps:.0}"),
+            format!("{mb:.0}"),
+        ]);
+    }
+    emit(&t, mode);
+    let _ = Arc::strong_count(&server);
+}

@@ -1,0 +1,48 @@
+//! Table III: marshalling time for fixed-length CHAR arrays passed by
+//! VAR OUT — 20 µs @ 4 bytes, 140 µs @ 400 bytes.
+
+use firefly_bench::{emit, mode_from_args};
+use firefly_idl::{parse_interface, CompiledStub, StubEngine, Value};
+use firefly_metrics::{Stopwatch, Table};
+use std::sync::Arc;
+
+fn measure_real(len: usize) -> f64 {
+    let src = format!(
+        "DEFINITION MODULE M; PROCEDURE P(VAR OUT b: ARRAY [0..{}] OF CHAR); END M.",
+        len - 1
+    );
+    let iface = parse_interface(&src).unwrap();
+    let p = iface.procedure("P").unwrap();
+    let stub = CompiledStub::new(p.name(), Arc::clone(p.plan()));
+    let out = vec![Value::Bytes(vec![7u8; len])];
+    let mut buf = vec![0u8; len + 16];
+    let iters = 100_000;
+    let w = Stopwatch::start();
+    for _ in 0..iters {
+        let n = stub.marshal_result(&out, &mut buf).unwrap();
+        let v = stub.unmarshal_result(&buf[..n]).unwrap();
+        std::hint::black_box(v);
+    }
+    w.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let mode = mode_from_args();
+    let mut t = Table::new(&[
+        "Array size (bytes)",
+        "paper µs",
+        "model µs",
+        "real engine ns",
+    ])
+    .title("Table III: fixed length array, passed by VAR OUT");
+    for (len, paper) in [(4usize, 20.0), (400, 140.0)] {
+        let model = firefly_idl::cost::fixed_array_micros(len);
+        t.row_owned(vec![
+            len.to_string(),
+            format!("{paper:.0}"),
+            format!("{model:.0}"),
+            format!("{:.0}", measure_real(len)),
+        ]);
+    }
+    emit(&t, mode);
+}

@@ -1,0 +1,47 @@
+//! Table IV: marshalling time for open (variable-length) CHAR arrays
+//! passed by VAR OUT — 115 µs @ 1 byte, 550 µs @ 1440 bytes. The 1440
+//! value is the 550 µs charged to `MaxResult(b)` in Table VIII.
+
+use firefly_bench::{emit, mode_from_args};
+use firefly_idl::{parse_interface, CompiledStub, StubEngine, Value};
+use firefly_metrics::{Stopwatch, Table};
+use std::sync::Arc;
+
+fn measure_real(len: usize) -> f64 {
+    let iface =
+        parse_interface("DEFINITION MODULE M; PROCEDURE P(VAR OUT b: ARRAY OF CHAR); END M.")
+            .unwrap();
+    let p = iface.procedure("P").unwrap();
+    let stub = CompiledStub::new(p.name(), Arc::clone(p.plan()));
+    let out = vec![Value::Bytes(vec![7u8; len])];
+    let mut buf = vec![0u8; len + 16];
+    let iters = 100_000;
+    let w = Stopwatch::start();
+    for _ in 0..iters {
+        let n = stub.marshal_result(&out, &mut buf).unwrap();
+        let v = stub.unmarshal_result(&buf[..n]).unwrap();
+        std::hint::black_box(v);
+    }
+    w.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let mode = mode_from_args();
+    let mut t = Table::new(&[
+        "Array size (bytes)",
+        "paper µs",
+        "model µs",
+        "real engine ns",
+    ])
+    .title("Table IV: variable length array, passed by VAR OUT");
+    for (len, paper) in [(1usize, 115.0), (1440, 550.0)] {
+        let model = firefly_idl::cost::open_array_micros(len);
+        t.row_owned(vec![
+            len.to_string(),
+            format!("{paper:.0}"),
+            format!("{model:.0}"),
+            format!("{:.0}", measure_real(len)),
+        ]);
+    }
+    emit(&t, mode);
+}

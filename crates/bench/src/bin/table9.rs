@@ -1,0 +1,86 @@
+//! Table IX: execution time of the Ethernet interrupt routine across code
+//! versions (758 µs original Modula-2+, 547 µs final Modula-2+, 177 µs
+//! assembly), its effect on end-to-end RPC, and the modern analog:
+//! interpreted vs compiled stub dispatch on the real engine.
+
+use firefly_bench::{emit, mode_from_args};
+use firefly_idl::{test_interface, CompiledStub, InterpStub, StubEngine, Value};
+use firefly_metrics::{Stopwatch, Table};
+use firefly_sim::workload::{run, Procedure, WorkloadSpec};
+use firefly_sim::{CodeVersion, CostModel};
+use std::sync::Arc;
+
+fn main() {
+    let mode = mode_from_args();
+
+    let mut t = Table::new(&[
+        "Version",
+        "Interrupt routine µs (paper)",
+        "Simulated Null() latency µs",
+    ])
+    .title("Table IX: Execution time for main path of the Ethernet interrupt routine");
+    for (name, version) in [
+        ("Original Modula-2+", CodeVersion::OriginalModula),
+        ("Final Modula-2+", CodeVersion::FinalModula),
+        ("Assembly language", CodeVersion::Assembly),
+    ] {
+        let cost = CostModel::with_code_version(version);
+        let r = run(&WorkloadSpec {
+            threads: 1,
+            calls: 300,
+            procedure: Procedure::Null,
+            cost,
+            background: false,
+            ..WorkloadSpec::default()
+        });
+        t.row_owned(vec![
+            name.to_string(),
+            format!("{:.0}", version.interrupt_routine_us()),
+            format!("{:.0}", r.mean_latency_us),
+        ]);
+    }
+    emit(&t, mode);
+
+    // Modern analog: the same marshalling plan executed by the
+    // interpreted engine (per-element dispatch) vs the compiled engine
+    // (block copies) — the Modula-2+-vs-assembly theme on today's metal.
+    let iface = test_interface();
+    let p = iface.procedure("MaxResult").unwrap();
+    let comp = CompiledStub::new(p.name(), Arc::clone(p.plan()));
+    let interp = InterpStub::new(p.name(), Arc::clone(p.plan()));
+    let out = vec![Value::Bytes(vec![0xabu8; 1440])];
+    let mut buf = vec![0u8; 1500];
+    let iters = 50_000;
+
+    let w = Stopwatch::start();
+    for _ in 0..iters {
+        let n = comp.marshal_result(&out, &mut buf).unwrap();
+        std::hint::black_box(n);
+    }
+    let compiled_ns = w.elapsed().as_nanos() as f64 / iters as f64;
+
+    let w = Stopwatch::start();
+    for _ in 0..iters {
+        let n = interp.marshal_result(&out, &mut buf).unwrap();
+        std::hint::black_box(n);
+    }
+    let interp_ns = w.elapsed().as_nanos() as f64 / iters as f64;
+
+    let mut a = Table::new(&["Engine", "1440-byte marshal ns", "ratio"])
+        .title("Modern analog: interpreted vs compiled stubs (this machine)");
+    a.row_owned(vec![
+        "Interpreted (library style)".into(),
+        format!("{interp_ns:.0}"),
+        format!("{:.1}x", interp_ns / compiled_ns),
+    ]);
+    a.row_owned(vec![
+        "Compiled (direct assignment)".into(),
+        format!("{compiled_ns:.0}"),
+        "1.0x".into(),
+    ]);
+    emit(&a, mode);
+    println!(
+        "The paper's assembly rewrite bought 758/177 = {:.1}x on the interrupt routine.",
+        758.0 / 177.0
+    );
+}

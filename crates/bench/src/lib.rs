@@ -1,0 +1,136 @@
+//! Shared helpers for the table-regeneration binaries.
+//!
+//! Each `bin/tableN` prints the paper's published numbers next to this
+//! reproduction's, plus relative deltas, in plain text (default) or
+//! Markdown (`--markdown`), so EXPERIMENTS.md can be regenerated
+//! mechanically.
+
+use firefly_metrics::Table;
+
+/// Output mode selected by the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Human-readable aligned text.
+    Text,
+    /// Markdown table fragments for EXPERIMENTS.md.
+    Markdown,
+}
+
+/// Parses the standard bench-binary command line.
+pub fn mode_from_args() -> Mode {
+    if std::env::args().any(|a| a == "--markdown") {
+        Mode::Markdown
+    } else {
+        Mode::Text
+    }
+}
+
+/// Renders a table in the selected mode.
+pub fn emit(table: &Table, mode: Mode) {
+    match mode {
+        Mode::Text => println!("{table}"),
+        Mode::Markdown => println!("{}", table.render_markdown()),
+    }
+}
+
+/// Formats a measured-vs-paper pair with a relative delta.
+pub fn vs(ours: f64, paper: f64, digits: usize) -> String {
+    if paper == 0.0 {
+        return format!("{ours:.*}", digits);
+    }
+    let delta = (ours - paper) / paper * 100.0;
+    format!("{ours:.*} ({delta:+.0}%)", digits)
+}
+
+/// Published cross-system results for Table XII (machine, processor,
+/// approximate MIPS expression, latency ms, throughput Mbit/s).
+pub const OTHER_SYSTEMS: &[(&str, &str, &str, f64, f64)] = &[
+    ("Cedar", "Dorado - custom", "1 x 4", 1.1, 2.0),
+    ("Amoeba", "Tadpole - M68020", "1 x 1.5", 1.4, 5.3),
+    ("V", "Sun 3/75 - M68020", "1 x 2", 2.5, 4.4),
+    ("Sprite", "Sun 3/75 - M68020", "1 x 2", 2.8, 5.6),
+    ("Amoeba/Unix", "Sun 3/50 - M68020", "1 x 1.5", 7.0, 1.8),
+];
+
+/// The paper's own Firefly rows in Table XII (uniprocessor and
+/// five-processor), for comparison against simulated values.
+pub const FIREFLY_ROWS: &[(&str, &str, f64, f64)] = &[
+    ("Firefly (1 CPU)", "FF - MicroVAX II 1x1", 4.8, 2.5),
+    ("Firefly (5 CPUs)", "FF - MicroVAX II 5x1", 2.7, 4.6),
+];
+
+/// Table I as published: (threads, Null seconds, Null RPCs/s, MaxResult
+/// seconds, MaxResult Mbit/s), for 10000 calls.
+pub const TABLE_I: &[(usize, f64, f64, f64, f64)] = &[
+    (1, 26.61, 375.0, 63.47, 1.82),
+    (2, 16.80, 595.0, 35.28, 3.28),
+    (3, 16.26, 615.0, 27.28, 4.25),
+    (4, 15.45, 647.0, 24.93, 4.65),
+    (5, 15.11, 662.0, 24.69, 4.69),
+    (6, 14.69, 680.0, 24.65, 4.70),
+    (7, 13.49, 741.0, 24.72, 4.69),
+    (8, 13.67, 732.0, 24.68, 4.69),
+];
+
+/// Table X as published: (caller CPUs, server CPUs, seconds per 1000
+/// Null() calls with the RPC Exerciser).
+pub const TABLE_X: &[(usize, usize, f64)] = &[
+    (5, 5, 2.69),
+    (4, 5, 2.73),
+    (3, 5, 2.85),
+    (2, 5, 2.98),
+    (1, 5, 3.96),
+    (1, 4, 3.98),
+    (1, 3, 4.13),
+    (1, 2, 4.21),
+    (1, 1, 4.81),
+];
+
+/// Table XI as published: throughput (Mbit/s) of MaxResult(b) for
+/// (caller CPUs, server CPUs) = (5,5), (1,5), (1,1) × 1–5 caller threads.
+pub const TABLE_XI: [[f64; 5]; 3] = [
+    [2.0, 3.4, 4.6, 4.7, 4.7],
+    [1.5, 2.3, 2.7, 2.7, 2.7],
+    [1.3, 2.0, 2.4, 2.5, 2.5],
+];
+
+/// §4.2's published estimates: (name, Null µs saved, Null %, MaxResult µs
+/// saved, MaxResult %). `f64::NAN` marks values the paper does not state.
+pub const IMPROVEMENTS: &[(&str, f64, f64, f64, f64)] = &[
+    (
+        "4.2.1 Different network controller",
+        300.0,
+        11.0,
+        1800.0,
+        28.0,
+    ),
+    ("4.2.2 Faster network (100 Mb/s)", 110.0, 4.0, 1160.0, 18.0),
+    ("4.2.3 Faster CPUs (3x)", 1380.0, 52.0, 2280.0, 36.0),
+    ("4.2.4 Omit UDP checksums", 180.0, 7.0, 1000.0, 16.0),
+    ("4.2.5 Redesign RPC protocol", 200.0, 8.0, 200.0, 3.0),
+    ("4.2.6 Omit IP/UDP layering", 100.0, 4.0, 100.0, 1.5),
+    ("4.2.7 Busy wait", 440.0, 17.0, 440.0, 7.0),
+    ("4.2.8 Recode RPC runtime", 280.0, 10.0, 280.0, 4.0),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vs_formats_deltas() {
+        assert_eq!(vs(110.0, 100.0, 0), "110 (+10%)");
+        assert_eq!(vs(95.0, 100.0, 1), "95.0 (-5%)");
+    }
+
+    #[test]
+    fn table_constants_are_consistent() {
+        assert_eq!(TABLE_I.len(), 8);
+        assert_eq!(TABLE_X.len(), 9);
+        assert_eq!(IMPROVEMENTS.len(), 8);
+        // Table I's own arithmetic: RPCs/s ≈ 10000 / seconds.
+        for (_, secs, rps, _, _) in TABLE_I {
+            assert!((10_000.0 / secs - rps).abs() < 6.0);
+        }
+    }
+}

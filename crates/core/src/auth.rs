@@ -1,0 +1,66 @@
+//! Authorization hooks.
+//!
+//! The paper notes Firefly RPC "contains the structural hooks for
+//! authenticated and secure calls" without using them on the fast path
+//! (§7). This module is that hook: a [`CallGate`] inspects every
+//! incoming call before dispatch — after duplicate filtering, so
+//! retransmissions of an authorized call are not re-judged — and can
+//! refuse it, turning the call into a remote error at the caller.
+//!
+//! The gate sees the caller's activity identifier (machine, address
+//! space, thread) and the target interface/procedure; real deployments
+//! would key this on cryptographic identity, which the activity id
+//! stands in for here.
+
+use firefly_wire::ActivityId;
+
+/// A server-side authorization hook, invoked once per (non-duplicate)
+/// incoming call.
+pub trait CallGate: Send + Sync {
+    /// Returns `Err(reason)` to refuse the call; the reason travels back
+    /// to the caller as a remote error.
+    fn authorize(
+        &self,
+        caller: ActivityId,
+        interface_uid: u64,
+        procedure: u16,
+    ) -> Result<(), String>;
+}
+
+/// A gate built from a closure.
+pub struct GateFn<F>(pub F);
+
+impl<F> CallGate for GateFn<F>
+where
+    F: Fn(ActivityId, u64, u16) -> Result<(), String> + Send + Sync,
+{
+    fn authorize(
+        &self,
+        caller: ActivityId,
+        interface_uid: u64,
+        procedure: u16,
+    ) -> Result<(), String> {
+        (self.0)(caller, interface_uid, procedure)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_fn_forwards() {
+        let gate = GateFn(|caller: ActivityId, _uid, proc_| {
+            if caller.machine == 666 {
+                Err("blocked machine".into())
+            } else if proc_ == 9 {
+                Err("blocked procedure".into())
+            } else {
+                Ok(())
+            }
+        });
+        assert!(gate.authorize(ActivityId::new(1, 1, 1), 0, 0).is_ok());
+        assert!(gate.authorize(ActivityId::new(666, 1, 1), 0, 0).is_err());
+        assert!(gate.authorize(ActivityId::new(1, 1, 1), 0, 9).is_err());
+    }
+}

@@ -1,0 +1,432 @@
+//! The caller-side call table: direct wakeup from the demultiplexer.
+//!
+//! "Such server threads are registered in the call table of the server
+//! machine. … the interrupt routine … attaches the buffer containing the
+//! call packet to the call table entry and awakens the server thread
+//! directly." (§3.1.3.) On the caller side the same table lets the
+//! interrupt routine find the thread waiting for a result: "the Ethernet
+//! interrupt routine validates the arriving result packet, does the UDP
+//! checksum, and tries to find the caller thread waiting in the call
+//! table. If successful, the interrupt routine directly awakens the caller
+//! thread."
+//!
+//! This module is that table for the caller role: the demux thread calls
+//! [`CallTable::deliver`], which attaches the packet to the entry and
+//! signals the entry's condition variable — **one wakeup per packet**, no
+//! intermediate datalink thread.
+
+use crate::packet::{Assembled, Packet};
+use firefly_wire::{ActivityId, PacketType, RpcHeader};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What the demultiplexer should do after a delivery attempt.
+#[derive(Debug)]
+pub enum Deliver {
+    /// The packet was attached to a waiting call (or buffered as a
+    /// fragment) and the thread was awakened if complete.
+    Accepted,
+    /// The packet was accepted and the sender expects an explicit
+    /// acknowledgement (non-final result fragment, or please-ack).
+    AcceptedNeedsAck(RpcHeader),
+    /// Nobody is waiting for this packet; the buffer should be recycled.
+    Orphan(Packet),
+}
+
+/// Result of waiting on a call entry.
+#[derive(Debug)]
+pub enum Wait {
+    /// The complete result arrived.
+    Complete(Assembled),
+    /// The server acknowledged a packet of ours; `fragment` says which
+    /// fragment was acknowledged and `last` whether it was the final one
+    /// (an ack of the final fragment, or of a retransmitted single-packet
+    /// call, means the call is in progress — keep waiting, do not
+    /// retransmit).
+    Acked {
+        /// Fragment index acknowledged.
+        fragment: u16,
+        /// True when the acknowledged fragment was the last.
+        last: bool,
+    },
+    /// The wait timed out; the caller should retransmit or give up.
+    TimedOut,
+}
+
+#[derive(Debug, Default)]
+struct Reassembly {
+    count: u16,
+    received: Vec<Option<Vec<u8>>>,
+}
+
+#[derive(Debug)]
+struct EntryState {
+    /// The call sequence number this entry expects.
+    seq: u32,
+    /// Set when the complete result has arrived.
+    outcome: Option<Assembled>,
+    /// The server acknowledged our call since the last wait:
+    /// `(fragment, last)`.
+    acked: Option<(u16, bool)>,
+    /// Partial multi-packet result.
+    reassembly: Option<Reassembly>,
+}
+
+/// One outstanding call, waited on by exactly one caller thread.
+#[derive(Debug)]
+pub struct CallEntry {
+    state: Mutex<EntryState>,
+    cond: Condvar,
+}
+
+impl CallEntry {
+    /// Blocks until the result arrives, the server acks, or the deadline
+    /// passes.
+    pub fn wait(&self, deadline: Instant) -> Wait {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(outcome) = st.outcome.take() {
+                return Wait::Complete(outcome);
+            }
+            if let Some((fragment, last)) = st.acked.take() {
+                return Wait::Acked { fragment, last };
+            }
+            if self.cond.wait_until(&mut st, deadline).timed_out() {
+                // Re-check before reporting timeout: the wakeup may have
+                // raced the deadline.
+                if let Some(outcome) = st.outcome.take() {
+                    return Wait::Complete(outcome);
+                }
+                if let Some((fragment, last)) = st.acked.take() {
+                    return Wait::Acked { fragment, last };
+                }
+                return Wait::TimedOut;
+            }
+        }
+    }
+}
+
+/// The caller-side call table, shared by caller threads and the demux
+/// thread.
+#[derive(Debug, Default)]
+pub struct CallTable {
+    entries: Mutex<HashMap<ActivityId, Arc<CallEntry>>>,
+}
+
+impl CallTable {
+    /// Creates an empty table.
+    pub fn new() -> CallTable {
+        CallTable::default()
+    }
+
+    /// Registers an outstanding call; at most one per activity.
+    ///
+    /// The paper registers the call *after* transmitting the packet,
+    /// overlapping registration with transmission ("For the RPC fast path
+    /// the calling thread gets the call registered before the result
+    /// packet arrives"); we register before sending, which is equivalent
+    /// but immune to an instant result racing the registration.
+    pub fn register(&self, activity: ActivityId, seq: u32) -> Arc<CallEntry> {
+        let entry = Arc::new(CallEntry {
+            state: Mutex::new(EntryState {
+                seq,
+                outcome: None,
+                acked: None,
+                reassembly: None,
+            }),
+            cond: Condvar::new(),
+        });
+        self.entries.lock().insert(activity, Arc::clone(&entry));
+        entry
+    }
+
+    /// Removes the entry for an activity (after completion or failure).
+    pub fn unregister(&self, activity: ActivityId) {
+        self.entries.lock().remove(&activity);
+    }
+
+    /// Number of outstanding calls.
+    pub fn outstanding(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Routes a caller-bound packet (Result, server→caller Ack, or
+    /// ProbeResponse) to its waiting thread.
+    pub fn deliver(&self, pkt: Packet) -> Deliver {
+        let entry = {
+            let entries = self.entries.lock();
+            match entries.get(&pkt.rpc.activity) {
+                Some(e) => Arc::clone(e),
+                None => return Deliver::Orphan(pkt),
+            }
+        };
+        let mut st = entry.state.lock();
+        if pkt.rpc.call_seq != st.seq || st.outcome.is_some() {
+            // A late duplicate from an earlier transmission round.
+            drop(st);
+            return Deliver::Orphan(pkt);
+        }
+        match pkt.rpc.packet_type {
+            PacketType::Ack | PacketType::ProbeResponse => {
+                let last =
+                    pkt.rpc.flags.last_fragment || pkt.rpc.fragment + 1 >= pkt.rpc.fragment_count;
+                st.acked = Some((pkt.rpc.fragment, last));
+                drop(st);
+                entry.cond.notify_one();
+                Deliver::Accepted
+            }
+            PacketType::Result => {
+                if pkt.rpc.fragment_count <= 1 {
+                    st.outcome = Some(Assembled::Single(pkt));
+                    drop(st);
+                    entry.cond.notify_one();
+                    return Deliver::Accepted;
+                }
+                // Multi-packet result: buffer the fragment.
+                let rpc = pkt.rpc;
+                let frag = rpc.fragment as usize;
+                let count = rpc.fragment_count;
+                let reass = st.reassembly.get_or_insert_with(|| Reassembly {
+                    count,
+                    received: vec![None; count as usize],
+                });
+                if reass.count != count || frag >= reass.received.len() {
+                    drop(st);
+                    return Deliver::Orphan(pkt);
+                }
+                if reass.received[frag].is_none() {
+                    reass.received[frag] = Some(pkt.data().to_vec());
+                }
+                let complete = reass.received.iter().all(|f| f.is_some());
+                let ack = RpcHeader::ack_for(&rpc);
+                if complete {
+                    let parts = st.reassembly.take().expect("just inserted");
+                    let data = parts
+                        .received
+                        .into_iter()
+                        .flat_map(|f| f.expect("all present"))
+                        .collect();
+                    st.outcome = Some(Assembled::Multi { rpc, data });
+                    drop(st);
+                    entry.cond.notify_one();
+                    // The final fragment needs no explicit ack unless asked:
+                    // the next call from this activity implicitly acks it.
+                    if rpc.flags.please_ack {
+                        return Deliver::AcceptedNeedsAck(ack);
+                    }
+                    return Deliver::Accepted;
+                }
+                drop(st);
+                // Non-final fragments are always acknowledged explicitly
+                // (Birrell–Nelson stop-and-wait for multi-packet bodies).
+                Deliver::AcceptedNeedsAck(ack)
+            }
+            PacketType::Call | PacketType::Probe => {
+                // Caller-bound routing never sees these.
+                drop(st);
+                Deliver::Orphan(pkt)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firefly_pool::BufferPool;
+    use firefly_wire::{FrameBuilder, PacketFlags, PacketType};
+    use std::time::Duration;
+
+    fn activity() -> ActivityId {
+        ActivityId::new(7, 1, 1)
+    }
+
+    fn result_packet(seq: u32, data: &[u8], frag: u16, count: u16) -> Packet {
+        let frame = FrameBuilder::new(PacketType::Result)
+            .activity(activity())
+            .call_seq(seq)
+            .fragment(frag, count)
+            .build(data)
+            .unwrap();
+        let pool = BufferPool::new(1);
+        let mut buf = pool.alloc().unwrap();
+        buf.fill_from(frame.bytes());
+        Packet::from_buf(buf).unwrap()
+    }
+
+    fn ack_packet(seq: u32) -> Packet {
+        let frame = FrameBuilder::new(PacketType::Ack)
+            .activity(activity())
+            .call_seq(seq)
+            .build(&[])
+            .unwrap();
+        let pool = BufferPool::new(1);
+        let mut buf = pool.alloc().unwrap();
+        buf.fill_from(frame.bytes());
+        Packet::from_buf(buf).unwrap()
+    }
+
+    #[test]
+    fn single_packet_result_wakes_waiter() {
+        let table = CallTable::new();
+        let entry = table.register(activity(), 5);
+        let pkt = result_packet(5, &[1, 2, 3], 0, 1);
+        assert!(matches!(table.deliver(pkt), Deliver::Accepted));
+        match entry.wait(Instant::now() + Duration::from_secs(1)) {
+            Wait::Complete(a) => assert_eq!(a.data(), &[1, 2, 3]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_seq_is_orphaned() {
+        let table = CallTable::new();
+        let _entry = table.register(activity(), 5);
+        let pkt = result_packet(4, &[], 0, 1);
+        assert!(matches!(table.deliver(pkt), Deliver::Orphan(_)));
+    }
+
+    #[test]
+    fn unknown_activity_is_orphaned() {
+        let table = CallTable::new();
+        let pkt = result_packet(1, &[], 0, 1);
+        assert!(matches!(table.deliver(pkt), Deliver::Orphan(_)));
+    }
+
+    #[test]
+    fn ack_reports_in_progress() {
+        let table = CallTable::new();
+        let entry = table.register(activity(), 9);
+        assert!(matches!(table.deliver(ack_packet(9)), Deliver::Accepted));
+        assert!(matches!(
+            entry.wait(Instant::now() + Duration::from_secs(1)),
+            Wait::Acked { last: true, .. }
+        ));
+        // The flag is consumed; the next wait times out.
+        assert!(matches!(
+            entry.wait(Instant::now() + Duration::from_millis(10)),
+            Wait::TimedOut
+        ));
+    }
+
+    #[test]
+    fn fragments_reassemble_in_any_order() {
+        let table = CallTable::new();
+        let entry = table.register(activity(), 2);
+        let p1 = result_packet(2, &[4, 5, 6], 1, 3);
+        let p0 = result_packet(2, &[1, 2, 3], 0, 3);
+        let p2 = result_packet(2, &[7, 8], 2, 3);
+        assert!(matches!(table.deliver(p1), Deliver::AcceptedNeedsAck(_)));
+        assert!(matches!(table.deliver(p0), Deliver::AcceptedNeedsAck(_)));
+        // The final fragment completes the call.
+        assert!(matches!(table.deliver(p2), Deliver::Accepted));
+        match entry.wait(Instant::now() + Duration::from_secs(1)) {
+            Wait::Complete(a) => assert_eq!(a.data(), &[1, 2, 3, 4, 5, 6, 7, 8]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_fragment_is_idempotent() {
+        let table = CallTable::new();
+        let entry = table.register(activity(), 2);
+        for _ in 0..3 {
+            let p0 = result_packet(2, &[1, 2], 0, 2);
+            let _ = table.deliver(p0);
+        }
+        let p1 = result_packet(2, &[3], 1, 2);
+        assert!(matches!(table.deliver(p1), Deliver::Accepted));
+        match entry.wait(Instant::now() + Duration::from_secs(1)) {
+            Wait::Complete(a) => assert_eq!(a.data(), &[1, 2, 3]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn late_duplicate_result_after_completion_is_orphaned() {
+        let table = CallTable::new();
+        let entry = table.register(activity(), 3);
+        assert!(matches!(
+            table.deliver(result_packet(3, &[1], 0, 1)),
+            Deliver::Accepted
+        ));
+        // A duplicate of the same result (e.g. server retransmission).
+        assert!(matches!(
+            table.deliver(result_packet(3, &[1], 0, 1)),
+            Deliver::Orphan(_)
+        ));
+        assert!(matches!(
+            entry.wait(Instant::now() + Duration::from_secs(1)),
+            Wait::Complete(_)
+        ));
+    }
+
+    #[test]
+    fn concurrent_wait_and_deliver() {
+        let table = Arc::new(CallTable::new());
+        let entry = table.register(activity(), 1);
+        let t2 = Arc::clone(&table);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            t2.deliver(result_packet(1, &[42], 0, 1));
+        });
+        match entry.wait(Instant::now() + Duration::from_secs(5)) {
+            Wait::Complete(a) => assert_eq!(a.data(), &[42]),
+            other => panic!("unexpected {other:?}"),
+        }
+        h.join().unwrap();
+        table.unregister(activity());
+        assert_eq!(table.outstanding(), 0);
+    }
+
+    #[test]
+    fn please_ack_on_final_fragment_requests_ack() {
+        let table = CallTable::new();
+        let _entry = table.register(activity(), 4);
+        // A retransmitted single-fragment result sets please_ack; we should
+        // accept it (completing the call) and still send the ack — but for
+        // single-packet results the runtime acks implicitly via next call,
+        // so only the multi-fragment final case requests one here.
+        let frame = FrameBuilder::new(PacketType::Result)
+            .activity(activity())
+            .call_seq(4)
+            .fragment(1, 2)
+            .please_ack(true)
+            .build(&[9])
+            .unwrap();
+        let pool = BufferPool::new(2);
+        let mut buf = pool.alloc().unwrap();
+        buf.fill_from(frame.bytes());
+        let final_frag = Packet::from_buf(buf).unwrap();
+        let first = result_packet(4, &[8], 0, 2);
+        assert!(matches!(table.deliver(first), Deliver::AcceptedNeedsAck(_)));
+        match table.deliver(final_frag) {
+            Deliver::AcceptedNeedsAck(ack) => {
+                assert_eq!(ack.packet_type, PacketType::Ack);
+                assert!(ack.flags.acks_result);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flags_helper_builds_ack_with_direction() {
+        // Guard against regressions in the ack direction logic the demux
+        // depends on for routing.
+        let rpc = RpcHeader {
+            packet_type: PacketType::Result,
+            flags: PacketFlags::single_packet(),
+            activity: activity(),
+            call_seq: 1,
+            fragment: 0,
+            fragment_count: 1,
+            interface_uid: 0,
+            interface_version: 0,
+            procedure: 0,
+            data_len: 0,
+        };
+        assert!(RpcHeader::ack_for(&rpc).flags.acks_result);
+    }
+}

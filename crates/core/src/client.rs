@@ -1,0 +1,434 @@
+//! The caller side: binding, Starter, Transporter and Ender.
+//!
+//! A [`Client`] is the result of binding an interface to a remote
+//! endpoint. Its [`Client::call`] follows the five caller-stub steps of
+//! §3.1.1 exactly:
+//!
+//! 1. **Starter** — obtain a packet buffer with a partially filled-in
+//!    header,
+//! 2. **marshal** the arguments into the call packet (compiled stubs),
+//! 3. **Transporter** — register the call in the call table, transmit,
+//!    and wait for the result with retransmission and probing,
+//! 4. **unmarshal** the result packet into caller values,
+//! 5. **Ender** — return the packet buffer to the pool (recycled straight
+//!    to the receive queue, as the paper's interrupt handler does).
+//!
+//! Each OS thread making calls concurrently gets its own *activity*; an
+//! activity has at most one outstanding call, and its monotonically
+//! increasing sequence number gives the protocol its implicit-ack and
+//! duplicate-filtering structure.
+
+use crate::calltable::Wait;
+use crate::endpoint::EndpointShared;
+use crate::packet::Assembled;
+use crate::{Result, RpcError};
+use firefly_idl::{engines_for_interface, InterfaceDef, StubEngine, Value};
+use firefly_wire::{
+    ActivityId, PacketFlags, PacketType, RpcHeader, DATA_OFFSET, MAX_SINGLE_PACKET_DATA,
+};
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One reusable activity slot with its sequence counter and the header of
+/// the last result received (so an explicit ack can be sent at teardown).
+struct Slot {
+    activity: ActivityId,
+    next_seq: u32,
+    last_result: Option<RpcHeader>,
+}
+
+/// Pool of activity slots: one per concurrently calling thread.
+///
+/// Thread ids come from the endpoint-wide allocator so activities are
+/// unique even when several clients are bound through one endpoint.
+struct ActivityPool {
+    free: Mutex<Vec<Slot>>,
+    shared: Arc<EndpointShared>,
+    machine: u32,
+    space: u16,
+}
+
+impl ActivityPool {
+    fn acquire(&self) -> Slot {
+        if let Some(slot) = self.free.lock().pop() {
+            return slot;
+        }
+        let next = self
+            .shared
+            .next_thread
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Slot {
+            activity: ActivityId::new(self.machine, self.space, next),
+            next_seq: 1,
+            last_result: None,
+        }
+    }
+
+    fn release(&self, slot: Slot) {
+        self.free.lock().push(slot);
+    }
+}
+
+/// A bound caller stub for one interface at one remote endpoint.
+///
+/// Cloneable and thread-safe: concurrent calls from many threads use
+/// distinct activities, which is exactly how Table I's multi-threaded
+/// caller works.
+#[derive(Clone)]
+pub struct Client {
+    inner: Arc<ClientInner>,
+}
+
+struct ClientInner {
+    shared: Arc<EndpointShared>,
+    interface: InterfaceDef,
+    stubs: Vec<Box<dyn StubEngine>>,
+    remote: SocketAddr,
+    activities: ActivityPool,
+}
+
+impl Client {
+    pub(crate) fn new(
+        shared: Arc<EndpointShared>,
+        interface: InterfaceDef,
+        remote: SocketAddr,
+    ) -> Client {
+        let stubs = engines_for_interface(&interface, shared.config.stub_style);
+        let machine = shared.machine_id;
+        let space = shared.space_id;
+        Client {
+            inner: Arc::new(ClientInner {
+                activities: ActivityPool {
+                    free: Mutex::new(Vec::new()),
+                    shared: Arc::clone(&shared),
+                    machine,
+                    space,
+                },
+                shared,
+                interface,
+                stubs,
+                remote,
+            }),
+        }
+    }
+
+    /// The bound interface.
+    pub fn interface(&self) -> &InterfaceDef {
+        &self.inner.interface
+    }
+
+    /// The remote endpoint address.
+    pub fn remote(&self) -> SocketAddr {
+        self.inner.remote
+    }
+
+    /// Calls a procedure by name; returns the result-direction values in
+    /// plan order.
+    pub fn call(&self, procedure: &str, args: &[Value]) -> Result<Vec<Value>> {
+        let p = self.inner.interface.procedure(procedure)?;
+        self.call_inner(p.index(), args, None)
+    }
+
+    /// Calls a procedure by name with an overall deadline.
+    ///
+    /// The paper's semantics wait indefinitely while the server is alive
+    /// (probing); a deadline bounds the caller's patience instead. On
+    /// [`RpcError::DeadlineExceeded`] the call may still execute at the
+    /// server — callers needing exactly-once observability must design
+    /// idempotent procedures.
+    pub fn call_with_deadline(
+        &self,
+        procedure: &str,
+        args: &[Value],
+        deadline: std::time::Duration,
+    ) -> Result<Vec<Value>> {
+        let p = self.inner.interface.procedure(procedure)?;
+        self.call_inner(p.index(), args, Some(Instant::now() + deadline))
+    }
+
+    /// Calls a procedure by its on-wire index.
+    pub fn call_index(&self, index: u16, args: &[Value]) -> Result<Vec<Value>> {
+        self.call_inner(index, args, None)
+    }
+
+    fn call_inner(
+        &self,
+        index: u16,
+        args: &[Value],
+        deadline: Option<Instant>,
+    ) -> Result<Vec<Value>> {
+        let inner = &self.inner;
+        let stub = inner
+            .stubs
+            .get(index as usize)
+            .ok_or_else(|| firefly_idl::IdlError::NoSuchProcedure(format!("#{index}")))?;
+        let shared = &inner.shared;
+
+        // --- Starter: obtain a packet buffer. ---
+        let mut call_buf = shared
+            .ctx
+            .pool
+            .alloc_timeout(std::time::Duration::from_secs(2))?;
+
+        // --- Marshal the arguments. ---
+        // Fast path straight into the packet buffer; oversized argument
+        // lists re-marshal into a heap buffer for fragmentation
+        // (marshalling is pure, so the retry is safe).
+        let mut heap_data: Option<Vec<u8>> = None;
+        let raw = call_buf.raw_mut();
+        let data_len = match stub.marshal_call(args, &mut raw[DATA_OFFSET..]) {
+            Ok(n) => n,
+            Err(firefly_idl::IdlError::BufferTooSmall { .. }) => {
+                let mut size = 4 * MAX_SINGLE_PACKET_DATA;
+                loop {
+                    let mut big = vec![0u8; size];
+                    match stub.marshal_call(args, &mut big) {
+                        Ok(n) => {
+                            big.truncate(n);
+                            heap_data = Some(big);
+                            break n;
+                        }
+                        Err(firefly_idl::IdlError::BufferTooSmall { needed, .. }) => {
+                            size = needed.max(size * 2);
+                            if size > crate::fragment::MAX_TRANSFER {
+                                return Err(RpcError::TooLarge(size));
+                            }
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+            Err(e) => return Err(e.into()),
+        };
+
+        // --- Transporter: register, send, await, retransmit. ---
+        let mut slot = inner.activities.acquire();
+        let seq = slot.next_seq;
+        slot.next_seq += 1;
+        let activity = slot.activity;
+
+        let header = RpcHeader {
+            packet_type: PacketType::Call,
+            flags: PacketFlags::single_packet(),
+            activity,
+            call_seq: seq,
+            fragment: 0,
+            fragment_count: 1,
+            interface_uid: inner.interface.uid(),
+            interface_version: inner.interface.version(),
+            procedure: index,
+            data_len: data_len as u16,
+        };
+
+        let result = (|| -> Result<Assembled> {
+            let entry = shared.calls.register(activity, seq);
+            let outcome = match &heap_data {
+                None => {
+                    // Single packet, zero copy: headers around the data in
+                    // the pool buffer.
+                    let total = shared
+                        .ctx
+                        .builder_from(&header, inner.remote)
+                        .encode_into(call_buf.raw_mut(), data_len)?;
+                    call_buf.set_len(total);
+                    self.transact_single(&header, &call_buf, &entry, deadline)
+                }
+                Some(data) => self.transact_multi(&header, data, &entry, deadline),
+            };
+            shared.calls.unregister(activity);
+            outcome
+        })();
+
+        // --- Unmarshal + Ender. ---
+        let outcome = match result {
+            Ok(o) => o,
+            Err(e) => {
+                inner.activities.release(slot);
+                return Err(e);
+            }
+        };
+        crate::stats::RpcStats::bump(&shared.ctx.stats.calls_completed);
+        slot.last_result = Some(*outcome.rpc());
+        if outcome.rpc().flags.call_failed {
+            let msg = String::from_utf8_lossy(outcome.data()).into_owned();
+            inner.activities.release(slot);
+            return Err(RpcError::Remote(msg));
+        }
+        let values = stub.unmarshal_result(outcome.data());
+        inner.activities.release(slot);
+        // Ender: recycle the call buffer straight onto the receive queue,
+        // the paper's on-the-fly buffer replacement.
+        shared.ctx.pool.recycle_to_receive_queue(call_buf);
+        crate::stats::RpcStats::bump(&shared.ctx.stats.buffers_recycled);
+        Ok(values?)
+    }
+
+    /// Sends a single-packet call and waits for the result.
+    fn transact_single(
+        &self,
+        header: &RpcHeader,
+        frame: &[u8],
+        entry: &crate::calltable::CallEntry,
+        deadline: Option<Instant>,
+    ) -> Result<Assembled> {
+        let shared = &self.inner.shared;
+        let cfg = &shared.config;
+        shared.ctx.transport.send(frame, self.inner.remote)?;
+        crate::stats::RpcStats::bump(&shared.ctx.stats.calls_sent);
+
+        let mut timeout = cfg.retransmit_initial;
+        let mut transmissions = 1u32;
+        let mut acked = false;
+        let mut probes = 0u32;
+        loop {
+            let mut wake_at = Instant::now() + timeout;
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Err(RpcError::DeadlineExceeded);
+                }
+                wake_at = wake_at.min(d);
+            }
+            match entry.wait(wake_at) {
+                Wait::Complete(a) => return Ok(a),
+                Wait::Acked { .. } => {
+                    acked = true;
+                    probes = 0;
+                    timeout = cfg.retransmit_max;
+                }
+                Wait::TimedOut => {
+                    if acked {
+                        // The server said it is working; probe instead of
+                        // retransmitting the call.
+                        probes += 1;
+                        if probes > 120 {
+                            return Err(RpcError::CallFailed { transmissions });
+                        }
+                        let probe = RpcHeader {
+                            packet_type: PacketType::Probe,
+                            data_len: 0,
+                            ..*header
+                        };
+                        shared.ctx.send_built(
+                            &shared.ctx.builder_from(&probe, self.inner.remote),
+                            &[],
+                            self.inner.remote,
+                        )?;
+                    } else {
+                        if transmissions >= cfg.max_transmissions {
+                            return Err(RpcError::CallFailed { transmissions });
+                        }
+                        // Retransmit with please-ack so the server answers
+                        // even while the call executes.
+                        let retransmit = shared
+                            .ctx
+                            .builder_from(header, self.inner.remote)
+                            .please_ack(true);
+                        shared.ctx.send_built(
+                            &retransmit,
+                            frame_data(frame, header),
+                            self.inner.remote,
+                        )?;
+                        transmissions += 1;
+                        crate::stats::RpcStats::bump(&shared.ctx.stats.retransmissions);
+                        timeout = (timeout * 2).min(cfg.retransmit_max);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends a multi-packet call stop-and-wait, then waits for the result.
+    fn transact_multi(
+        &self,
+        header: &RpcHeader,
+        data: &[u8],
+        entry: &crate::calltable::CallEntry,
+        deadline: Option<Instant>,
+    ) -> Result<Assembled> {
+        let shared = &self.inner.shared;
+        let cfg = &shared.config;
+        let count = crate::fragment::fragment_count(data.len())?;
+        let chunks: Vec<(u16, &[u8])> = crate::fragment::fragments(data).collect();
+        // Send every fragment but the last stop-and-wait.
+        for &(index, chunk) in &chunks[..chunks.len() - 1] {
+            let frag_header = RpcHeader {
+                fragment: index,
+                fragment_count: count,
+                data_len: chunk.len() as u16,
+                ..*header
+            };
+            let builder = shared
+                .ctx
+                .builder_from(&frag_header, self.inner.remote)
+                .fragment(index, count)
+                .please_ack(true);
+            shared.ctx.send_built(&builder, chunk, self.inner.remote)?;
+            crate::stats::RpcStats::bump(&shared.ctx.stats.fragments_sent);
+            let mut attempts = 1;
+            loop {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Err(RpcError::DeadlineExceeded);
+                    }
+                }
+                match entry.wait(
+                    Instant::now()
+                        + cfg
+                            .retransmit_initial
+                            .max(std::time::Duration::from_millis(20)),
+                ) {
+                    Wait::Acked { fragment, .. } if fragment >= index => break,
+                    Wait::Acked { .. } => continue,
+                    Wait::Complete(a) => return Ok(a), // Server already answered (dup).
+                    Wait::TimedOut => {
+                        attempts += 1;
+                        if attempts > cfg.max_transmissions {
+                            return Err(RpcError::CallFailed {
+                                transmissions: attempts,
+                            });
+                        }
+                        shared.ctx.send_built(&builder, chunk, self.inner.remote)?;
+                        crate::stats::RpcStats::bump(&shared.ctx.stats.retransmissions);
+                    }
+                }
+            }
+        }
+        // The final fragment behaves like a single-packet call.
+        let (index, chunk) = *chunks.last().expect("at least one fragment");
+        let final_header = RpcHeader {
+            fragment: index,
+            fragment_count: count,
+            data_len: chunk.len() as u16,
+            ..*header
+        };
+        let frame = shared
+            .ctx
+            .builder_from(&final_header, self.inner.remote)
+            .fragment(index, count)
+            .build(chunk)?;
+        crate::stats::RpcStats::bump(&shared.ctx.stats.fragments_sent);
+        self.transact_single(&final_header, frame.bytes(), entry, deadline)
+    }
+}
+
+/// Extracts the data region from an encoded call frame for retransmission.
+fn frame_data<'f>(frame: &'f [u8], header: &RpcHeader) -> &'f [u8] {
+    &frame[DATA_OFFSET..DATA_OFFSET + header.data_len as usize]
+}
+
+impl Drop for ClientInner {
+    fn drop(&mut self) {
+        // Explicitly acknowledge the last results so the server can free
+        // its retained result packets (otherwise they wait for an implicit
+        // ack that will never come).
+        let slots = std::mem::take(&mut *self.activities.free.lock());
+        for slot in slots {
+            if let Some(res) = slot.last_result {
+                let ack = firefly_wire::RpcHeader::ack_for(&res);
+                let _ = self.shared.ctx.send_ack(&ack, self.remote);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Endpoint configuration.
+
+use std::time::Duration;
+
+/// Tunable parameters of an [`Endpoint`](crate::Endpoint).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Size of the shared packet-buffer pool.
+    ///
+    /// The paper's pool is shared between all user address spaces and the
+    /// Nub; it must cover outstanding calls, retained results, and
+    /// controller receive buffers.
+    pub pool_size: usize,
+    /// Number of server threads kept waiting for incoming calls.
+    ///
+    /// The fast path requires "having enough server threads waiting"
+    /// (§3.1); when all are busy, call packets take the slow path through
+    /// the work queue.
+    pub server_threads: usize,
+    /// First retransmission timeout; doubles on every retry.
+    pub retransmit_initial: Duration,
+    /// Upper bound on the retransmission timeout after backoff.
+    pub retransmit_max: Duration,
+    /// Total transmissions (first send + retransmissions) before a call
+    /// fails.
+    pub max_transmissions: u32,
+    /// Compute and verify software UDP checksums (§4.2.4 measures the cost
+    /// of turning this off).
+    pub checksum: bool,
+    /// Machine identifier carried in activity IDs; must differ between
+    /// endpoints that talk to each other.
+    pub machine_id: u32,
+    /// Address-space identifier within the machine.
+    pub space_id: u16,
+    /// Stub engine style: compiled direct-assignment stubs (the shipped
+    /// fast path) or interpreted library-style marshalling — the real
+    /// stack's version of Table IX's Modula-2+/assembly axis.
+    pub stub_style: firefly_idl::StubStyle,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            pool_size: 64,
+            server_threads: 4,
+            retransmit_initial: Duration::from_millis(50),
+            retransmit_max: Duration::from_secs(2),
+            max_transmissions: 10,
+            checksum: true,
+            machine_id: 0, // 0 means "derive from the transport address".
+            space_id: 1,
+            stub_style: firefly_idl::StubStyle::Compiled,
+        }
+    }
+}
+
+impl Config {
+    /// Convenience: a config with checksums disabled (§4.2.4).
+    pub fn without_checksums() -> Self {
+        Config {
+            checksum: false,
+            ..Config::default()
+        }
+    }
+
+    /// Convenience: tight timeouts for loss-injection tests.
+    pub fn fast_retry() -> Self {
+        Config {
+            retransmit_initial: Duration::from_millis(5),
+            retransmit_max: Duration::from_millis(100),
+            ..Config::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = Config::default();
+        assert!(c.pool_size >= 2 * c.server_threads);
+        assert!(c.max_transmissions > 1);
+        assert!(c.retransmit_max >= c.retransmit_initial);
+        assert!(c.checksum);
+    }
+
+    #[test]
+    fn presets() {
+        assert!(!Config::without_checksums().checksum);
+        assert!(Config::fast_retry().retransmit_initial < Duration::from_millis(50));
+    }
+}

@@ -1,0 +1,288 @@
+//! Endpoints: one transport, one buffer pool, one demultiplexer.
+//!
+//! An `Endpoint` is this reproduction's Firefly: it can export services
+//! (server role) and bind clients (caller role) simultaneously over one
+//! transport. Its demux thread is the Ethernet receive interrupt routine
+//! of §3.1.3: it validates headers and the UDP checksum, consults the
+//! call table or the server dispatcher, wakes the destination thread
+//! directly, and recycles buffers on the fly.
+
+use crate::calltable::{CallTable, Deliver};
+use crate::client::Client;
+use crate::config::Config;
+use crate::local::LocalClient;
+use crate::packet::Packet;
+use crate::send::SendCtx;
+use crate::server::ServerSide;
+use crate::service::Service;
+use crate::stats::RpcStats;
+use crate::transport::Transport;
+use crate::{Result, RpcError};
+use firefly_idl::InterfaceDef;
+use firefly_pool::BufferPool;
+use firefly_wire::PacketType;
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// State shared between an endpoint, its clients, and its demux thread.
+pub(crate) struct EndpointShared {
+    pub ctx: Arc<SendCtx>,
+    pub calls: CallTable,
+    pub config: Config,
+    pub machine_id: u32,
+    pub space_id: u16,
+    /// Endpoint-wide activity thread-id allocator: activities must be
+    /// unique across every client bound through this endpoint.
+    pub next_thread: std::sync::atomic::AtomicU16,
+}
+
+/// A caller/server endpoint bound to one transport.
+pub struct Endpoint {
+    shared: Arc<EndpointShared>,
+    server: Arc<ServerSide>,
+    demux: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Endpoint {
+    /// Creates an endpoint over `transport` and starts its demux and
+    /// server threads.
+    pub fn new(transport: Arc<dyn Transport>, config: Config) -> Result<Arc<Endpoint>> {
+        let pool = BufferPool::new(config.pool_size);
+        let stats = Arc::new(RpcStats::default());
+        let ctx = Arc::new(SendCtx::new(
+            transport,
+            pool,
+            Arc::clone(&stats),
+            config.checksum,
+        ));
+        let machine_id = if config.machine_id != 0 {
+            config.machine_id
+        } else {
+            // Derive a stable nonzero id from the transport address.
+            let addr = ctx.transport.local_addr();
+            let mac = crate::send::mac_for(&addr).0;
+            u32::from_be_bytes([mac[2], mac[3], mac[4], mac[5]]) | 1
+        };
+        let shared = Arc::new(EndpointShared {
+            ctx: Arc::clone(&ctx),
+            calls: CallTable::new(),
+            machine_id,
+            space_id: config.space_id,
+            config,
+            next_thread: std::sync::atomic::AtomicU16::new(1),
+        });
+        let server = ServerSide::new(ctx, shared.config.stub_style);
+        // Every endpoint exports the built-in binder, so callers can
+        // verify interfaces before their first real call.
+        server.export(crate::binder::binder_service(&server)?)?;
+        let workers = server.spawn_workers(shared.config.server_threads);
+
+        let endpoint = Arc::new(Endpoint {
+            shared: Arc::clone(&shared),
+            server: Arc::clone(&server),
+            demux: Mutex::new(None),
+            workers: Mutex::new(workers),
+        });
+        let demux = {
+            let shared = Arc::clone(&shared);
+            let server = Arc::clone(&server);
+            std::thread::Builder::new()
+                .name("firefly-demux".into())
+                .spawn(move || demux_loop(shared, server))
+                .expect("spawn demux thread")
+        };
+        *endpoint.demux.lock() = Some(demux);
+        Ok(endpoint)
+    }
+
+    /// The address remote endpoints should bind to.
+    pub fn address(&self) -> SocketAddr {
+        self.shared.ctx.transport.local_addr()
+    }
+
+    /// Exports a service (server role).
+    pub fn export(&self, service: Arc<dyn Service>) -> Result<()> {
+        self.server.export(service)
+    }
+
+    /// Binds `interface` at the remote endpoint, returning a caller stub.
+    ///
+    /// The returned [`Client`] uses the endpoint's transport — the
+    /// bind-time transport choice of §3.1.
+    pub fn bind(&self, interface: &InterfaceDef, remote: SocketAddr) -> Result<Client> {
+        Ok(Client::new(
+            Arc::clone(&self.shared),
+            interface.clone(),
+            remote,
+        ))
+    }
+
+    /// Binds `interface` at the remote endpoint after verifying through
+    /// the remote binder that it is exported there with a matching UID
+    /// and version.
+    ///
+    /// This is the explicit version of §3.1.1's precondition, "assuming
+    /// that binding to a suitable remote instance of the interface has
+    /// already occurred".
+    pub fn bind_checked(&self, interface: &InterfaceDef, remote: SocketAddr) -> Result<Client> {
+        use firefly_idl::Value;
+        let binder = self.bind(&crate::binder::binder_interface(), remote)?;
+        let r = binder.call(
+            "Describe",
+            &[Value::text(interface.name()), Value::Bytes(Vec::new())],
+        )?;
+        let uid_hex = String::from_utf8_lossy(r[0].as_bytes().unwrap_or(&[])).into_owned();
+        let version = r[1].as_integer().unwrap_or(-1);
+        if uid_hex != crate::binder::uid_hex(interface.uid()) {
+            return Err(RpcError::Binding(format!(
+                "remote `{}` has uid {uid_hex}, local definition has {} — \
+                 the interface signatures differ",
+                interface.name(),
+                crate::binder::uid_hex(interface.uid())
+            )));
+        }
+        if version != i32::from(interface.version()) {
+            return Err(RpcError::Binding(format!(
+                "remote `{}` is version {version}, local is {}",
+                interface.name(),
+                interface.version()
+            )));
+        }
+        self.bind(interface, remote)
+    }
+
+    /// Binds an interface exported by **this** endpoint through the
+    /// shared-memory local transport (the paper's same-machine RPC).
+    pub fn bind_local(&self, interface: &InterfaceDef) -> Result<LocalClient> {
+        let service = self.server.service_for(interface.uid()).ok_or_else(|| {
+            RpcError::Binding(format!(
+                "interface `{}` is not exported locally",
+                interface.name()
+            ))
+        })?;
+        LocalClient::new(interface.clone(), service, self.shared.ctx.pool.clone())
+    }
+
+    /// Reclaims server-side state for caller activities idle longer than
+    /// `max_idle`; returns how many were dropped. The paper keeps
+    /// fast-path state only for conversations active "within a few
+    /// seconds" (§3.1).
+    pub fn prune_idle_activities(&self, max_idle: Duration) -> usize {
+        self.server.prune_idle(max_idle)
+    }
+
+    /// Number of caller activities currently tracked by the server side.
+    pub fn tracked_activities(&self) -> usize {
+        self.server.activity_count()
+    }
+
+    /// Installs an authorization gate consulted for every incoming call
+    /// (`None` clears it). See [`crate::auth::CallGate`].
+    pub fn set_call_gate(&self, gate: Option<Arc<dyn crate::auth::CallGate>>) {
+        self.server.set_gate(gate);
+    }
+
+    /// Runtime counters.
+    pub fn stats(&self) -> &RpcStats {
+        &self.shared.ctx.stats
+    }
+
+    /// The shared packet-buffer pool.
+    pub fn pool(&self) -> &BufferPool {
+        &self.shared.ctx.pool
+    }
+
+    /// Stops the demux and server threads and unblocks the transport.
+    pub fn shutdown(&self) {
+        self.shared.ctx.transport.shutdown();
+        self.server.shutdown(self.shared.config.server_threads);
+        if let Some(h) = self.demux.lock().take() {
+            let _ = h.join();
+        }
+        for h in self.workers.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The receive loop — the reproduction's Ethernet interrupt routine.
+fn demux_loop(shared: Arc<EndpointShared>, server: Arc<ServerSide>) {
+    let stats = Arc::clone(&shared.ctx.stats);
+    loop {
+        // Take a receive buffer, preferring recycled ones.
+        let mut buf = loop {
+            match shared.ctx.pool.take_receive_buffer() {
+                Ok(b) => break b,
+                Err(_) => {
+                    // Pool exhausted: wait briefly for a buffer to free.
+                    match shared.ctx.pool.alloc_timeout(Duration::from_millis(100)) {
+                        Ok(b) => break b,
+                        Err(_) => continue,
+                    }
+                }
+            }
+        };
+        let (n, src) = match shared.ctx.transport.recv(buf.raw_mut()) {
+            Ok(x) => x,
+            Err(_) => return, // Shutdown.
+        };
+        buf.set_len(n);
+        let pkt = match Packet::from_buf(buf) {
+            Ok(p) => p,
+            Err(_) => {
+                RpcStats::bump(&stats.validation_drops);
+                continue;
+            }
+        };
+        match pkt.rpc.packet_type {
+            PacketType::Call => server.handle_call_packet(pkt, src),
+            PacketType::Probe => {
+                server.handle_probe(&pkt.rpc, src);
+                shared.ctx.pool.recycle_to_receive_queue(pkt.into_buf());
+            }
+            PacketType::Result => match shared.calls.deliver(pkt) {
+                Deliver::Accepted => {
+                    RpcStats::bump(&stats.results_received);
+                    RpcStats::bump(&stats.direct_wakeups);
+                }
+                Deliver::AcceptedNeedsAck(ack) => {
+                    RpcStats::bump(&stats.results_received);
+                    RpcStats::bump(&stats.direct_wakeups);
+                    let _ = shared.ctx.send_ack(&ack, src);
+                }
+                Deliver::Orphan(pkt) => {
+                    RpcStats::bump(&stats.orphan_results);
+                    shared.ctx.pool.recycle_to_receive_queue(pkt.into_buf());
+                    RpcStats::bump(&stats.buffers_recycled);
+                }
+            },
+            PacketType::Ack | PacketType::ProbeResponse => {
+                if pkt.rpc.flags.acks_result {
+                    // The caller acknowledged one of our result fragments.
+                    server.handle_result_ack(&pkt.rpc);
+                    shared.ctx.pool.recycle_to_receive_queue(pkt.into_buf());
+                } else {
+                    RpcStats::bump(&stats.acks_received);
+                    match shared.calls.deliver(pkt) {
+                        Deliver::Accepted | Deliver::AcceptedNeedsAck(_) => {
+                            RpcStats::bump(&stats.direct_wakeups);
+                        }
+                        Deliver::Orphan(pkt) => {
+                            shared.ctx.pool.recycle_to_receive_queue(pkt.into_buf());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,573 @@
+//! The server side: Receiver, server threads, duplicate filtering, and
+//! result retention.
+//!
+//! One `ServerSide` per endpoint. The demux thread routes call packets
+//! here; `ServerSide::handle_call_packet` performs the interrupt-level
+//! work (duplicate filtering, fragment reassembly, retained-result
+//! retransmission) and hands fresh calls to a waiting server thread —
+//! "if the interrupt routine can find a server thread … it attaches the
+//! buffer containing the call packet to the call table entry and awakens
+//! the server thread directly" (§3.1.3). The server thread then plays
+//! `Receiver`: it up-calls the interface stub, which up-calls the service
+//! procedure, marshals the results into a result packet and sends it.
+
+use crate::packet::{Assembled, Packet};
+use crate::send::SendCtx;
+use crate::service::Service;
+use crate::stats::RpcStats;
+use crate::{Result, RpcError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use firefly_idl::{engines_for_interface, StubEngine, StubStyle, Written};
+use firefly_pool::PacketBuf;
+use firefly_wire::{ActivityId, PacketType, RpcHeader, DATA_OFFSET, MAX_SINGLE_PACKET_DATA};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A retained (already transmitted) result frame, kept for retransmission
+/// until the next call from the same activity implicitly acknowledges it.
+enum Retained {
+    /// The frame lives in a pool buffer (single-packet fast path).
+    Pooled(PacketBuf),
+    /// The frame was heap-built (multi-packet results).
+    Heap(Vec<u8>),
+}
+
+impl Retained {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Retained::Pooled(b) => b,
+            Retained::Heap(v) => v,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Reassembly {
+    seq: u32,
+    count: u16,
+    received: Vec<Option<Vec<u8>>>,
+}
+
+struct ActState {
+    /// When the activity last carried traffic (for idle reclamation).
+    last_used: Instant,
+    /// Highest call sequence number seen from this activity.
+    last_seq: u32,
+    /// True while a server thread executes the current call.
+    in_progress: bool,
+    /// Result frames of the last completed call.
+    retained: Vec<Retained>,
+    /// Fragment-ack notification for multi-packet result transmission:
+    /// `(seq, fragment)` most recently acknowledged by the caller.
+    acked_frag: Option<(u32, u16)>,
+    /// Partial multi-packet call.
+    reassembly: Option<Reassembly>,
+}
+
+struct Activity {
+    state: Mutex<ActState>,
+    cond: Condvar,
+}
+
+struct ServiceEntry {
+    service: Arc<dyn Service>,
+    stubs: Vec<Box<dyn StubEngine>>,
+    name: String,
+    version: u16,
+}
+
+enum Work {
+    Call { call: Assembled, src: SocketAddr },
+    Shutdown,
+}
+
+/// The server half of an endpoint.
+pub(crate) struct ServerSide {
+    services: RwLock<HashMap<u64, ServiceEntry>>,
+    gate: RwLock<Option<Arc<dyn crate::auth::CallGate>>>,
+    stub_style: StubStyle,
+    activities: Mutex<HashMap<ActivityId, Arc<Activity>>>,
+    work_tx: Sender<Work>,
+    work_rx: Receiver<Work>,
+    idle_workers: AtomicUsize,
+    ctx: Arc<SendCtx>,
+}
+
+impl ServerSide {
+    pub fn new(ctx: Arc<SendCtx>, stub_style: StubStyle) -> Arc<ServerSide> {
+        let (work_tx, work_rx) = unbounded();
+        Arc::new(ServerSide {
+            services: RwLock::new(HashMap::new()),
+            gate: RwLock::new(None),
+            stub_style,
+            activities: Mutex::new(HashMap::new()),
+            work_tx,
+            work_rx,
+            idle_workers: AtomicUsize::new(0),
+            ctx,
+        })
+    }
+
+    /// Spawns `n` server threads; they wait for calls until shutdown.
+    pub fn spawn_workers(self: &Arc<Self>, n: usize) -> Vec<std::thread::JoinHandle<()>> {
+        (0..n)
+            .map(|i| {
+                let me = Arc::clone(self);
+                std::thread::Builder::new()
+                    .name(format!("firefly-server-{i}"))
+                    .spawn(move || me.worker_loop())
+                    .expect("spawn server worker")
+            })
+            .collect()
+    }
+
+    /// Stops all workers.
+    pub fn shutdown(&self, workers: usize) {
+        for _ in 0..workers {
+            let _ = self.work_tx.send(Work::Shutdown);
+        }
+    }
+
+    /// Looks up an exported service by interface UID.
+    pub fn service_for(&self, uid: u64) -> Option<Arc<dyn Service>> {
+        self.services
+            .read()
+            .get(&uid)
+            .map(|e| Arc::clone(&e.service))
+    }
+
+    /// Installs (or clears) the authorization gate.
+    pub fn set_gate(&self, gate: Option<Arc<dyn crate::auth::CallGate>>) {
+        *self.gate.write() = gate;
+    }
+
+    /// Reclaims per-activity state idle for longer than `max_idle`.
+    ///
+    /// The paper's call table similarly holds state only while "other
+    /// calls from this caller address space to the same remote server
+    /// address space have occurred recently, within a few seconds"
+    /// (§3.1); older conversations fall off the fast path and their
+    /// retained buffers return to the pool. Returns the number of
+    /// activities reclaimed.
+    pub fn prune_idle(&self, max_idle: Duration) -> usize {
+        let mut map = self.activities.lock();
+        let before = map.len();
+        map.retain(|_, act| {
+            let st = act.state.lock();
+            st.in_progress || st.last_used.elapsed() < max_idle
+        });
+        before - map.len()
+    }
+
+    /// Number of tracked caller activities.
+    pub fn activity_count(&self) -> usize {
+        self.activities.lock().len()
+    }
+
+    /// Lists exported interfaces as `(name, uid, version)`.
+    pub fn exported(&self) -> Vec<(String, u64, u16)> {
+        self.services
+            .read()
+            .iter()
+            .map(|(uid, e)| (e.name.clone(), *uid, e.version))
+            .collect()
+    }
+
+    /// Registers an exported service.
+    pub fn export(&self, service: Arc<dyn Service>) -> Result<()> {
+        let interface = service.interface().clone();
+        let stubs = engines_for_interface(&interface, self.stub_style);
+        let mut services = self.services.write();
+        if services.contains_key(&interface.uid()) {
+            return Err(RpcError::Binding(format!(
+                "interface `{}` is already exported",
+                interface.name()
+            )));
+        }
+        services.insert(
+            interface.uid(),
+            ServiceEntry {
+                service,
+                stubs,
+                name: interface.name().to_string(),
+                version: interface.version(),
+            },
+        );
+        Ok(())
+    }
+
+    fn activity(&self, id: ActivityId) -> Arc<Activity> {
+        let mut map = self.activities.lock();
+        Arc::clone(map.entry(id).or_insert_with(|| {
+            Arc::new(Activity {
+                state: Mutex::new(ActState {
+                    last_used: Instant::now(),
+                    last_seq: 0,
+                    in_progress: false,
+                    retained: Vec::new(),
+                    acked_frag: None,
+                    reassembly: None,
+                }),
+                cond: Condvar::new(),
+            })
+        }))
+    }
+
+    /// Interrupt-level handling of an incoming call packet.
+    pub fn handle_call_packet(&self, pkt: Packet, src: SocketAddr) {
+        let stats = &self.ctx.stats;
+        RpcStats::bump(&stats.calls_received);
+        let rpc = pkt.rpc;
+        let act = self.activity(rpc.activity);
+        let mut st = act.state.lock();
+        st.last_used = Instant::now();
+
+        if rpc.call_seq < st.last_seq {
+            // A stale call from a past round; drop and recycle.
+            self.recycle(pkt);
+            return;
+        }
+        if rpc.call_seq == st.last_seq && st.last_seq != 0 {
+            // Duplicate of the current call (a caller retransmission).
+            RpcStats::bump(&stats.duplicate_calls);
+            if !st.retained.is_empty() {
+                // "the last result packet … must be retained for possible
+                // retransmission": answer the duplicate from it.
+                for frame in &st.retained {
+                    let _ = self.ctx.transport.send(frame.bytes(), src);
+                }
+                RpcStats::bump(&stats.retransmissions);
+            } else if st.in_progress && rpc.flags.please_ack {
+                // The call is executing; tell the caller to stop
+                // retransmitting.
+                let _ = self.ctx.send_ack(&RpcHeader::ack_for(&rpc), src);
+            }
+            self.recycle(pkt);
+            return;
+        }
+
+        // A new call (or the first fragment(s) of one).
+        if rpc.fragment_count > 1 {
+            let reass = match &mut st.reassembly {
+                Some(r) if r.seq == rpc.call_seq => r,
+                _ => {
+                    st.reassembly = Some(Reassembly {
+                        seq: rpc.call_seq,
+                        count: rpc.fragment_count,
+                        received: vec![None; rpc.fragment_count as usize],
+                    });
+                    st.reassembly.as_mut().expect("just set")
+                }
+            };
+            if rpc.fragment_count != reass.count || rpc.fragment >= reass.count {
+                self.recycle(pkt);
+                return;
+            }
+            RpcStats::bump(&stats.fragments_received);
+            let idx = rpc.fragment as usize;
+            if reass.received[idx].is_none() {
+                reass.received[idx] = Some(pkt.data().to_vec());
+            }
+            let complete = reass.received.iter().all(|f| f.is_some());
+            if !rpc.flags.last_fragment {
+                // Stop-and-wait: every non-final fragment is acked.
+                let _ = self.ctx.send_ack(&RpcHeader::ack_for(&rpc), src);
+            }
+            if !complete {
+                self.recycle(pkt);
+                return;
+            }
+            let parts = st.reassembly.take().expect("complete");
+            let data: Vec<u8> = parts
+                .received
+                .into_iter()
+                .flat_map(|f| f.expect("all present"))
+                .collect();
+            self.begin_call(&mut st, rpc.call_seq);
+            drop(st);
+            self.recycle(pkt);
+            self.enqueue(Work::Call {
+                call: Assembled::Multi { rpc, data },
+                src,
+            });
+            return;
+        }
+
+        self.begin_call(&mut st, rpc.call_seq);
+        drop(st);
+        self.enqueue(Work::Call {
+            call: Assembled::Single(pkt),
+            src,
+        });
+    }
+
+    /// Marks a new call in progress and releases the previous retained
+    /// result — the arrival of a newer call is its implicit ack (§3.2).
+    fn begin_call(&self, st: &mut ActState, seq: u32) {
+        st.last_seq = seq;
+        st.in_progress = true;
+        for frame in st.retained.drain(..) {
+            if let Retained::Pooled(buf) = frame {
+                // "the interrupt handler removes the buffer found in that
+                // call table entry and adds it to the … receive queue."
+                self.ctx.pool.recycle_to_receive_queue(buf);
+                RpcStats::bump(&self.ctx.stats.buffers_recycled);
+            }
+        }
+    }
+
+    fn enqueue(&self, work: Work) {
+        if self.idle_workers.load(Ordering::Relaxed) > 0 {
+            RpcStats::bump(&self.ctx.stats.direct_wakeups);
+        } else {
+            RpcStats::bump(&self.ctx.stats.slow_path_queued);
+        }
+        let _ = self.work_tx.send(work);
+    }
+
+    /// Interrupt-level handling of a probe.
+    ///
+    /// Three cases: the call is still executing — answer ProbeResponse so
+    /// the caller keeps waiting; the call already completed — the result
+    /// packet must have been lost, so retransmit the retained result (a
+    /// ProbeResponse here would livelock: the caller would keep probing
+    /// and the server would keep saying "in progress" forever); the call
+    /// is unknown — stay silent and let the caller's transmission budget
+    /// expire.
+    pub fn handle_probe(&self, rpc: &RpcHeader, src: SocketAddr) {
+        let act = self.activity(rpc.activity);
+        let st = act.state.lock();
+        if st.last_seq != rpc.call_seq {
+            return;
+        }
+        if !st.retained.is_empty() {
+            for frame in &st.retained {
+                let _ = self.ctx.transport.send(frame.bytes(), src);
+            }
+            RpcStats::bump(&self.ctx.stats.retransmissions);
+            drop(st);
+            RpcStats::bump(&self.ctx.stats.probes_answered);
+            return;
+        }
+        let executing = st.in_progress;
+        drop(st);
+        if executing {
+            let response = RpcHeader {
+                packet_type: PacketType::ProbeResponse,
+                data_len: 0,
+                ..*rpc
+            };
+            let _ = self
+                .ctx
+                .send_built(&self.ctx.builder_from(&response, src), &[], src);
+            RpcStats::bump(&self.ctx.stats.probes_answered);
+        }
+    }
+
+    /// Interrupt-level handling of a caller's ack of one of our result
+    /// fragments.
+    pub fn handle_result_ack(&self, rpc: &RpcHeader) {
+        RpcStats::bump(&self.ctx.stats.acks_received);
+        let act = self.activity(rpc.activity);
+        let mut st = act.state.lock();
+        if rpc.call_seq != st.last_seq {
+            return;
+        }
+        st.acked_frag = Some((rpc.call_seq, rpc.fragment));
+        if rpc.flags.last_fragment {
+            // Explicit ack of the complete result: release retention.
+            for frame in st.retained.drain(..) {
+                if let Retained::Pooled(buf) = frame {
+                    self.ctx.pool.recycle_to_receive_queue(buf);
+                    RpcStats::bump(&self.ctx.stats.buffers_recycled);
+                }
+            }
+        }
+        drop(st);
+        act.cond.notify_all();
+    }
+
+    fn recycle(&self, pkt: Packet) {
+        self.ctx.pool.recycle_to_receive_queue(pkt.into_buf());
+        RpcStats::bump(&self.ctx.stats.buffers_recycled);
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        loop {
+            self.idle_workers.fetch_add(1, Ordering::Relaxed);
+            let work = self.work_rx.recv();
+            self.idle_workers.fetch_sub(1, Ordering::Relaxed);
+            match work {
+                Ok(Work::Call { call, src }) => self.dispatch(call, src),
+                Ok(Work::Shutdown) | Err(_) => return,
+            }
+        }
+    }
+
+    /// The Receiver: execute one call and transmit its result.
+    fn dispatch(&self, call: Assembled, src: SocketAddr) {
+        let rpc = *call.rpc();
+        let outcome = self.execute(&call, src);
+        let act = self.activity(rpc.activity);
+        let mut st = act.state.lock();
+        if st.last_seq != rpc.call_seq {
+            // A newer call superseded us while executing; discard.
+            return;
+        }
+        st.in_progress = false;
+        match outcome {
+            Ok(retained) => st.retained = retained,
+            Err(e) => {
+                // Error result: single packet, call_failed flag, message
+                // as data.
+                drop(st);
+                let msg = e.to_string();
+                let data = &msg.as_bytes()[..msg.len().min(MAX_SINGLE_PACKET_DATA)];
+                let header = RpcHeader {
+                    packet_type: PacketType::Result,
+                    ..rpc
+                };
+                let builder = self
+                    .ctx
+                    .builder_from(&header, src)
+                    .call_failed(true)
+                    .fragment(0, 1);
+                let _ = self.ctx.send_built(&builder, data, src);
+                let mut st = act.state.lock();
+                if st.last_seq == rpc.call_seq {
+                    if let Ok(frame) = builder.build(data) {
+                        st.retained = vec![Retained::Heap(frame.into_bytes())];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the stub + service and transmits the result packets; returns
+    /// the frames to retain.
+    fn execute(&self, call: &Assembled, src: SocketAddr) -> Result<Vec<Retained>> {
+        let rpc = *call.rpc();
+        // The authorization hook runs after duplicate filtering, before
+        // any service code (§7's "structural hooks").
+        if let Some(gate) = self.gate.read().as_ref() {
+            gate.authorize(rpc.activity, rpc.interface_uid, rpc.procedure)
+                .map_err(|reason| RpcError::Remote(format!("call refused: {reason}")))?;
+        }
+        let services = self.services.read();
+        let entry = services.get(&rpc.interface_uid).ok_or_else(|| {
+            RpcError::Remote(format!("no such interface {:#x}", rpc.interface_uid))
+        })?;
+        if entry.version != rpc.interface_version {
+            return Err(RpcError::Remote(format!(
+                "interface version mismatch: have {}, caller wants {}",
+                entry.version, rpc.interface_version
+            )));
+        }
+        let stub = entry
+            .stubs
+            .get(rpc.procedure as usize)
+            .ok_or_else(|| RpcError::Remote(format!("no procedure #{}", rpc.procedure)))?;
+
+        // Unmarshal in place: CHAR arrays borrow the call packet.
+        let args = stub.unmarshal_call(call.data())?;
+
+        // Marshal the result straight into a fresh pool buffer; large
+        // results spill to the heap transparently.
+        let mut result_buf = self.ctx.pool.alloc_timeout(Duration::from_secs(1))?;
+        let raw = result_buf.raw_mut();
+        let mut writer = stub.result_writer(&mut raw[DATA_OFFSET..]);
+        entry.service.dispatch(rpc.procedure, &args, &mut writer)?;
+        let written = writer.finish()?;
+        drop(args);
+        drop(services);
+
+        let result_header = RpcHeader::result_for(&rpc, written.len());
+        match written {
+            Written::InPlace { len } => {
+                // Single packet: headers in place around the data, send,
+                // retain the pool buffer.
+                let total = self
+                    .ctx
+                    .builder_from(&result_header, src)
+                    .encode_into(result_buf.raw_mut(), len)?;
+                result_buf.set_len(total);
+                self.ctx.transport.send(&result_buf, src)?;
+                Ok(vec![Retained::Pooled(result_buf)])
+            }
+            Written::Spilled(data) => {
+                drop(result_buf);
+                self.send_multi_result(&rpc, &data, src)
+            }
+        }
+    }
+
+    /// Transmits a multi-packet result stop-and-wait and returns the
+    /// frames for retention.
+    fn send_multi_result(
+        &self,
+        rpc: &RpcHeader,
+        data: &[u8],
+        src: SocketAddr,
+    ) -> Result<Vec<Retained>> {
+        let count = crate::fragment::fragment_count(data.len())?;
+        let act = self.activity(rpc.activity);
+        let mut retained = Vec::with_capacity(count as usize);
+        for (index, chunk) in crate::fragment::fragments(data) {
+            let last = index + 1 == count;
+            let header = RpcHeader {
+                packet_type: PacketType::Result,
+                fragment: index,
+                fragment_count: count,
+                ..*rpc
+            };
+            let builder = self
+                .ctx
+                .builder_from(&header, src)
+                .fragment(index, count)
+                .please_ack(!last);
+            let frame = builder.build(chunk)?;
+            self.ctx.transport.send(frame.bytes(), src)?;
+            RpcStats::bump(&self.ctx.stats.fragments_sent);
+            if !last {
+                // Stop and wait for the caller's ack, retransmitting a
+                // few times before giving up on the whole call.
+                let mut attempts = 0;
+                loop {
+                    let deadline = Instant::now() + Duration::from_millis(200);
+                    let mut st = act.state.lock();
+                    let acked = loop {
+                        if st.last_seq != rpc.call_seq {
+                            return Err(RpcError::Remote("superseded".into()));
+                        }
+                        if let Some((s, f)) = st.acked_frag {
+                            if s == rpc.call_seq && f >= index {
+                                break true;
+                            }
+                        }
+                        if act.cond.wait_until(&mut st, deadline).timed_out() {
+                            break false;
+                        }
+                    };
+                    drop(st);
+                    if acked {
+                        break;
+                    }
+                    attempts += 1;
+                    if attempts > 10 {
+                        return Err(RpcError::Remote(
+                            "caller stopped acking result fragments".into(),
+                        ));
+                    }
+                    self.ctx.transport.send(frame.bytes(), src)?;
+                    RpcStats::bump(&self.ctx.stats.retransmissions);
+                }
+            }
+            retained.push(Retained::Heap(frame.into_bytes()));
+        }
+        Ok(retained)
+    }
+}

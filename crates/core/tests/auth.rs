@@ -1,0 +1,85 @@
+//! Tests for the authorization hook (§7's "structural hooks for
+//! authenticated and secure calls").
+
+use firefly_idl::{test_interface, Value};
+use firefly_rpc::auth::GateFn;
+use firefly_rpc::transport::LoopbackNet;
+use firefly_rpc::{Config, Endpoint, RpcError, ServiceBuilder};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn pair() -> (Arc<Endpoint>, Arc<Endpoint>) {
+    let net = LoopbackNet::new();
+    let server = Endpoint::new(net.station(1), Config::default()).unwrap();
+    let caller = Endpoint::new(net.station(2), Config::default()).unwrap();
+    let executed = Arc::new(AtomicU64::new(0));
+    let ex = Arc::clone(&executed);
+    let service = ServiceBuilder::new(test_interface())
+        .on_call("Null", move |_a, _w| {
+            ex.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        })
+        .on_call("MaxResult", |_a, w| {
+            w.next_bytes(4)?.fill(0);
+            Ok(())
+        })
+        .on_call("MaxArg", |_a, _w| Ok(()))
+        .build()
+        .unwrap();
+    server.export(service).unwrap();
+    (server, caller)
+}
+
+#[test]
+fn gate_refuses_selected_procedures() {
+    let (server, caller) = pair();
+    // Refuse MaxResult (procedure index 1) on the Test interface; allow
+    // everything else, including the binder.
+    let test_uid = test_interface().uid();
+    server.set_call_gate(Some(Arc::new(GateFn(move |_caller, uid, proc_| {
+        if uid == test_uid && proc_ == 1 {
+            Err("MaxResult is restricted".into())
+        } else {
+            Ok(())
+        }
+    }))));
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    client.call("Null", &[]).unwrap();
+    let Err(err) = client.call("MaxResult", &[Value::char_array(4)]) else {
+        panic!("gated procedure must fail");
+    };
+    match err {
+        RpcError::Remote(m) => assert!(m.contains("MaxResult is restricted"), "{m}"),
+        other => panic!("unexpected: {other}"),
+    }
+    // Refusal does not wedge the activity.
+    client.call("Null", &[]).unwrap();
+}
+
+#[test]
+fn gate_can_be_cleared() {
+    let (server, caller) = pair();
+    server.set_call_gate(Some(Arc::new(GateFn(|_c, _u, _p| {
+        Err("locked down".into())
+    }))));
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    assert!(client.call("Null", &[]).is_err());
+    server.set_call_gate(None);
+    client.call("Null", &[]).unwrap();
+}
+
+#[test]
+fn gate_sees_the_caller_activity() {
+    let (server, caller) = pair();
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen2 = Arc::clone(&seen);
+    server.set_call_gate(Some(Arc::new(GateFn(
+        move |activity: firefly_wire::ActivityId, _u, _p| {
+            seen2.store(u64::from(activity.machine), Ordering::Relaxed);
+            Ok(())
+        },
+    ))));
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    client.call("Null", &[]).unwrap();
+    assert_ne!(seen.load(Ordering::Relaxed), 0, "gate saw a machine id");
+}

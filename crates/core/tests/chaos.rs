@@ -1,0 +1,87 @@
+//! Chaos testing: the protocol must deliver correct results under any
+//! combination of loss, duplication, corruption and delay.
+
+use firefly_idl::{parse_interface, Value};
+use firefly_rpc::transport::{FaultPlan, LoopbackNet};
+use firefly_rpc::{Config, Endpoint, ServiceBuilder};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn echo_setup(
+    net: &LoopbackNet,
+) -> (
+    std::sync::Arc<Endpoint>,
+    std::sync::Arc<Endpoint>,
+    firefly_rpc::Client,
+) {
+    let iface = parse_interface(
+        "DEFINITION MODULE Echo;
+           PROCEDURE Twice(n: INTEGER): INTEGER;
+           PROCEDURE Blob(VAR IN data: ARRAY OF CHAR; VAR OUT copy: ARRAY OF CHAR);
+         END Echo.",
+    )
+    .unwrap();
+    let service = ServiceBuilder::new(iface.clone())
+        .on_call("Twice", |args, w| {
+            let n = args[0].value().and_then(Value::as_integer).unwrap();
+            w.next_value(&Value::Integer(n.wrapping_mul(2)))?;
+            Ok(())
+        })
+        .on_call("Blob", |args, w| {
+            let data = args[0].bytes().unwrap();
+            w.next_bytes(data.len())?.copy_from_slice(data);
+            Ok(())
+        })
+        .build()
+        .unwrap();
+    let mut cfg = Config::fast_retry();
+    cfg.max_transmissions = 40; // Chaos needs patience.
+    cfg.retransmit_max = Duration::from_millis(50);
+    let server = Endpoint::new(net.station(1), cfg.clone()).unwrap();
+    let caller = Endpoint::new(net.station(2), cfg).unwrap();
+    server.export(service).unwrap();
+    let client = caller.bind(&iface, server.address()).unwrap();
+    (server, caller, client)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        .. ProptestConfig::default()
+    })]
+
+    /// Small calls survive any moderate fault mix with correct results.
+    #[test]
+    fn calls_survive_fault_mix(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.25,
+        duplicate in 0.0f64..0.5,
+        corrupt in 0.0f64..0.15,
+    ) {
+        let net = LoopbackNet::with_seed(seed);
+        let (_server, _caller, client) = echo_setup(&net);
+        net.set_faults(FaultPlan { loss, duplicate, corrupt, delay: None });
+        for i in 0..15i32 {
+            let r = client.call("Twice", &[Value::Integer(i)]).unwrap();
+            prop_assert_eq!(r[0].clone(), Value::Integer(2 * i), "call {}", i);
+        }
+    }
+
+    /// Fragmented bodies survive loss and duplication byte-exactly.
+    #[test]
+    fn fragments_survive_fault_mix(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.12,
+        duplicate in 0.0f64..0.3,
+        size in 2000usize..12_000,
+    ) {
+        let net = LoopbackNet::with_seed(seed);
+        let (_server, _caller, client) = echo_setup(&net);
+        net.set_faults(FaultPlan { loss, duplicate, corrupt: 0.0, delay: None });
+        let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        let r = client
+            .call("Blob", &[Value::Bytes(data.clone()), Value::Bytes(Vec::new())])
+            .unwrap();
+        prop_assert_eq!(r[0].as_bytes().unwrap(), &data[..]);
+    }
+}

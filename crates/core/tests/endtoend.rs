@@ -1,0 +1,501 @@
+//! End-to-end protocol tests over the loopback Ethernet and real UDP.
+
+use firefly_idl::{parse_interface, test_interface, Value};
+use firefly_rpc::transport::{FaultPlan, LoopbackNet, UdpTransport};
+use firefly_rpc::{Config, Endpoint, RpcError, ServiceBuilder};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Builds the paper's Test service: Null, MaxResult, MaxArg.
+fn test_service() -> Arc<dyn firefly_rpc::Service> {
+    ServiceBuilder::new(test_interface())
+        .on_call("Null", |_args, _w| Ok(()))
+        .on_call("MaxResult", |_args, w| {
+            let out = w.next_bytes(1440)?;
+            for (i, b) in out.iter_mut().enumerate() {
+                *b = (i % 251) as u8;
+            }
+            Ok(())
+        })
+        .on_call("MaxArg", |args, _w| {
+            let data = args[0].bytes().expect("VAR IN arrives in place");
+            assert_eq!(data.len(), 1440);
+            Ok(())
+        })
+        .build()
+        .unwrap()
+}
+
+fn loopback_pair(config: Config) -> (LoopbackNet, Arc<Endpoint>, Arc<Endpoint>) {
+    let net = LoopbackNet::new();
+    let server = Endpoint::new(net.station(1), config.clone()).unwrap();
+    let caller = Endpoint::new(net.station(2), config).unwrap();
+    server.export(test_service()).unwrap();
+    (net, server, caller)
+}
+
+#[test]
+fn null_call_round_trips() {
+    let (_net, server, caller) = loopback_pair(Config::default());
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    let r = client.call("Null", &[]).unwrap();
+    assert!(r.is_empty());
+}
+
+#[test]
+fn max_result_returns_1440_bytes() {
+    let (_net, server, caller) = loopback_pair(Config::default());
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    let r = client
+        .call("MaxResult", &[Value::char_array(1440)])
+        .unwrap();
+    let bytes = r[0].as_bytes().unwrap();
+    assert_eq!(bytes.len(), 1440);
+    assert!(bytes.iter().enumerate().all(|(i, &b)| b == (i % 251) as u8));
+}
+
+#[test]
+fn max_arg_sends_1440_bytes() {
+    let (_net, server, caller) = loopback_pair(Config::default());
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    client.call("MaxArg", &[Value::char_array(1440)]).unwrap();
+}
+
+#[test]
+fn healthy_run_has_zero_retransmissions_and_all_fast_path() {
+    // Generous retransmission timers so host scheduling hiccups (this
+    // suite runs many endpoints in parallel) cannot fire a spurious
+    // retransmission and fail the zero-retransmission assertion.
+    let cfg = Config {
+        retransmit_initial: Duration::from_secs(5),
+        ..Config::default()
+    };
+    let (_net, server, caller) = loopback_pair(cfg);
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    for _ in 0..50 {
+        client.call("Null", &[]).unwrap();
+    }
+    assert_eq!(caller.stats().retransmissions(), 0);
+    assert_eq!(caller.stats().calls_completed(), 50);
+    assert_eq!(server.stats().duplicate_calls(), 0);
+    assert_eq!(caller.stats().validation_drops(), 0);
+    // Every result woke the caller directly from the demux thread. The
+    // demux bumps its counters just after the wakeup, so give the last
+    // increment a moment to land.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while caller.stats().direct_wakeups() < 50 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        caller.stats().direct_wakeups() >= 50,
+        "direct wakeups {} of 50; stats:\n{}",
+        caller.stats().direct_wakeups(),
+        caller.stats()
+    );
+}
+
+#[test]
+fn sequential_calls_reuse_one_activity() {
+    let (_net, server, caller) = loopback_pair(Config::default());
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    for _ in 0..10 {
+        client.call("Null", &[]).unwrap();
+    }
+    // Implicit acks mean the server retains exactly one result for the
+    // single activity; no explicit acks were needed.
+    assert_eq!(server.stats().calls_received(), 10);
+    drop(client);
+    let _ = server;
+}
+
+#[test]
+fn concurrent_callers_from_many_threads() {
+    let (_net, server, caller) = loopback_pair(Config::default());
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    let completed = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let client = client.clone();
+        let completed = Arc::clone(&completed);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..25 {
+                client
+                    .call("MaxResult", &[Value::char_array(1440)])
+                    .unwrap();
+                completed.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(completed.load(Ordering::Relaxed), 200);
+    assert_eq!(server.stats().calls_received(), 200);
+    assert_eq!(caller.stats().retransmissions(), 0);
+}
+
+#[test]
+fn lost_packets_are_retransmitted() {
+    let (net, server, caller) = loopback_pair(Config::fast_retry());
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    // 30% loss: calls still complete, via retransmission.
+    net.set_faults(FaultPlan {
+        loss: 0.3,
+        ..FaultPlan::default()
+    });
+    for _ in 0..30 {
+        client.call("Null", &[]).unwrap();
+    }
+    assert!(
+        caller.stats().retransmissions() > 0,
+        "30% loss must trigger retransmissions"
+    );
+    assert_eq!(caller.stats().calls_completed(), 30);
+}
+
+#[test]
+fn corrupted_packets_are_dropped_by_checksum_then_recovered() {
+    let (net, server, caller) = loopback_pair(Config::fast_retry());
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    net.set_faults(FaultPlan {
+        corrupt: 0.3,
+        ..FaultPlan::default()
+    });
+    for _ in 0..20 {
+        client
+            .call("MaxResult", &[Value::char_array(1440)])
+            .unwrap();
+    }
+    let drops = caller.stats().validation_drops() + server.stats().validation_drops();
+    assert!(drops > 0, "30% corruption must be caught by checksums");
+    assert_eq!(caller.stats().calls_completed(), 20);
+}
+
+#[test]
+fn duplicated_packets_are_filtered() {
+    let (net, server, caller) = loopback_pair(Config::default());
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    net.set_faults(FaultPlan {
+        duplicate: 1.0,
+        ..FaultPlan::default()
+    });
+    for i in 0..20 {
+        let r = client
+            .call("MaxResult", &[Value::char_array(1440)])
+            .unwrap();
+        assert_eq!(r[0].as_bytes().unwrap().len(), 1440, "call {i}");
+    }
+    // Every duplicate call was answered from the retained result or
+    // filtered; every duplicate result was orphaned.
+    assert_eq!(caller.stats().calls_completed(), 20);
+    assert!(server.stats().duplicate_calls() > 0);
+    assert!(caller.stats().orphan_results() > 0);
+}
+
+#[test]
+fn unreachable_server_fails_after_max_transmissions() {
+    let net = LoopbackNet::new();
+    let caller = Endpoint::new(net.station(2), Config::fast_retry()).unwrap();
+    // Station 1 does not exist; frames vanish.
+    let ghost: std::net::SocketAddr = "10.0.0.1:3072".parse().unwrap();
+    let client = caller.bind(&test_interface(), ghost).unwrap();
+    let err = client.call("Null", &[]).unwrap_err();
+    match err {
+        RpcError::CallFailed { transmissions } => {
+            assert_eq!(transmissions, Config::fast_retry().max_transmissions)
+        }
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+#[test]
+fn slow_server_is_probed_not_failed() {
+    let iface =
+        parse_interface("DEFINITION MODULE Slow; PROCEDURE Nap(ms: INTEGER); END Slow.").unwrap();
+    let service = ServiceBuilder::new(iface.clone())
+        .on_call("Nap", |args, _w| {
+            let ms = args[0].value().and_then(Value::as_integer).unwrap_or(0);
+            std::thread::sleep(Duration::from_millis(ms as u64));
+            Ok(())
+        })
+        .build()
+        .unwrap();
+    let net = LoopbackNet::new();
+    let mut cfg = Config::fast_retry();
+    cfg.retransmit_max = Duration::from_millis(20);
+    let server = Endpoint::new(net.station(1), cfg.clone()).unwrap();
+    let caller = Endpoint::new(net.station(2), cfg).unwrap();
+    server.export(service).unwrap();
+    let client = caller.bind(&iface, server.address()).unwrap();
+    // The call takes far longer than max_transmissions * timeout, but the
+    // server acknowledges retransmissions and answers probes, so the call
+    // must NOT fail.
+    client.call("Nap", &[Value::Integer(600)]).unwrap();
+    assert!(server.stats().duplicate_calls() > 0 || server.stats().probes_answered() > 0);
+}
+
+#[test]
+fn unknown_interface_is_a_remote_error() {
+    let (_net, server, caller) = loopback_pair(Config::default());
+    let other = parse_interface("DEFINITION MODULE Ghost; PROCEDURE Boo(); END Ghost.").unwrap();
+    let client = caller.bind(&other, server.address()).unwrap();
+    let err = client.call("Boo", &[]).unwrap_err();
+    match err {
+        RpcError::Remote(m) => assert!(m.contains("no such interface")),
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+#[test]
+fn handler_errors_propagate_to_caller() {
+    let iface = parse_interface("DEFINITION MODULE F; PROCEDURE Fail(); END F.").unwrap();
+    let service = ServiceBuilder::new(iface.clone())
+        .on_call("Fail", |_a, _w| Err(RpcError::Remote("deliberate".into())))
+        .build()
+        .unwrap();
+    let net = LoopbackNet::new();
+    let server = Endpoint::new(net.station(1), Config::default()).unwrap();
+    let caller = Endpoint::new(net.station(2), Config::default()).unwrap();
+    server.export(service).unwrap();
+    let client = caller.bind(&iface, server.address()).unwrap();
+    let err = client.call("Fail", &[]).unwrap_err();
+    assert!(err.to_string().contains("deliberate"));
+    // A failed call must not wedge the activity: the next call works.
+    let err2 = client.call("Fail", &[]).unwrap_err();
+    assert!(err2.to_string().contains("deliberate"));
+}
+
+#[test]
+fn multi_packet_arguments_and_results() {
+    let iface = parse_interface(
+        "DEFINITION MODULE Big;
+           PROCEDURE Echo(VAR IN input: ARRAY OF CHAR; VAR OUT output: ARRAY OF CHAR);
+         END Big.",
+    )
+    .unwrap();
+    let service = ServiceBuilder::new(iface.clone())
+        .on_call("Echo", |args, w| {
+            let input = args[0].bytes().expect("in place");
+            let out = w.next_bytes(input.len())?;
+            out.copy_from_slice(input);
+            Ok(())
+        })
+        .build()
+        .unwrap();
+    let net = LoopbackNet::new();
+    let server = Endpoint::new(net.station(1), Config::default()).unwrap();
+    let caller = Endpoint::new(net.station(2), Config::default()).unwrap();
+    server.export(service).unwrap();
+    let client = caller.bind(&iface, server.address()).unwrap();
+
+    for size in [5000usize, 20_000, 100_000] {
+        let input: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        let r = client
+            .call(
+                "Echo",
+                &[Value::Bytes(input.clone()), Value::Bytes(Vec::new())],
+            )
+            .unwrap();
+        assert_eq!(r[0].as_bytes().unwrap(), &input[..], "size {size}");
+    }
+    assert!(caller.stats().fragments_sent() > 0);
+    assert!(server.stats().fragments_sent() > 0);
+}
+
+#[test]
+fn multi_packet_survives_loss() {
+    let iface = parse_interface(
+        "DEFINITION MODULE Big;
+           PROCEDURE Echo(VAR IN input: ARRAY OF CHAR; VAR OUT output: ARRAY OF CHAR);
+         END Big.",
+    )
+    .unwrap();
+    let service = ServiceBuilder::new(iface.clone())
+        .on_call("Echo", |args, w| {
+            let input = args[0].bytes().expect("in place");
+            let out = w.next_bytes(input.len())?;
+            out.copy_from_slice(input);
+            Ok(())
+        })
+        .build()
+        .unwrap();
+    let net = LoopbackNet::new();
+    let server = Endpoint::new(net.station(1), Config::fast_retry()).unwrap();
+    let caller = Endpoint::new(net.station(2), Config::fast_retry()).unwrap();
+    server.export(service).unwrap();
+    let client = caller.bind(&iface, server.address()).unwrap();
+    net.set_faults(FaultPlan {
+        loss: 0.15,
+        ..FaultPlan::default()
+    });
+    let input: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+    for _ in 0..5 {
+        let r = client
+            .call(
+                "Echo",
+                &[Value::Bytes(input.clone()), Value::Bytes(Vec::new())],
+            )
+            .unwrap();
+        assert_eq!(r[0].as_bytes().unwrap(), &input[..]);
+    }
+}
+
+#[test]
+fn works_over_real_udp_localhost() {
+    let server_t = UdpTransport::localhost().unwrap();
+    let caller_t = UdpTransport::localhost().unwrap();
+    let server = Endpoint::new(server_t, Config::default()).unwrap();
+    let caller = Endpoint::new(caller_t, Config::default()).unwrap();
+    server.export(test_service()).unwrap();
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    client.call("Null", &[]).unwrap();
+    let r = client
+        .call("MaxResult", &[Value::char_array(1440)])
+        .unwrap();
+    assert_eq!(r[0].as_bytes().unwrap().len(), 1440);
+    client.call("MaxArg", &[Value::char_array(1440)]).unwrap();
+    assert_eq!(caller.stats().retransmissions(), 0);
+}
+
+#[test]
+fn delayed_packets_cause_retransmissions_but_correct_results() {
+    // Fixed 40 ms delivery delay against a 5 ms first retransmit: every
+    // call retransmits several times, the server answers duplicates from
+    // its retained result, and the caller sees exactly one correct
+    // result per call.
+    let (net, server, caller) = loopback_pair(Config::fast_retry());
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    net.set_faults(FaultPlan {
+        delay: Some(Duration::from_millis(40)),
+        ..FaultPlan::default()
+    });
+    for _ in 0..5 {
+        let r = client
+            .call("MaxResult", &[Value::char_array(1440)])
+            .unwrap();
+        assert_eq!(r[0].as_bytes().unwrap().len(), 1440);
+    }
+    assert!(caller.stats().retransmissions() > 0);
+    assert!(server.stats().duplicate_calls() > 0 || server.stats().probes_answered() > 0);
+    assert_eq!(caller.stats().calls_completed(), 5);
+}
+
+#[test]
+fn interpreted_stubs_interoperate_with_compiled() {
+    // Table IX's axis on the real stack: an interpreted-stub caller talks
+    // to a compiled-stub server (and vice versa) because both produce
+    // byte-identical wire data.
+    let net = LoopbackNet::new();
+    let interp_cfg = Config {
+        stub_style: firefly_idl::StubStyle::Interpreted,
+        ..Config::default()
+    };
+    let server = Endpoint::new(net.station(1), Config::default()).unwrap();
+    let caller = Endpoint::new(net.station(2), interp_cfg).unwrap();
+    server.export(test_service()).unwrap();
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    let r = client
+        .call("MaxResult", &[Value::char_array(1440)])
+        .unwrap();
+    assert_eq!(r[0].as_bytes().unwrap().len(), 1440);
+    client.call("MaxArg", &[Value::char_array(1440)]).unwrap();
+}
+
+#[test]
+fn checksums_can_be_disabled_like_424() {
+    // §4.2.4: omit UDP checksums. Calls still work; corruption would go
+    // undetected (tested at the wire layer).
+    let net = LoopbackNet::new();
+    let server = Endpoint::new(net.station(1), Config::without_checksums()).unwrap();
+    let caller = Endpoint::new(net.station(2), Config::without_checksums()).unwrap();
+    server.export(test_service()).unwrap();
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    for _ in 0..10 {
+        client.call("Null", &[]).unwrap();
+    }
+    assert_eq!(caller.stats().calls_completed(), 10);
+}
+
+#[test]
+fn buffers_are_conserved_after_heavy_traffic() {
+    let (_net, server, caller) = loopback_pair(Config::default());
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    for _ in 0..200 {
+        client
+            .call("MaxResult", &[Value::char_array(1440)])
+            .unwrap();
+    }
+    drop(client);
+    // Give in-flight acks a moment to drain.
+    std::thread::sleep(Duration::from_millis(100));
+    let cp = caller.pool();
+    // The demux thread always holds one receive buffer while blocked in
+    // recv; anything beyond that is a leak.
+    assert!(cp.stats().outstanding() <= 1, "caller leaks buffers");
+    assert!(caller.stats().buffers_recycled() > 0);
+}
+
+#[test]
+fn two_interfaces_coexist_on_one_endpoint() {
+    let add_iface =
+        parse_interface("DEFINITION MODULE Math; PROCEDURE Add(a, b: INTEGER): INTEGER; END Math.")
+            .unwrap();
+    let add_service = ServiceBuilder::new(add_iface.clone())
+        .on_call("Add", |args, w| {
+            let a = args[0].value().and_then(Value::as_integer).unwrap_or(0);
+            let b = args[1].value().and_then(Value::as_integer).unwrap_or(0);
+            w.next_value(&Value::Integer(a.wrapping_add(b)))?;
+            Ok(())
+        })
+        .build()
+        .unwrap();
+    let (_net, server, caller) = loopback_pair(Config::default());
+    server.export(add_service).unwrap();
+    let t = caller.bind(&test_interface(), server.address()).unwrap();
+    let m = caller.bind(&add_iface, server.address()).unwrap();
+    t.call("Null", &[]).unwrap();
+    let r = m
+        .call("Add", &[Value::Integer(40), Value::Integer(2)])
+        .unwrap();
+    assert_eq!(r[0], Value::Integer(42));
+}
+
+#[test]
+fn endpoint_can_call_itself() {
+    let net = LoopbackNet::new();
+    let solo = Endpoint::new(net.station(1), Config::default()).unwrap();
+    solo.export(test_service()).unwrap();
+    let client = solo.bind(&test_interface(), solo.address()).unwrap();
+    let r = client
+        .call("MaxResult", &[Value::char_array(1440)])
+        .unwrap();
+    assert_eq!(r[0].as_bytes().unwrap().len(), 1440);
+}
+
+#[test]
+fn server_shutdown_fails_callers_instead_of_hanging() {
+    let net = LoopbackNet::new();
+    let server = Endpoint::new(net.station(1), Config::fast_retry()).unwrap();
+    let caller = Endpoint::new(net.station(2), Config::fast_retry()).unwrap();
+    server.export(test_service()).unwrap();
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    client.call("Null", &[]).unwrap();
+    // Take the server down; the next call must fail in bounded time.
+    server.shutdown();
+    let start = std::time::Instant::now();
+    let err = client.call("Null", &[]);
+    assert!(err.is_err(), "call against a dead server must fail");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "failure took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn exporting_same_interface_twice_fails() {
+    let (_net, server, _caller) = loopback_pair(Config::default());
+    let err = server.export(test_service()).unwrap_err();
+    assert!(err.to_string().contains("already exported"));
+}

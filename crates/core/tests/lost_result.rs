@@ -1,0 +1,134 @@
+//! Regression test for the probe/lost-result livelock.
+//!
+//! Sequence: the caller's retransmitted call is acknowledged (server
+//! executing), so the caller switches from retransmitting to probing.
+//! The result packet is then lost. A server that answers probes with
+//! ProbeResponse while holding the retained result would keep the caller
+//! probing forever; the correct behaviour (and the paper's: the retained
+//! result exists precisely "for possible retransmission") is to answer
+//! such probes by retransmitting the result.
+
+use firefly_idl::{parse_interface, Value};
+use firefly_rpc::transport::{LoopbackNet, Transport};
+use firefly_rpc::{Config, Endpoint, ServiceBuilder};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Drops the first `n` Result packets sent through it.
+struct DropFirstResults {
+    inner: Arc<dyn Transport>,
+    remaining: AtomicU32,
+}
+
+impl DropFirstResults {
+    fn new(inner: Arc<dyn Transport>, n: u32) -> Arc<Self> {
+        Arc::new(DropFirstResults {
+            inner,
+            remaining: AtomicU32::new(n),
+        })
+    }
+}
+
+/// Byte offset of the RPC packet-type field within a frame
+/// (Ethernet 14 + IP 20 + UDP 8).
+const TYPE_OFFSET: usize = 42;
+const TYPE_RESULT: u8 = 2;
+
+impl Transport for DropFirstResults {
+    fn send(&self, frame: &[u8], dst: SocketAddr) -> io::Result<()> {
+        if frame.len() > TYPE_OFFSET && frame[TYPE_OFFSET] == TYPE_RESULT {
+            let dropped = self
+                .remaining
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                .is_ok();
+            if dropped {
+                return Ok(()); // Swallowed by the "network".
+            }
+        }
+        self.inner.send(frame, dst)
+    }
+
+    fn recv(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        self.inner.recv(buf)
+    }
+
+    fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr()
+    }
+
+    fn shutdown(&self) {
+        self.inner.shutdown()
+    }
+}
+
+#[test]
+fn lost_result_after_ack_is_recovered_via_probe() {
+    let iface =
+        parse_interface("DEFINITION MODULE Slow; PROCEDURE Nap(ms: INTEGER): INTEGER; END Slow.")
+            .unwrap();
+    let service = ServiceBuilder::new(iface.clone())
+        .on_call("Nap", |args, w| {
+            let ms = args[0].value().and_then(Value::as_integer).unwrap_or(0);
+            std::thread::sleep(Duration::from_millis(ms as u64));
+            w.next_value(&Value::Integer(ms))?;
+            Ok(())
+        })
+        .build()
+        .unwrap();
+
+    let net = LoopbackNet::new();
+    let mut cfg = Config::fast_retry();
+    cfg.retransmit_max = Duration::from_millis(40);
+    // The server's transport eats the first TWO Result packets (the
+    // original and one retransmission), forcing recovery through probes.
+    let server_transport = DropFirstResults::new(net.station(1), 2);
+    let server = Endpoint::new(server_transport, cfg.clone()).unwrap();
+    let caller = Endpoint::new(net.station(2), cfg).unwrap();
+    server.export(service).unwrap();
+    let client = caller.bind(&iface, server.address()).unwrap();
+
+    // The call sleeps long enough that the caller's early retransmissions
+    // are answered with Acks (call in progress) and it enters probe mode
+    // before the (dropped) result is sent.
+    let start = std::time::Instant::now();
+    let r = client.call("Nap", &[Value::Integer(60)]).unwrap();
+    assert_eq!(r[0], Value::Integer(60));
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "recovery took {:?} — probe livelock?",
+        start.elapsed()
+    );
+    assert!(
+        server.stats().probes_answered() > 0 || server.stats().duplicate_calls() > 0,
+        "recovery exercised the probe/duplicate path"
+    );
+    // And the connection still works afterwards.
+    let r = client.call("Nap", &[Value::Integer(1)]).unwrap();
+    assert_eq!(r[0], Value::Integer(1));
+}
+
+#[test]
+fn many_lost_results_eventually_recover() {
+    let iface = parse_interface("DEFINITION MODULE Q; PROCEDURE Ping(): INTEGER; END Q.").unwrap();
+    let service = ServiceBuilder::new(iface.clone())
+        .on_call("Ping", |_a, w| {
+            w.next_value(&Value::Integer(7))?;
+            Ok(())
+        })
+        .build()
+        .unwrap();
+    let net = LoopbackNet::new();
+    let cfg = Config::fast_retry();
+    let server_transport = DropFirstResults::new(net.station(1), 3);
+    let server = Endpoint::new(server_transport, cfg.clone()).unwrap();
+    let caller = Endpoint::new(net.station(2), cfg).unwrap();
+    server.export(service).unwrap();
+    let client = caller.bind(&iface, server.address()).unwrap();
+    for _ in 0..5 {
+        assert_eq!(client.call("Ping", &[]).unwrap()[0], Value::Integer(7));
+    }
+    assert!(caller.stats().retransmissions() > 0);
+}

@@ -1,0 +1,86 @@
+//! Idle-activity reclamation: server state stays bounded.
+
+use firefly_idl::{test_interface, Value};
+use firefly_rpc::transport::LoopbackNet;
+use firefly_rpc::{Config, Endpoint, ServiceBuilder};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn pair() -> (Arc<Endpoint>, Arc<Endpoint>) {
+    let net = LoopbackNet::new();
+    let server = Endpoint::new(net.station(1), Config::default()).unwrap();
+    let caller = Endpoint::new(net.station(2), Config::default()).unwrap();
+    let service = ServiceBuilder::new(test_interface())
+        .on_call("Null", |_a, _w| Ok(()))
+        .on_call("MaxResult", |_a, w| {
+            w.next_bytes(8)?.fill(1);
+            Ok(())
+        })
+        .on_call("MaxArg", |_a, _w| Ok(()))
+        .build()
+        .unwrap();
+    server.export(service).unwrap();
+    (server, caller)
+}
+
+#[test]
+fn idle_activities_are_reclaimed() {
+    let (server, caller) = pair();
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    // Eight threads create eight distinct activities.
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let c = client.clone();
+        handles.push(std::thread::spawn(move || {
+            c.call("Null", &[]).unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(server.tracked_activities() >= 8);
+    std::thread::sleep(Duration::from_millis(30));
+    let pruned = server.prune_idle_activities(Duration::from_millis(10));
+    assert!(pruned >= 8, "pruned {pruned}");
+    assert_eq!(server.tracked_activities(), 0);
+}
+
+#[test]
+fn active_conversations_survive_pruning() {
+    let (server, caller) = pair();
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    client.call("Null", &[]).unwrap();
+    // A conversation used moments ago stays.
+    let pruned = server.prune_idle_activities(Duration::from_secs(60));
+    assert_eq!(pruned, 0);
+    assert!(server.tracked_activities() >= 1);
+}
+
+#[test]
+fn pruning_releases_retained_pool_buffers() {
+    let (server, caller) = pair();
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    // MaxResult leaves a retained single-packet result in a pool buffer.
+    client.call("MaxResult", &[Value::char_array(8)]).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    let before = server.pool().free_count() + server.pool().receive_queue_len();
+    server.prune_idle_activities(Duration::from_millis(5));
+    std::thread::sleep(Duration::from_millis(10));
+    let after = server.pool().free_count() + server.pool().receive_queue_len();
+    assert!(after >= before, "retained buffer returned to the pool");
+    assert_eq!(server.tracked_activities(), 0);
+}
+
+#[test]
+fn conversation_restarts_after_pruning() {
+    // A pruned activity must be able to call again: the server treats it
+    // as a fresh conversation (sequence numbers keep increasing, so the
+    // duplicate filter stays correct).
+    let (server, caller) = pair();
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    client.call("Null", &[]).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    server.prune_idle_activities(Duration::from_millis(5));
+    client.call("Null", &[]).unwrap();
+    assert_eq!(caller.stats().calls_completed(), 2);
+}

@@ -1,0 +1,148 @@
+//! The paper's measured marshalling costs (Tables II–V).
+//!
+//! Andrew Birrell measured the incremental elapsed time of passing each
+//! argument type over calling `Null()`, using local (same-machine) RPC to
+//! factor out transmission time. Those numbers parameterize the simulator's
+//! stub-cost stage and are checked here against the paper verbatim:
+//!
+//! | Table | Type | Points (bytes → µs) |
+//! |---|---|---|
+//! | II | 4-byte integer by value | 1 arg → 8, 2 → 16, 4 → 32 |
+//! | III | fixed array, VAR OUT | 4 → 20, 400 → 140 |
+//! | IV | open array, VAR OUT | 1 → 115, 1440 → 550 |
+//! | V | Text.T | NIL → 89, 1 → 378, 128 → 659 |
+//!
+//! Between measured points we interpolate linearly, which the paper itself
+//! licenses: "the marshalling times for array arguments scale linearly with
+//! the values reported in tables III and IV."
+
+use crate::ast::Mode;
+use crate::plan::{MarshalOp, ScalarKind};
+
+/// Microseconds to marshal `n` 4-byte by-value integers (Table II).
+pub fn int_by_value_micros(n: usize) -> f64 {
+    8.0 * n as f64
+}
+
+/// Microseconds to marshal a fixed-length array of `bytes` bytes passed by
+/// `VAR OUT` / `VAR IN` (Table III: 20 µs @ 4 B, 140 µs @ 400 B).
+pub fn fixed_array_micros(bytes: usize) -> f64 {
+    linear(bytes as f64, (4.0, 20.0), (400.0, 140.0))
+}
+
+/// Microseconds to marshal an open (variable-length) array of `bytes`
+/// bytes passed by `VAR OUT` / `VAR IN` (Table IV: 115 µs @ 1 B, 550 µs
+/// @ 1440 B).
+pub fn open_array_micros(bytes: usize) -> f64 {
+    linear(bytes as f64, (1.0, 115.0), (1440.0, 550.0))
+}
+
+/// Microseconds to marshal a `Text.T` of the given length, `None` meaning
+/// `NIL` (Table V: 89 µs NIL, 378 µs @ 1 B, 659 µs @ 128 B).
+///
+/// The NIL case is a pure marker; non-NIL costs are dominated by the
+/// server-side allocation from garbage-collected storage, hence the large
+/// constant.
+pub fn text_micros(len: Option<usize>) -> f64 {
+    match len {
+        None => 89.0,
+        Some(n) => linear(n as f64, (1.0, 378.0), (128.0, 659.0)),
+    }
+}
+
+fn linear(x: f64, (x0, y0): (f64, f64), (x1, y1): (f64, f64)) -> f64 {
+    y0 + (x - x0) * (y1 - y0) / (x1 - x0)
+}
+
+/// Microseconds to marshal one parameter with the given op, mode, and
+/// runtime payload size in bytes (needed for open arrays and texts).
+///
+/// By-value scalars use the Table II per-argument rate; scalar arrays are
+/// charged at the CHAR-array rate for the same byte count (the paper does
+/// not measure them separately).
+pub fn op_micros(op: &MarshalOp, mode: Mode, runtime_bytes: usize) -> f64 {
+    let one_way = match op {
+        MarshalOp::Scalar(k) => match k {
+            // Table II charges 8 µs per 4-byte argument; scale smaller and
+            // larger scalars by size.
+            ScalarKind::Integer | ScalarKind::Cardinal => 8.0,
+            ScalarKind::Char | ScalarKind::Boolean => 2.0,
+            ScalarKind::Real => 16.0,
+        },
+        MarshalOp::FixedBytes(n) => fixed_array_micros(*n),
+        MarshalOp::OpenBytes | MarshalOp::OpenBytesTail => open_array_micros(runtime_bytes),
+        MarshalOp::FixedArray { len, elem } => fixed_array_micros(len * elem.size()),
+        MarshalOp::OpenArray { .. } => open_array_micros(runtime_bytes),
+        MarshalOp::Text => {
+            return text_micros(if runtime_bytes == usize::MAX {
+                None
+            } else {
+                Some(runtime_bytes)
+            })
+        }
+        // The paper does not measure records separately; charge each
+        // field at its own rate (fixed fields dominate in practice).
+        MarshalOp::Record(fields) => {
+            return fields
+                .iter()
+                .map(|f| op_micros(f, Mode::Value, f.fixed_size().unwrap_or(64)))
+                .sum::<f64>()
+                * if mode == Mode::VarInOut { 2.0 } else { 1.0 };
+        }
+    };
+    // Plain VAR arguments travel (and are copied) in both directions.
+    match mode {
+        Mode::VarInOut => 2.0 * one_way,
+        _ => one_way,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_reproduced() {
+        assert_eq!(int_by_value_micros(1), 8.0);
+        assert_eq!(int_by_value_micros(2), 16.0);
+        assert_eq!(int_by_value_micros(4), 32.0);
+    }
+
+    #[test]
+    fn table_iii_reproduced() {
+        assert_eq!(fixed_array_micros(4), 20.0);
+        assert_eq!(fixed_array_micros(400), 140.0);
+        // Interpolation is monotone between the published points.
+        assert!(fixed_array_micros(200) > 20.0 && fixed_array_micros(200) < 140.0);
+    }
+
+    #[test]
+    fn table_iv_reproduced() {
+        assert_eq!(open_array_micros(1), 115.0);
+        assert_eq!(open_array_micros(1440), 550.0);
+    }
+
+    #[test]
+    fn table_v_reproduced() {
+        assert_eq!(text_micros(None), 89.0);
+        assert_eq!(text_micros(Some(1)), 378.0);
+        assert_eq!(text_micros(Some(128)), 659.0);
+    }
+
+    #[test]
+    fn max_result_marshal_cost_is_550() {
+        // The Table VIII composition charges exactly 550 µs for marshalling
+        // MaxResult's 1440-byte VAR OUT result.
+        let op = MarshalOp::OpenBytes;
+        assert_eq!(op_micros(&op, crate::ast::Mode::VarOut, 1440), 550.0);
+    }
+
+    #[test]
+    fn var_inout_costs_double() {
+        let op = MarshalOp::FixedBytes(400);
+        assert_eq!(
+            op_micros(&op, crate::ast::Mode::VarInOut, 400),
+            2.0 * op_micros(&op, crate::ast::Mode::VarOut, 400)
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! Lexer for the Modula-2+ DEFINITION MODULE subset.
+
+use crate::{IdlError, Result};
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+/// Token kinds for the interface-definition grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `DEFINITION`, `MODULE`, `PROCEDURE`, `VAR`, `IN`, `OUT`, `ARRAY`,
+    /// `OF`, `END`, and type keywords are all identifiers at the lexical
+    /// level; the parser gives them meaning. Modula-2 keywords are upper
+    /// case by definition.
+    Ident(String),
+    /// An unsigned integer literal.
+    Number(u64),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `:`.
+    Colon,
+    /// `;`.
+    Semicolon,
+    /// `,`.
+    Comma,
+    /// `.` (module terminator, and the `Text.T` qualifier).
+    Dot,
+    /// `=` (CONST declarations).
+    Equals,
+    /// `..` (subrange in array bounds).
+    DotDot,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable name for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Number(n) => format!("number `{n}`"),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Semicolon => "`;`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Equals => "`=`".into(),
+            TokenKind::DotDot => "`..`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenizes a source string.
+///
+/// Supports Modula-2 `(* … *)` comments (nested, as the language requires)
+/// and arbitrary whitespace.
+pub fn tokenize(source: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tline, tcol) = (line, col);
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'(' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Nested comment.
+                let mut depth = 0;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(IdlError::Lex {
+                            line: tline,
+                            col: tcol,
+                            message: "unterminated comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'(' && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        bump!();
+                        bump!();
+                    } else if bytes[i] == b'*' && bytes[i + 1] == b')' {
+                        depth -= 1;
+                        bump!();
+                        bump!();
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        bump!();
+                    }
+                }
+            }
+            b'(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line: tline,
+                    col: tcol,
+                });
+                bump!();
+            }
+            b')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line: tline,
+                    col: tcol,
+                });
+                bump!();
+            }
+            b'[' => {
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    line: tline,
+                    col: tcol,
+                });
+                bump!();
+            }
+            b']' => {
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    line: tline,
+                    col: tcol,
+                });
+                bump!();
+            }
+            b':' => {
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    line: tline,
+                    col: tcol,
+                });
+                bump!();
+            }
+            b';' => {
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    line: tline,
+                    col: tcol,
+                });
+                bump!();
+            }
+            b',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line: tline,
+                    col: tcol,
+                });
+                bump!();
+            }
+            b'=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Equals,
+                    line: tline,
+                    col: tcol,
+                });
+                bump!();
+            }
+            b'.' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                    tokens.push(Token {
+                        kind: TokenKind::DotDot,
+                        line: tline,
+                        col: tcol,
+                    });
+                    bump!();
+                    bump!();
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Dot,
+                        line: tline,
+                        col: tcol,
+                    });
+                    bump!();
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                let text = &source[start..i];
+                let n: u64 = text.parse().map_err(|_| IdlError::Lex {
+                    line: tline,
+                    col: tcol,
+                    message: format!("number `{text}` out of range"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(n),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    bump!();
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(source[start..i].to_string()),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            other => {
+                return Err(IdlError::Lex {
+                    line: tline,
+                    col: tcol,
+                    message: format!("unexpected character `{}`", other as char),
+                })
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_procedure() {
+        let k = kinds("PROCEDURE Null();");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("PROCEDURE".into()),
+                TokenKind::Ident("Null".into()),
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn subrange_and_qualified_name() {
+        let k = kinds("ARRAY [0..1439] OF CHAR Text.T");
+        assert!(k.contains(&TokenKind::DotDot));
+        assert!(k.contains(&TokenKind::Number(1439)));
+        assert!(k.contains(&TokenKind::Dot));
+    }
+
+    #[test]
+    fn comments_are_skipped_and_nest() {
+        let k = kinds("A (* outer (* inner *) still outer *) B");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("A".into()),
+                TokenKind::Ident("B".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_reported() {
+        assert!(matches!(tokenize("(* oops"), Err(IdlError::Lex { .. })));
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = tokenize("A\n  B").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_character_reported() {
+        let e = tokenize("PROCEDURE @").unwrap_err();
+        assert!(matches!(e, IdlError::Lex { col: 11, .. }));
+    }
+
+    #[test]
+    fn huge_number_rejected() {
+        assert!(tokenize("99999999999999999999999").is_err());
+    }
+}

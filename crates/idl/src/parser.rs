@@ -1,0 +1,528 @@
+//! Recursive-descent parser for the DEFINITION MODULE subset.
+//!
+//! Grammar (Modula-2+ keywords are upper case):
+//!
+//! ```text
+//! module     := DEFINITION MODULE ident ';' { const } { procedure }
+//!               END ident '.'
+//! const      := CONST ident '=' number ';'
+//! procedure  := PROCEDURE ident [ '(' [ params ] ')' ] [ ':' type ] ';'
+//! params     := param { ';' param }
+//! param      := [ VAR [ IN | OUT ] ] ident { ',' ident } ':' type
+//! type       := INTEGER | CARDINAL | CHAR | BOOLEAN | REAL | LONGREAL
+//!             | Text '.' T
+//!             | ARRAY '[' bound '..' bound ']' OF type
+//!             | RECORD field { ';' field } END
+//!             | ARRAY OF type
+//! ```
+
+use crate::ast::{Mode, Module, ParamDecl, ProcedureDecl, TypeExpr};
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::{IdlError, Result};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    consts: std::collections::HashMap<String, u64>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> IdlError {
+        let t = self.peek();
+        IdlError::Parse {
+            line: t.line,
+            col: t.col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token> {
+        if &self.peek().kind == kind {
+            Ok(self.advance())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == kw => {
+                self.advance();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{kw}`, found {}", other.describe()))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<u64> {
+        match &self.peek().kind {
+            TokenKind::Number(n) => {
+                let n = *n;
+                self.advance();
+                Ok(n)
+            }
+            other => Err(self.error(format!("expected number, found {}", other.describe()))),
+        }
+    }
+
+    /// A numeric bound: a literal or a previously declared CONST name.
+    fn expect_bound(&mut self) -> Result<u64> {
+        match &self.peek().kind {
+            TokenKind::Number(n) => {
+                let n = *n;
+                self.advance();
+                Ok(n)
+            }
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                match self.consts.get(&name) {
+                    Some(v) => {
+                        let v = *v;
+                        self.advance();
+                        Ok(v)
+                    }
+                    None => Err(self.error(format!("unknown CONST `{name}` in array bound"))),
+                }
+            }
+            other => Err(self.error(format!(
+                "expected number or CONST name, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn parse_module(&mut self) -> Result<Module> {
+        self.expect_keyword("DEFINITION")?;
+        self.expect_keyword("MODULE")?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::Semicolon)?;
+        let mut consts = Vec::new();
+        while self.peek_keyword("CONST") {
+            self.advance();
+            let cname = self.expect_ident()?;
+            self.expect(&TokenKind::Equals)?;
+            let value = self.expect_number()?;
+            self.expect(&TokenKind::Semicolon)?;
+            if self.consts.insert(cname.clone(), value).is_some() {
+                return Err(self.error(format!("duplicate CONST `{cname}`")));
+            }
+            consts.push((cname, value));
+        }
+        let mut procedures = Vec::new();
+        while self.peek_keyword("PROCEDURE") {
+            procedures.push(self.parse_procedure()?);
+        }
+        self.expect_keyword("END")?;
+        let end_name = self.expect_ident()?;
+        if end_name != name {
+            return Err(self.error(format!("module `{name}` terminated by `END {end_name}`")));
+        }
+        self.expect(&TokenKind::Dot)?;
+        self.expect(&TokenKind::Eof)?;
+        Ok(Module {
+            name,
+            consts,
+            procedures,
+        })
+    }
+
+    fn parse_procedure(&mut self) -> Result<ProcedureDecl> {
+        self.expect_keyword("PROCEDURE")?;
+        let name = self.expect_ident()?;
+        let mut params = Vec::new();
+        if self.peek().kind == TokenKind::LParen {
+            self.advance();
+            if self.peek().kind != TokenKind::RParen {
+                loop {
+                    self.parse_param_section(&mut params)?;
+                    if self.peek().kind == TokenKind::Semicolon {
+                        self.advance();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let result = if self.peek().kind == TokenKind::Colon {
+            self.advance();
+            Some(self.parse_type()?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(ProcedureDecl {
+            name,
+            params,
+            result,
+        })
+    }
+
+    /// Parses `[VAR [IN|OUT]] a, b, c: TYPE` into one `ParamDecl` per name.
+    fn parse_param_section(&mut self, out: &mut Vec<ParamDecl>) -> Result<()> {
+        let mode = if self.peek_keyword("VAR") {
+            self.advance();
+            if self.peek_keyword("IN") {
+                self.advance();
+                Mode::VarIn
+            } else if self.peek_keyword("OUT") {
+                self.advance();
+                Mode::VarOut
+            } else {
+                Mode::VarInOut
+            }
+        } else {
+            Mode::Value
+        };
+        let mut names = vec![self.expect_ident()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.advance();
+            names.push(self.expect_ident()?);
+        }
+        self.expect(&TokenKind::Colon)?;
+        let ty = self.parse_type()?;
+        for name in names {
+            out.push(ParamDecl {
+                name,
+                mode,
+                ty: ty.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    fn parse_type(&mut self) -> Result<TypeExpr> {
+        let name = self.expect_ident()?;
+        match name.as_str() {
+            "INTEGER" => Ok(TypeExpr::Integer),
+            "CARDINAL" => Ok(TypeExpr::Cardinal),
+            "CHAR" => Ok(TypeExpr::Char),
+            "BOOLEAN" => Ok(TypeExpr::Boolean),
+            "REAL" | "LONGREAL" => Ok(TypeExpr::Real),
+            "Text" => {
+                self.expect(&TokenKind::Dot)?;
+                let t = self.expect_ident()?;
+                if t != "T" {
+                    return Err(self.error(format!("expected `Text.T`, found `Text.{t}`")));
+                }
+                Ok(TypeExpr::Text)
+            }
+            "RECORD" => {
+                let mut fields = Vec::new();
+                loop {
+                    if self.peek_keyword("END") {
+                        break;
+                    }
+                    let mut names = vec![self.expect_ident()?];
+                    while self.peek().kind == TokenKind::Comma {
+                        self.advance();
+                        names.push(self.expect_ident()?);
+                    }
+                    self.expect(&TokenKind::Colon)?;
+                    let ty = self.parse_type()?;
+                    for name in names {
+                        fields.push((name, ty.clone()));
+                    }
+                    if self.peek().kind == TokenKind::Semicolon {
+                        self.advance();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect_keyword("END")?;
+                if fields.is_empty() {
+                    return Err(self.error("empty RECORD"));
+                }
+                Ok(TypeExpr::Record { fields })
+            }
+            "ARRAY" => {
+                if self.peek().kind == TokenKind::LBracket {
+                    self.advance();
+                    let lo = self.expect_bound()?;
+                    self.expect(&TokenKind::DotDot)?;
+                    let hi = self.expect_bound()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    if lo != 0 {
+                        return Err(self.error("array bounds must start at 0"));
+                    }
+                    if hi < lo {
+                        return Err(self.error("empty array bounds"));
+                    }
+                    self.expect_keyword("OF")?;
+                    let elem = self.parse_type()?;
+                    Ok(TypeExpr::FixedArray {
+                        len: (hi - lo + 1) as usize,
+                        elem: Box::new(elem),
+                    })
+                } else {
+                    self.expect_keyword("OF")?;
+                    let elem = self.parse_type()?;
+                    Ok(TypeExpr::OpenArray {
+                        elem: Box::new(elem),
+                    })
+                }
+            }
+            other => Err(self.error(format!("unknown type `{other}`"))),
+        }
+    }
+}
+
+/// Parses a complete `DEFINITION MODULE` source text.
+pub fn parse_module(source: &str) -> Result<Module> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        consts: std::collections::HashMap::new(),
+    };
+    p.parse_module()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_test_interface() {
+        let m = parse_module(crate::TEST_INTERFACE_SOURCE).unwrap();
+        assert_eq!(m.name, "Test");
+        assert_eq!(m.procedures.len(), 3);
+        assert_eq!(m.procedures[0].name, "Null");
+        assert!(m.procedures[0].params.is_empty());
+        let max_result = &m.procedures[1];
+        assert_eq!(max_result.params.len(), 1);
+        assert_eq!(max_result.params[0].mode, Mode::VarOut);
+        assert_eq!(
+            max_result.params[0].ty,
+            TypeExpr::OpenArray {
+                elem: Box::new(TypeExpr::Char)
+            }
+        );
+        let max_arg = &m.procedures[2];
+        assert_eq!(max_arg.params[0].mode, Mode::VarIn);
+    }
+
+    #[test]
+    fn parses_fixed_array_bounds() {
+        let m = parse_module(
+            "DEFINITION MODULE B;
+               PROCEDURE P(VAR OUT b: ARRAY [0..1439] OF CHAR);
+             END B.",
+        )
+        .unwrap();
+        assert_eq!(
+            m.procedures[0].params[0].ty,
+            TypeExpr::FixedArray {
+                len: 1440,
+                elem: Box::new(TypeExpr::Char)
+            }
+        );
+    }
+
+    #[test]
+    fn parses_multiple_names_per_section() {
+        let m = parse_module(
+            "DEFINITION MODULE M;
+               PROCEDURE Add(a, b: INTEGER): INTEGER;
+             END M.",
+        )
+        .unwrap();
+        let p = &m.procedures[0];
+        assert_eq!(p.params.len(), 2);
+        assert_eq!(p.params[0].name, "a");
+        assert_eq!(p.params[1].name, "b");
+        assert_eq!(p.result, Some(TypeExpr::Integer));
+    }
+
+    #[test]
+    fn parses_text_t_and_var_modes() {
+        let m = parse_module(
+            "DEFINITION MODULE S;
+               PROCEDURE Send(msg: Text.T; VAR count: INTEGER);
+             END S.",
+        )
+        .unwrap();
+        let p = &m.procedures[0];
+        assert_eq!(p.params[0].ty, TypeExpr::Text);
+        assert_eq!(p.params[0].mode, Mode::Value);
+        assert_eq!(p.params[1].mode, Mode::VarInOut);
+    }
+
+    #[test]
+    fn procedure_without_parens_allowed() {
+        let m = parse_module(
+            "DEFINITION MODULE N;
+               PROCEDURE Tick;
+             END N.",
+        )
+        .unwrap();
+        assert!(m.procedures[0].params.is_empty());
+    }
+
+    #[test]
+    fn mismatched_end_name_rejected() {
+        let e = parse_module("DEFINITION MODULE A; END B.").unwrap_err();
+        assert!(matches!(e, IdlError::Parse { .. }));
+        assert!(e.to_string().contains("END B"));
+    }
+
+    #[test]
+    fn nonzero_lower_bound_rejected() {
+        let e = parse_module(
+            "DEFINITION MODULE A;
+               PROCEDURE P(x: ARRAY [1..10] OF CHAR);
+             END A.",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("start at 0"));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let e = parse_module(
+            "DEFINITION MODULE A;
+               PROCEDURE P(x: MATRIX);
+             END A.",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("MATRIX"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_module("DEFINITION MODULE A; END A. extra").is_err());
+    }
+
+    #[test]
+    fn comments_anywhere() {
+        let m = parse_module(
+            "(* header *) DEFINITION MODULE C; (* body *)
+               PROCEDURE Q((* arg *) x: INTEGER);
+             END C. (* trailing *)",
+        )
+        .unwrap();
+        assert_eq!(m.procedures[0].params[0].name, "x");
+    }
+
+    #[test]
+    fn parses_const_declarations() {
+        let m = parse_module(
+            "DEFINITION MODULE Buf;
+               CONST MaxIndex = 1439;
+               CONST Small = 3;
+               PROCEDURE Fill(VAR OUT b: ARRAY [0..MaxIndex] OF CHAR;
+                              VAR IN k: ARRAY [0..Small] OF INTEGER);
+             END Buf.",
+        )
+        .unwrap();
+        assert_eq!(
+            m.consts,
+            vec![("MaxIndex".into(), 1439), ("Small".into(), 3)]
+        );
+        assert_eq!(m.procedures[0].params[0].ty.fixed_size(), Some(1440));
+        assert_eq!(m.procedures[0].params[1].ty.fixed_size(), Some(16));
+    }
+
+    #[test]
+    fn unknown_const_in_bound_rejected() {
+        let e = parse_module(
+            "DEFINITION MODULE B;
+               PROCEDURE P(b: ARRAY [0..Mystery] OF CHAR);
+             END B.",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("Mystery"));
+    }
+
+    #[test]
+    fn duplicate_const_rejected() {
+        let e = parse_module(
+            "DEFINITION MODULE B;
+               CONST N = 1;
+               CONST N = 2;
+             END B.",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn parses_records() {
+        let m = parse_module(
+            "DEFINITION MODULE R;
+               PROCEDURE P(item: RECORD id: INTEGER; price: LONGREAL; name: Text.T END);
+             END R.",
+        )
+        .unwrap();
+        match &m.procedures[0].params[0].ty {
+            TypeExpr::Record { fields } => {
+                assert_eq!(fields.len(), 3);
+                assert_eq!(fields[0].0, "id");
+                assert_eq!(fields[2].1, TypeExpr::Text);
+            }
+            other => panic!("not a record: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_record_rejected() {
+        assert!(parse_module("DEFINITION MODULE R; PROCEDURE P(x: RECORD END); END R.").is_err());
+    }
+
+    #[test]
+    fn record_grouped_fields() {
+        let m = parse_module(
+            "DEFINITION MODULE R;
+               PROCEDURE P(pt: RECORD x, y: INTEGER END);
+             END R.",
+        )
+        .unwrap();
+        match &m.procedures[0].params[0].ty {
+            TypeExpr::Record { fields } => assert_eq!(fields.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn nested_arrays() {
+        let m = parse_module(
+            "DEFINITION MODULE D;
+               PROCEDURE R(VAR IN m: ARRAY [0..3] OF ARRAY [0..3] OF INTEGER);
+             END D.",
+        )
+        .unwrap();
+        let ty = &m.procedures[0].params[0].ty;
+        assert_eq!(ty.fixed_size(), Some(64));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property: rendering an interface back to Modula-2+ source and
+//! reparsing it yields the same interface (same UID, hence the same wire
+//! identity) — over *randomly generated* interfaces.
+
+use firefly_idl::ast::{Mode, TypeExpr};
+use firefly_idl::parse_interface;
+use proptest::prelude::*;
+
+fn arb_scalar() -> impl Strategy<Value = TypeExpr> {
+    prop_oneof![
+        Just(TypeExpr::Integer),
+        Just(TypeExpr::Cardinal),
+        Just(TypeExpr::Char),
+        Just(TypeExpr::Boolean),
+        Just(TypeExpr::Real),
+    ]
+}
+
+/// Types the IDL accepts in any position: scalars, Text.T, CHAR/scalar
+/// arrays (fixed and open), and flat records.
+fn arb_type() -> impl Strategy<Value = TypeExpr> {
+    prop_oneof![
+        4 => arb_scalar(),
+        1 => Just(TypeExpr::Text),
+        2 => (arb_scalar(), 1usize..100).prop_map(|(elem, len)| TypeExpr::FixedArray {
+            len,
+            elem: Box::new(elem),
+        }),
+        2 => arb_scalar().prop_map(|elem| TypeExpr::OpenArray {
+            elem: Box::new(elem),
+        }),
+        1 => proptest::collection::vec(arb_scalar(), 1..4).prop_map(|ts| TypeExpr::Record {
+            fields: ts
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| (format!("f{i}"), t))
+                .collect(),
+        }),
+    ]
+}
+
+fn arb_mode() -> impl Strategy<Value = Mode> {
+    prop_oneof![
+        Just(Mode::Value),
+        Just(Mode::VarIn),
+        Just(Mode::VarOut),
+        Just(Mode::VarInOut),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn render_then_parse_is_identity(
+        procs in proptest::collection::vec(
+            (proptest::collection::vec((arb_mode(), arb_type()), 0..4), proptest::option::of(arb_type())),
+            1..5,
+        )
+    ) {
+        // Build a source text from the generated shapes.
+        let mut src = String::from("DEFINITION MODULE Gen;\n");
+        for (pi, (params, ret)) in procs.iter().enumerate() {
+            let ps: Vec<String> = params
+                .iter()
+                .enumerate()
+                .map(|(ai, (mode, ty))| {
+                    format!("{}a{ai}: {}", mode.to_modula(), ty.to_modula())
+                })
+                .collect();
+            let ret_s = match ret {
+                Some(t) => format!(": {}", t.to_modula()),
+                None => String::new(),
+            };
+            src.push_str(&format!("  PROCEDURE P{pi}({}){ret_s};\n", ps.join("; ")));
+        }
+        src.push_str("END Gen.\n");
+
+        let first = parse_interface(&src).expect("generated source parses");
+        let rendered = first.to_modula_source();
+        let second = parse_interface(&rendered).expect("rendered source reparses");
+        prop_assert_eq!(first.uid(), second.uid(), "rendered:\n{}", rendered);
+        prop_assert_eq!(first.procedures().len(), second.procedures().len());
+        // And the rendered text is a fixed point.
+        prop_assert_eq!(rendered.clone(), second.to_modula_source());
+    }
+}
+
+#[test]
+fn test_interface_source_round_trips() {
+    let i = firefly_idl::test_interface();
+    let again = parse_interface(&i.to_modula_source()).unwrap();
+    assert_eq!(i.uid(), again.uid());
+}

@@ -1,0 +1,170 @@
+//! Property tests: marshalling round-trips for arbitrary values, and
+//! engine equivalence (interpreted vs compiled).
+
+use firefly_idl::{parse_interface, CompiledStub, InterpStub, StubEngine, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn engines(src: &str, name: &str) -> (CompiledStub, InterpStub) {
+    let i = parse_interface(src).unwrap();
+    let p = i.procedure(name).unwrap();
+    (
+        CompiledStub::new(p.name(), Arc::clone(p.plan())),
+        InterpStub::new(p.name(), Arc::clone(p.plan())),
+    )
+}
+
+proptest! {
+    #[test]
+    fn scalar_quintuple_round_trips(
+        n in any::<i32>(),
+        c in any::<u32>(),
+        ch in any::<u8>(),
+        b in any::<bool>(),
+        r in any::<f64>().prop_filter("NaN breaks equality", |x| !x.is_nan()),
+    ) {
+        let (comp, interp) = engines(
+            "DEFINITION MODULE S;
+               PROCEDURE P(n: INTEGER; c: CARDINAL; ch: CHAR; b: BOOLEAN; r: LONGREAL);
+             END S.",
+            "P",
+        );
+        let args = vec![
+            Value::Integer(n),
+            Value::Cardinal(c),
+            Value::Char(ch),
+            Value::Boolean(b),
+            Value::Real(r),
+        ];
+        let mut buf = vec![0u8; 64];
+        let len = comp.marshal_call(&args, &mut buf).unwrap();
+        prop_assert_eq!(len, 18);
+        let mut buf2 = vec![0u8; 64];
+        let len2 = interp.marshal_call(&args, &mut buf2).unwrap();
+        prop_assert_eq!(&buf[..len], &buf2[..len2]);
+        let server = comp.unmarshal_call(&buf[..len]).unwrap();
+        for (got, want) in server.iter().zip(&args) {
+            prop_assert_eq!(got.value().unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn open_char_array_round_trips(data in proptest::collection::vec(any::<u8>(), 0..1436)) {
+        let (comp, interp) = engines(
+            "DEFINITION MODULE A;
+               PROCEDURE P(VAR IN blob: ARRAY OF CHAR);
+             END A.",
+            "P",
+        );
+        let args = vec![Value::Bytes(data.clone())];
+        let mut buf = vec![0u8; 1600];
+        let len = comp.marshal_call(&args, &mut buf).unwrap();
+        // The sole open array is the last call item, so the tail
+        // optimization drops the count prefix entirely.
+        prop_assert_eq!(len, data.len());
+        // Compiled server borrows in place, zero copy.
+        let server = comp.unmarshal_call(&buf[..len]).unwrap();
+        prop_assert_eq!(server[0].bytes().unwrap(), &data[..]);
+        // Interpreter copies but sees identical content.
+        let iserver = interp.unmarshal_call(&buf[..len]).unwrap();
+        prop_assert_eq!(iserver[0].value().unwrap().as_bytes().unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn text_round_trips(s in "\\PC{0,200}", use_nil in any::<bool>()) {
+        let (comp, _) = engines(
+            "DEFINITION MODULE T; PROCEDURE P(t: Text.T); END T.",
+            "P",
+        );
+        let v = if use_nil { Value::nil_text() } else { Value::text(&s) };
+        let mut buf = vec![0u8; 1024];
+        let len = comp.marshal_call(std::slice::from_ref(&v), &mut buf).unwrap();
+        let server = comp.unmarshal_call(&buf[..len]).unwrap();
+        prop_assert_eq!(server[0].value().unwrap(), &v);
+    }
+
+    #[test]
+    fn result_zero_copy_equals_copy_for_any_payload(
+        data in proptest::collection::vec(any::<u8>(), 1..1400),
+    ) {
+        let (comp, _) = engines(
+            "DEFINITION MODULE R;
+               PROCEDURE P(VAR OUT out: ARRAY OF CHAR): INTEGER;
+             END R.",
+            "P",
+        );
+        let outputs = vec![Value::Bytes(data.clone()), Value::Integer(42)];
+        let mut copy_buf = vec![0u8; 1600];
+        let copy_len = comp.marshal_result(&outputs, &mut copy_buf).unwrap();
+
+        let mut zc_buf = vec![0u8; 1600];
+        let mut w = comp.result_writer(&mut zc_buf);
+        w.next_bytes(data.len()).unwrap().copy_from_slice(&data);
+        w.next_value(&Value::Integer(42)).unwrap();
+        let zc_len = w.finish().unwrap().len();
+
+        prop_assert_eq!(copy_len, zc_len);
+        prop_assert_eq!(&copy_buf[..copy_len], &zc_buf[..zc_len]);
+        let back = comp.unmarshal_result(&copy_buf[..copy_len]).unwrap();
+        prop_assert_eq!(back, outputs);
+    }
+
+    #[test]
+    fn scalar_array_round_trips(xs in proptest::collection::vec(any::<i32>(), 0..100)) {
+        let (comp, interp) = engines(
+            "DEFINITION MODULE V;
+               PROCEDURE P(VAR IN v: ARRAY OF INTEGER);
+             END V.",
+            "P",
+        );
+        let args = vec![Value::Array(xs.iter().map(|&x| Value::Integer(x)).collect())];
+        let mut buf = vec![0u8; 4 + 400];
+        let len = comp.marshal_call(&args, &mut buf).unwrap();
+        let a = comp.unmarshal_call(&buf[..len]).unwrap();
+        let b = interp.unmarshal_call(&buf[..len]).unwrap();
+        prop_assert_eq!(a[0].value().unwrap(), &args[0]);
+        prop_assert_eq!(b[0].value().unwrap(), &args[0]);
+    }
+
+    #[test]
+    fn flat_records_round_trip(
+        a in any::<i32>(),
+        b in any::<bool>(),
+        c in any::<u8>(),
+    ) {
+        let (comp, interp) = engines(
+            "DEFINITION MODULE R;
+               PROCEDURE P(r: RECORD a: INTEGER; b: BOOLEAN; c: CHAR END): RECORD x, y: INTEGER END;
+             END R.",
+            "P",
+        );
+        let rec = Value::Record(vec![Value::Integer(a), Value::Boolean(b), Value::Char(c)]);
+        let mut buf = vec![0u8; 64];
+        let n = comp.marshal_call(std::slice::from_ref(&rec), &mut buf).unwrap();
+        prop_assert_eq!(n, 6);
+        let mut buf2 = vec![0u8; 64];
+        let n2 = interp.marshal_call(std::slice::from_ref(&rec), &mut buf2).unwrap();
+        prop_assert_eq!(&buf[..n], &buf2[..n2]);
+        let back = comp.unmarshal_call(&buf[..n]).unwrap();
+        prop_assert_eq!(back[0].value(), Some(&rec));
+        // Function-result records too.
+        let out = Value::Record(vec![Value::Integer(a), Value::Integer(a.wrapping_add(1))]);
+        let m = comp.marshal_result(std::slice::from_ref(&out), &mut buf).unwrap();
+        prop_assert_eq!(comp.unmarshal_result(&buf[..m]).unwrap()[0].clone(), out);
+    }
+
+    #[test]
+    fn corrupt_length_prefix_never_panics(
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let (comp, _) = engines(
+            "DEFINITION MODULE C;
+               PROCEDURE P(VAR IN b: ARRAY OF CHAR; t: Text.T);
+             END C.",
+            "P",
+        );
+        // Feeding arbitrary bytes must produce Ok or Err, never a panic.
+        let _ = comp.unmarshal_call(&data);
+        let _ = comp.unmarshal_result(&data);
+    }
+}

@@ -1,0 +1,211 @@
+//! Microsecond latency histograms with percentile queries.
+
+/// A latency histogram over microseconds with logarithmic buckets.
+///
+/// Buckets grow geometrically (~4.6% per bucket, 128 buckets per factor of
+/// e²) so percentiles are accurate to a few percent across the full range
+/// from 1 µs to tens of seconds — wide enough to span both the paper's
+/// 2.66 ms RPCs and the 600 ms retransmission penalty of §5.
+///
+/// # Examples
+///
+/// ```
+/// use firefly_metrics::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [100.0, 200.0, 300.0, 400.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.percentile(50.0) >= 200.0 && h.percentile(50.0) <= 310.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+const BUCKETS: usize = 1024;
+/// Growth factor per bucket; bucket i covers [GROWTH^i, GROWTH^(i+1)) µs.
+const GROWTH: f64 = 1.022;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(micros: f64) -> usize {
+        if micros <= 1.0 {
+            return 0;
+        }
+        let idx = micros.ln() / GROWTH.ln();
+        (idx as usize).min(BUCKETS - 1)
+    }
+
+    fn bucket_value(index: usize) -> f64 {
+        GROWTH.powi(index as i32 + 1)
+    }
+
+    /// Records one latency observation in microseconds.
+    pub fn record(&mut self, micros: f64) {
+        let micros = micros.max(0.0);
+        self.buckets[Self::bucket_index(micros)] += 1;
+        self.count += 1;
+        self.sum += micros;
+        self.min = self.min.min(micros);
+        self.max = self.max.max(micros);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean of the recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The value at or below which `p` percent of observations fall,
+    /// accurate to the bucket width (~2%).
+    ///
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median latency.
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = Histogram::new();
+        h.record(2660.0); // The paper's Null() latency.
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 2660.0);
+        let p50 = h.percentile(50.0);
+        assert!((p50 - 2660.0).abs() / 2660.0 < 0.03, "p50 = {p50}");
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 * 10.0);
+        }
+        let mut last = 0.0;
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            assert!(v >= last, "p{p} = {v} < {last}");
+            last = v;
+        }
+        // Median of 10..10000 uniform should be near 5000.
+        let p50 = h.percentile(50.0);
+        assert!((p50 - 5000.0).abs() / 5000.0 < 0.05, "p50 = {p50}");
+    }
+
+    #[test]
+    fn wide_range_supported() {
+        let mut h = Histogram::new();
+        h.record(1.0); // 1 µs.
+        h.record(600_000.0); // The §5 retransmission penalty.
+        h.record(20_000_000.0); // 20 s.
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 20_000_000.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 0..50 {
+            a.record(100.0 + i as f64);
+            b.record(5000.0 + i as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        let p25 = a.percentile(25.0);
+        let p75 = a.percentile(75.0);
+        assert!(p25 < 200.0, "p25 = {p25}");
+        assert!(p75 > 4000.0, "p75 = {p75}");
+    }
+
+    #[test]
+    fn negative_values_clamped() {
+        let mut h = Histogram::new();
+        h.record(-5.0);
+        assert_eq!(h.min(), 0.0);
+    }
+}

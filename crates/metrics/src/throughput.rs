@@ -1,0 +1,91 @@
+//! The paper's two throughput units.
+//!
+//! Table I reports `Null()` performance as RPCs/second and `MaxResult(b)`
+//! performance as megabits/second of *useful data* — 1440 bytes per call,
+//! not the 1514 bytes on the wire. These helpers reproduce that accounting
+//! so reproduced tables use exactly the paper's arithmetic (e.g. 10 000
+//! calls in 24.93 s × 1440 B = 4.65 megabits/second).
+
+/// Calls per second for `calls` completed in `seconds`.
+///
+/// # Examples
+///
+/// ```
+/// // Table I, row 1: 10000 Null() calls in 26.61 s = 375 RPCs/sec.
+/// let rps = firefly_metrics::rpcs_per_sec(10_000, 26.61);
+/// assert_eq!(rps.round() as u64, 376); // The paper rounds to 375.
+/// ```
+pub fn rpcs_per_sec(calls: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    calls as f64 / seconds
+}
+
+/// Megabits per second of useful payload: `calls × payload_bytes × 8` bits
+/// over `seconds`, in units of 10⁶ bits (the paper's "megabit" is decimal —
+/// a 10 megabit/second Ethernet).
+///
+/// # Examples
+///
+/// ```
+/// // Table I, row 4: 10000 MaxResult(b) calls in 24.93 s.
+/// let mbps = firefly_metrics::megabits_per_sec(10_000, 1440, 24.93);
+/// assert!((mbps - 4.62).abs() < 0.05);
+/// ```
+pub fn megabits_per_sec(calls: u64, payload_bytes: usize, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    (calls as f64 * payload_bytes as f64 * 8.0) / seconds / 1e6
+}
+
+/// Time in seconds to complete `calls` at a given per-call latency in
+/// microseconds, assuming serial execution (the paper's single-thread
+/// rows).
+pub fn serial_seconds(calls: u64, latency_micros: f64) -> f64 {
+    calls as f64 * latency_micros / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_row_checks() {
+        // Spot-check the paper's own arithmetic for several Table I rows.
+        // (The paper rounds; we allow ±1 RPC/s and ±0.05 Mbit/s.)
+        let cases = [
+            (26.61, 375.0),
+            (16.80, 595.0),
+            (15.45, 647.0),
+            (13.49, 741.0),
+        ];
+        for (secs, rps) in cases {
+            assert!(
+                (rpcs_per_sec(10_000, secs) - rps).abs() <= 1.0,
+                "{secs} s -> {rps}"
+            );
+        }
+        let mb = [(63.47, 1.82), (35.28, 3.28), (24.93, 4.65), (24.65, 4.70)];
+        for (secs, mbps) in mb {
+            assert!(
+                (megabits_per_sec(10_000, 1440, secs) - mbps).abs() < 0.06,
+                "{secs} s -> {mbps}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_time_is_zero_throughput() {
+        assert_eq!(rpcs_per_sec(100, 0.0), 0.0);
+        assert_eq!(megabits_per_sec(100, 1440, 0.0), 0.0);
+    }
+
+    #[test]
+    fn serial_time_round_trip() {
+        // 10000 calls at 2661 µs each = 26.61 s (Table I row 1).
+        let secs = serial_seconds(10_000, 2661.0);
+        assert!((secs - 26.61).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,128 @@
+//! CPU-utilization accounting.
+//!
+//! The paper reports "about 1.2 CPUs being used on the caller machine,
+//! slightly less on the server machine, to achieve maximum throughput" and
+//! "about 0.15 CPUs when idling" (§2.1). Utilization in that sense is
+//! total busy time across all processors divided by elapsed time — a value
+//! between 0 and the processor count.
+
+/// Accumulates busy intervals per resource and reports utilization in
+/// "CPUs used" units.
+///
+/// Works in any time base (the simulator feeds virtual nanoseconds, the
+/// real stack feeds wall-clock microseconds) as long as busy spans and the
+/// observation window use the same units.
+///
+/// # Examples
+///
+/// ```
+/// use firefly_metrics::UtilizationTracker;
+/// let mut u = UtilizationTracker::new(2);
+/// u.add_busy(0, 500_000.0);
+/// u.add_busy(1, 250_000.0);
+/// // Over a 500 ms window: CPU 0 fully busy, CPU 1 half busy = 1.5 CPUs.
+/// assert!((u.cpus_used(500_000.0) - 1.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UtilizationTracker {
+    busy: Vec<f64>,
+}
+
+impl UtilizationTracker {
+    /// Creates a tracker for `resources` CPUs (or other unit-capacity
+    /// resources).
+    pub fn new(resources: usize) -> Self {
+        UtilizationTracker {
+            busy: vec![0.0; resources],
+        }
+    }
+
+    /// Number of tracked resources.
+    pub fn resources(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Adds `span` time units of busy time to resource `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn add_busy(&mut self, index: usize, span: f64) {
+        self.busy[index] += span;
+    }
+
+    /// Total busy time across all resources.
+    pub fn total_busy(&self) -> f64 {
+        self.busy.iter().sum()
+    }
+
+    /// Busy time of one resource.
+    pub fn busy_of(&self, index: usize) -> f64 {
+        self.busy[index]
+    }
+
+    /// Utilization of one resource over a window (0.0–1.0, can exceed 1.0
+    /// only if busy spans were over-reported).
+    pub fn utilization_of(&self, index: usize, window: f64) -> f64 {
+        if window <= 0.0 {
+            0.0
+        } else {
+            self.busy[index] / window
+        }
+    }
+
+    /// The paper's "CPUs used" figure: total busy time divided by the
+    /// window.
+    pub fn cpus_used(&self, window: f64) -> f64 {
+        if window <= 0.0 {
+            0.0
+        } else {
+            self.total_busy() / window
+        }
+    }
+
+    /// Clears all accumulated busy time.
+    pub fn reset(&mut self) {
+        self.busy.iter_mut().for_each(|b| *b = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_machine_uses_zero_cpus() {
+        let u = UtilizationTracker::new(5);
+        assert_eq!(u.cpus_used(1_000_000.0), 0.0);
+        assert_eq!(u.total_busy(), 0.0);
+    }
+
+    #[test]
+    fn paper_style_figures() {
+        // A 5-CPU Firefly at max throughput: ~1.2 CPUs used.
+        let mut u = UtilizationTracker::new(5);
+        let window = 1_000_000.0; // 1 s in µs.
+        u.add_busy(0, 600_000.0); // CPU 0 does I/O work.
+        u.add_busy(1, 300_000.0);
+        u.add_busy(2, 200_000.0);
+        u.add_busy(3, 100_000.0);
+        assert!((u.cpus_used(window) - 1.2).abs() < 1e-9);
+        assert!((u.utilization_of(0, window) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut u = UtilizationTracker::new(1);
+        u.add_busy(0, 10.0);
+        u.reset();
+        assert_eq!(u.total_busy(), 0.0);
+    }
+
+    #[test]
+    fn zero_window_is_zero() {
+        let mut u = UtilizationTracker::new(1);
+        u.add_busy(0, 10.0);
+        assert_eq!(u.cpus_used(0.0), 0.0);
+    }
+}

@@ -1,0 +1,475 @@
+//! The shared RPC packet-buffer pool.
+//!
+//! In Firefly RPC, "RPC packet buffers reside in memory shared among all
+//! user address spaces and the Nub … RPC stubs in user spaces, and the
+//! Ethernet driver code and interrupt handler in the Nub, all can read and
+//! write packet buffers in memory using the same addresses. This strategy
+//! eliminates the need for extra address mapping operations or copying when
+//! doing RPC." (§3.2.)
+//!
+//! This crate reproduces that discipline in safe Rust:
+//!
+//! * a [`BufferPool`] is created once with a fixed number of 1514-byte
+//!   buffers and shared (`Arc`-cloned) by every component — caller stubs,
+//!   server stubs, transports and the demultiplexer, the moral equivalents
+//!   of user spaces and the Nub;
+//! * [`PacketBuf`] hands out exclusive access to one buffer and returns it
+//!   to the free list on drop, so the fast path allocates **nothing** from
+//!   the general-purpose heap;
+//! * [`PoolStats`] counts allocations, frees, recycles and exhaustions so
+//!   tests can prove the zero-allocation property;
+//! * [`BufferPool::recycle_to_receive_queue`] and
+//!   [`BufferPool::take_receive_buffer`] model the paper's on-the-fly
+//!   receive-buffer replacement, where the interrupt handler moves the
+//!   buffer found in a call-table entry straight onto the Ethernet
+//!   controller's receive queue.
+//!
+//! # Examples
+//!
+//! ```
+//! use firefly_pool::BufferPool;
+//!
+//! let pool = BufferPool::new(4);
+//! let mut buf = pool.alloc().unwrap();
+//! buf.set_len(74);
+//! buf[0] = 0x02;
+//! drop(buf); // Returned to the free list.
+//! assert_eq!(pool.stats().outstanding(), 0);
+//! ```
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The size of every pool buffer: one maximal Ethernet frame.
+pub const BUFFER_SIZE: usize = 1514;
+
+/// Errors returned by pool operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// No free buffers; the pool is fixed-size by design.
+    Exhausted,
+    /// A blocking allocation timed out.
+    Timeout,
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::Exhausted => write!(f, "packet buffer pool exhausted"),
+            PoolError::Timeout => write!(f, "timed out waiting for a packet buffer"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Counters describing pool behaviour; all monotonically increasing except
+/// the derived [`PoolStats::outstanding`].
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    recycles: AtomicU64,
+    exhaustions: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl PoolStats {
+    /// Total successful allocations.
+    pub fn allocs(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+
+    /// Total buffers returned through drop.
+    pub fn frees(&self) -> u64 {
+        self.frees.load(Ordering::Relaxed)
+    }
+
+    /// Buffers moved directly to the receive queue (the paper's
+    /// interrupt-handler recycling).
+    pub fn recycles(&self) -> u64 {
+        self.recycles.load(Ordering::Relaxed)
+    }
+
+    /// Allocation attempts that found the pool empty.
+    pub fn exhaustions(&self) -> u64 {
+        self.exhaustions.load(Ordering::Relaxed)
+    }
+
+    /// Maximum simultaneously outstanding buffers observed.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Buffers currently held by users (allocs − frees − recycles).
+    pub fn outstanding(&self) -> u64 {
+        self.allocs()
+            .saturating_sub(self.frees())
+            .saturating_sub(self.recycles())
+    }
+
+    fn note_alloc(&self) {
+        let a = self.allocs.fetch_add(1, Ordering::Relaxed) + 1;
+        let out = a
+            .saturating_sub(self.frees.load(Ordering::Relaxed))
+            .saturating_sub(self.recycles.load(Ordering::Relaxed));
+        self.high_water.fetch_max(out, Ordering::Relaxed);
+    }
+}
+
+struct PoolInner {
+    free: Mutex<Vec<Box<[u8]>>>,
+    /// Buffers parked on the simulated controller's receive queue.
+    receive_queue: Mutex<VecDeque<Box<[u8]>>>,
+    available: Condvar,
+    capacity: usize,
+    stats: PoolStats,
+}
+
+/// A fixed-size pool of packet buffers shared by the whole RPC machinery.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.inner.capacity)
+            .field("free", &self.free_count())
+            .field("outstanding", &self.stats().outstanding())
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// Creates a pool with `capacity` pre-allocated 1514-byte buffers.
+    ///
+    /// All allocation happens here, once; the fast path only moves buffers
+    /// between lists.
+    pub fn new(capacity: usize) -> Self {
+        let free = (0..capacity)
+            .map(|_| vec![0u8; BUFFER_SIZE].into_boxed_slice())
+            .collect();
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                free: Mutex::new(free),
+                receive_queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                capacity,
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// The configured number of buffers.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Number of buffers currently on the free list.
+    pub fn free_count(&self) -> usize {
+        self.inner.free.lock().len()
+    }
+
+    /// Number of buffers parked on the receive queue.
+    pub fn receive_queue_len(&self) -> usize {
+        self.inner.receive_queue.lock().len()
+    }
+
+    /// Pool statistics.
+    pub fn stats(&self) -> &PoolStats {
+        &self.inner.stats
+    }
+
+    /// Allocates a buffer, failing immediately if the pool is exhausted.
+    ///
+    /// This is the `Starter` path: "obtain a packet buffer for the call".
+    /// When the free list is empty the Nub reclaims an idle buffer from
+    /// the controller receive queue rather than failing.
+    pub fn alloc(&self) -> Result<PacketBuf, PoolError> {
+        let slab = {
+            let mut free = self.inner.free.lock();
+            match free.pop() {
+                Some(s) => s,
+                None => {
+                    drop(free);
+                    match self.inner.receive_queue.lock().pop_front() {
+                        Some(s) => s,
+                        None => {
+                            self.inner.stats.exhaustions.fetch_add(1, Ordering::Relaxed);
+                            return Err(PoolError::Exhausted);
+                        }
+                    }
+                }
+            }
+        };
+        self.inner.stats.note_alloc();
+        Ok(PacketBuf {
+            pool: self.clone(),
+            slab: Some(slab),
+            len: 0,
+        })
+    }
+
+    /// Allocates a buffer, blocking up to `timeout` for one to be freed.
+    pub fn alloc_timeout(&self, timeout: Duration) -> Result<PacketBuf, PoolError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Ok(buf) = self.alloc() {
+                return Ok(buf);
+            }
+            let mut free = self.inner.free.lock();
+            if !free.is_empty() || self.receive_queue_len() > 0 {
+                continue;
+            }
+            if self
+                .inner
+                .available
+                .wait_until(&mut free, deadline)
+                .timed_out()
+            {
+                return Err(PoolError::Timeout);
+            }
+        }
+    }
+
+    /// Moves a buffer straight onto the controller receive queue.
+    ///
+    /// The paper: "when putting the newly arrived packet into the call
+    /// table, the interrupt handler removes the buffer found in that call
+    /// table entry and adds it to the Ethernet controller's receive queue"
+    /// (§3.2). The buffer is consumed without touching the free list.
+    pub fn recycle_to_receive_queue(&self, mut buf: PacketBuf) {
+        if let Some(slab) = buf.slab.take() {
+            self.inner.receive_queue.lock().push_back(slab);
+            self.inner.stats.recycles.fetch_add(1, Ordering::Relaxed);
+            // Allocation can reclaim receive-queue buffers, so wake one
+            // waiter.
+            self.inner.available.notify_one();
+        }
+    }
+
+    /// Takes a buffer from the receive queue (what the controller does when
+    /// a packet arrives), falling back to the free list when the queue is
+    /// empty.
+    pub fn take_receive_buffer(&self) -> Result<PacketBuf, PoolError> {
+        if let Some(slab) = self.inner.receive_queue.lock().pop_front() {
+            self.inner.stats.note_alloc();
+            return Ok(PacketBuf {
+                pool: self.clone(),
+                slab: Some(slab),
+                len: 0,
+            });
+        }
+        self.alloc()
+    }
+
+    fn return_slab(&self, slab: Box<[u8]>) {
+        self.inner.free.lock().push(slab);
+        self.inner.stats.frees.fetch_add(1, Ordering::Relaxed);
+        self.inner.available.notify_one();
+    }
+}
+
+/// Exclusive ownership of one pool buffer, returned to the pool on drop.
+///
+/// Dereferences to the first `len` bytes — the valid portion of the packet.
+/// The full 1514-byte slab is reachable via [`PacketBuf::raw_mut`] for
+/// header construction in place.
+pub struct PacketBuf {
+    pool: BufferPool,
+    slab: Option<Box<[u8]>>,
+    len: usize,
+}
+
+impl PacketBuf {
+    /// Sets the number of valid bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds [`BUFFER_SIZE`]; packets larger than one
+    /// Ethernet frame cannot exist.
+    pub fn set_len(&mut self, len: usize) {
+        assert!(len <= BUFFER_SIZE, "packet length {len} exceeds buffer");
+        self.len = len;
+    }
+
+    /// Number of valid bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bytes are valid yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The whole 1514-byte slab, regardless of `len`.
+    pub fn raw_mut(&mut self) -> &mut [u8] {
+        self.slab.as_mut().expect("slab present until drop")
+    }
+
+    /// Copies `src` into the buffer and sets the valid length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` exceeds [`BUFFER_SIZE`].
+    pub fn fill_from(&mut self, src: &[u8]) {
+        assert!(src.len() <= BUFFER_SIZE, "source exceeds buffer size");
+        let slab = self.slab.as_mut().expect("slab present until drop");
+        slab[..src.len()].copy_from_slice(src);
+        self.len = src.len();
+    }
+
+    /// Returns the owning pool.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+}
+
+impl Deref for PacketBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.slab.as_ref().expect("slab present until drop")[..self.len]
+    }
+}
+
+impl DerefMut for PacketBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let len = self.len;
+        &mut self.slab.as_mut().expect("slab present until drop")[..len]
+    }
+}
+
+impl fmt::Debug for PacketBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PacketBuf").field("len", &self.len).finish()
+    }
+}
+
+impl Drop for PacketBuf {
+    fn drop(&mut self) {
+        if let Some(slab) = self.slab.take() {
+            self.pool.return_slab(slab);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_drop_round_trip() {
+        let pool = BufferPool::new(2);
+        assert_eq!(pool.free_count(), 2);
+        let b = pool.alloc().unwrap();
+        assert_eq!(pool.free_count(), 1);
+        drop(b);
+        assert_eq!(pool.free_count(), 2);
+        assert_eq!(pool.stats().allocs(), 1);
+        assert_eq!(pool.stats().frees(), 1);
+        assert_eq!(pool.stats().outstanding(), 0);
+    }
+
+    #[test]
+    fn exhaustion_is_reported_not_grown() {
+        let pool = BufferPool::new(1);
+        let _a = pool.alloc().unwrap();
+        assert_eq!(pool.alloc().unwrap_err(), PoolError::Exhausted);
+        assert_eq!(pool.stats().exhaustions(), 1);
+        assert_eq!(pool.capacity(), 1);
+    }
+
+    #[test]
+    fn len_discipline() {
+        let pool = BufferPool::new(1);
+        let mut b = pool.alloc().unwrap();
+        assert!(b.is_empty());
+        b.set_len(74);
+        assert_eq!(b.len(), 74);
+        assert_eq!(b.deref().len(), 74);
+        b.fill_from(&[1, 2, 3]);
+        assert_eq!(&*b, &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer")]
+    fn oversize_len_panics() {
+        let pool = BufferPool::new(1);
+        let mut b = pool.alloc().unwrap();
+        b.set_len(BUFFER_SIZE + 1);
+    }
+
+    #[test]
+    fn recycling_feeds_receive_queue() {
+        let pool = BufferPool::new(2);
+        let b = pool.alloc().unwrap();
+        pool.recycle_to_receive_queue(b);
+        assert_eq!(pool.receive_queue_len(), 1);
+        assert_eq!(pool.free_count(), 1);
+        // The controller picks the recycled buffer up first.
+        let b2 = pool.take_receive_buffer().unwrap();
+        assert_eq!(pool.receive_queue_len(), 0);
+        drop(b2);
+        assert_eq!(pool.free_count(), 2);
+    }
+
+    #[test]
+    fn take_receive_buffer_falls_back_to_free_list() {
+        let pool = BufferPool::new(1);
+        let b = pool.take_receive_buffer().unwrap();
+        assert_eq!(pool.free_count(), 0);
+        drop(b);
+    }
+
+    #[test]
+    fn blocking_alloc_wakes_on_free() {
+        let pool = BufferPool::new(1);
+        let held = pool.alloc().unwrap();
+        let p2 = pool.clone();
+        let t = std::thread::spawn(move || p2.alloc_timeout(Duration::from_secs(5)).is_ok());
+        std::thread::sleep(Duration::from_millis(20));
+        drop(held);
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn blocking_alloc_times_out() {
+        let pool = BufferPool::new(1);
+        let _held = pool.alloc().unwrap();
+        assert_eq!(
+            pool.alloc_timeout(Duration::from_millis(10)).unwrap_err(),
+            PoolError::Timeout
+        );
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let pool = BufferPool::new(3);
+        let a = pool.alloc().unwrap();
+        let b = pool.alloc().unwrap();
+        drop(a);
+        let c = pool.alloc().unwrap();
+        drop(b);
+        drop(c);
+        assert_eq!(pool.stats().high_water(), 2);
+    }
+
+    #[test]
+    fn pool_is_shared_across_clones() {
+        let pool = BufferPool::new(2);
+        let clone = pool.clone();
+        let b = clone.alloc().unwrap();
+        assert_eq!(pool.free_count(), 1);
+        drop(b);
+        assert_eq!(pool.free_count(), 2);
+    }
+}

@@ -1,0 +1,699 @@
+//! The paper's measured cost model: Tables VI, VII and IX, the §4.2
+//! what-if modifications, and the calibration constants.
+//!
+//! Everything here is microseconds on a MicroVAX II (~1 MIPS). Costs for
+//! packet sizes between the two measured points (74 and 1514 bytes)
+//! interpolate linearly, consistent with the physics: the UDP checksum
+//! and the DMA transfers are per-byte, the rest is fixed.
+
+use firefly_wire::{MAX_FRAME_LEN, MIN_FRAME_LEN};
+
+/// Which implementation of the fast-path software is running (Table IX).
+///
+/// The table measures the Ethernet receive interrupt routine — "the
+/// largest \[fragment\] that was recoded and … typical of the improvements
+/// obtained for all the code that was rewritten" — at 758 µs (original
+/// Modula-2+), 547 µs (final Modula-2+) and 177 µs (assembly). We scale
+/// the other assembly-language steps of Table VI by the same ratios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeVersion {
+    /// The original Modula-2+ implementation.
+    OriginalModula,
+    /// Modula-2+ restructured to mirror the assembly version.
+    FinalModula,
+    /// Hand-written VAX assembly — the shipped fast path (all other
+    /// tables assume this version).
+    Assembly,
+}
+
+impl CodeVersion {
+    /// The measured time of the Ethernet-interrupt code fragment.
+    pub fn interrupt_routine_us(self) -> f64 {
+        match self {
+            CodeVersion::OriginalModula => 758.0,
+            CodeVersion::FinalModula => 547.0,
+            CodeVersion::Assembly => 177.0,
+        }
+    }
+
+    /// The multiplier this version applies to the assembly-language
+    /// software steps of Table VI.
+    pub fn software_scale(self) -> f64 {
+        self.interrupt_routine_us() / CodeVersion::Assembly.interrupt_routine_us()
+    }
+}
+
+/// The §4.2 hypothetical improvements, each mapping to a parameter change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Improvement {
+    /// §4.2.1: a controller with maximum conceivable overlap between
+    /// Ethernet and QBus transfers.
+    BetterController,
+    /// §4.2.2: a 100 megabit/second network.
+    FasterNetwork,
+    /// §4.2.3: processors 3× faster.
+    FasterCpus,
+    /// §4.2.4: omit UDP checksums.
+    OmitChecksums,
+    /// §4.2.5: redesign the RPC header and hash function (−200 µs/RPC).
+    RedesignProtocol,
+    /// §4.2.6: raw Ethernet datagrams, no IP/UDP (−100 µs/RPC).
+    OmitIpUdp,
+    /// §4.2.7: busy-wait callers and servers (saves both wakeups).
+    BusyWait,
+    /// §4.2.8: recode the RPC runtime (not stubs) in machine code.
+    RecodeRuntime,
+}
+
+/// Linear interpolation between the 74-byte and 1514-byte measured points.
+fn interp(bytes: usize, small: f64, large: f64) -> f64 {
+    let b = bytes.clamp(MIN_FRAME_LEN, MAX_FRAME_LEN) as f64;
+    small + (b - MIN_FRAME_LEN as f64) * (large - small) / (MAX_FRAME_LEN - MIN_FRAME_LEN) as f64
+}
+
+/// The complete cost model.
+///
+/// Field names follow Table VI ("Latency of steps in the send+receive
+/// operation") and Table VII ("Latency of stubs and RPC runtime"); see
+/// each doc comment for the measured value.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    // --- Table VI: software on the sending machine (assembly). ---
+    /// Finish UDP header (Sender): 59 µs.
+    pub sender_header: f64,
+    /// UDP checksum, 74-byte packet: 45 µs.
+    pub checksum_small: f64,
+    /// UDP checksum, 1514-byte packet: 440 µs.
+    pub checksum_large: f64,
+    /// Handle trap to Nub: 37 µs.
+    pub trap: f64,
+    /// Queue packet for transmission: 39 µs.
+    pub queue_packet: f64,
+    /// Interprocessor interrupt to CPU 0 (hardware): 10 µs.
+    pub ipi_wire: f64,
+    /// Handle interprocessor interrupt: 76 µs.
+    pub ipi_handler: f64,
+    /// Activate Ethernet controller: 22 µs.
+    pub activate_controller: f64,
+    // --- Table VI: hardware latencies. ---
+    /// QBus/controller transmit latency: 70 µs @74 B, 815 µs @1514 B.
+    pub qbus_tx_small: f64,
+    /// See [`CostModel::qbus_tx_small`].
+    pub qbus_tx_large: f64,
+    /// Transmission time on Ethernet: 60 µs @74 B, 1230 µs @1514 B.
+    pub ether_small: f64,
+    /// See [`CostModel::ether_small`].
+    pub ether_large: f64,
+    /// QBus/controller receive latency: 80 µs @74 B, 835 µs @1514 B.
+    pub qbus_rx_small: f64,
+    /// See [`CostModel::qbus_rx_small`].
+    pub qbus_rx_large: f64,
+    // --- Table VI: software on the receiving machine. ---
+    /// General I/O interrupt handler: 14 µs.
+    pub io_interrupt: f64,
+    /// Handle interrupt for received packet: 177 µs (assembly; Table IX
+    /// gives the Modula-2+ versions).
+    pub rx_interrupt: f64,
+    /// Wakeup RPC thread: 220 µs ("the biggest single software cost").
+    pub wakeup: f64,
+
+    // --- Table VII: stubs and RPC runtime for Null(), by step. ---
+    /// Calling program (loop to repeat call): 16 µs.
+    pub caller_loop: f64,
+    /// Calling stub (call & return): 90 µs.
+    pub caller_stub: f64,
+    /// Starter: 128 µs.
+    pub starter: f64,
+    /// Transporter (send call packet): 27 µs.
+    pub transporter_send: f64,
+    /// Receiver (receive call packet): 158 µs.
+    pub receiver_recv: f64,
+    /// Server stub (call & return): 68 µs.
+    pub server_stub: f64,
+    /// Null() itself: 10 µs.
+    pub null_proc: f64,
+    /// Receiver (send result packet): 27 µs.
+    pub receiver_send: f64,
+    /// Transporter (receive result packet): 49 µs.
+    pub transporter_recv: f64,
+    /// Ender: 33 µs.
+    pub ender: f64,
+
+    // --- Switches. ---
+    /// Software UDP checksums on (§4.2.4 turns them off).
+    pub checksums: bool,
+    /// Code version of the fast-path software (Table IX).
+    pub code_version: CodeVersion,
+    /// Hand-produced RPC-Exerciser stubs: "the latency for Null() is 140
+    /// microseconds faster … than reported in Table I" (§5). Modeled as a
+    /// 140 µs reduction of the stub steps (and 600 µs for MaxResult's
+    /// marshalling, which hand stubs skip).
+    pub exerciser_stubs: bool,
+    /// The §5 multiprocessor-code fix, installed for Tables X and XI:
+    /// "a penalty of about 100 microseconds for multiprocessor latency".
+    pub swapped_lines_fix: bool,
+
+    // --- Throughput model of the DEQNA controller. ---
+    /// Controller transmit occupancy (beyond the packet's own DMA
+    /// latency) for a 74-byte packet. The DEQNA's per-packet descriptor
+    /// processing limits saturation throughput well before the Ethernet
+    /// does — §7: "the throughput of several RPC implementations
+    /// (including ours) appears limited by the network controller
+    /// hardware". Calibrated against Table I's saturation points; §4.2.1
+    /// pins the tx/rx asymmetry ("the saturated reception rate is 40%
+    /// higher than the corresponding transmission rate").
+    pub ctrl_tx_occupancy_small: f64,
+    /// Controller transmit occupancy for a 1514-byte packet.
+    pub ctrl_tx_occupancy_large: f64,
+    /// Controller receive occupancy for a 74-byte packet.
+    pub ctrl_rx_occupancy_small: f64,
+    /// Controller receive occupancy for a 1514-byte packet.
+    pub ctrl_rx_occupancy_large: f64,
+
+    // --- Calibration (documented residuals). ---
+    /// Per-RPC software the account misses: the paper's best measured
+    /// Null() is 2645 µs against 2514 accounted ("we've failed to account
+    /// for 131 microseconds"); Table I row 1 averages 2661 µs. We carry
+    /// the Table-I-average residual, 147 µs, explicitly.
+    pub residual: f64,
+    /// Latency overlap on the large-packet path: the paper *over*-counts
+    /// MaxResult by 177 µs, and its controller adjustment assumed "no cut
+    /// through" (Table VI note e) while §4.2.1 observes the controller
+    /// "is already providing some overlap". We subtract this overlap from
+    /// the large-packet receive path so the composed MaxResult latency
+    /// matches the measured 6347 µs.
+    pub large_packet_overlap: f64,
+    /// Extra scheduler path per wakeup on a uniprocessor (§5: "On a
+    /// uniprocessor, extra code gets included in the basic latency for
+    /// RPC, such as a longer path through the scheduler").
+    pub uni_sched_extra: f64,
+    /// Thread-to-thread context switch charged when a ready thread had to
+    /// queue for a processor (§5 blames uniprocessor throughput on these
+    /// switches; they are free on an idle multiprocessor because a woken
+    /// thread lands on an idle CPU).
+    pub context_switch: f64,
+    /// Background threads: "Those Fireflies, which had all the standard
+    /// background threads started, used about 0.15 CPUs when idling."
+    pub background_cpu: f64,
+    /// Scale applied to marshalling times (1.0 normally; §4.2.3's 3×
+    /// faster CPUs divide it by 3 — marshalling is pure software).
+    pub marshal_scale: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl CostModel {
+    /// The shipped system as measured in the paper (assembly fast path,
+    /// checksums on, standard generated stubs).
+    pub fn paper() -> CostModel {
+        CostModel {
+            sender_header: 59.0,
+            checksum_small: 45.0,
+            checksum_large: 440.0,
+            trap: 37.0,
+            queue_packet: 39.0,
+            ipi_wire: 10.0,
+            ipi_handler: 76.0,
+            activate_controller: 22.0,
+            qbus_tx_small: 70.0,
+            qbus_tx_large: 815.0,
+            ether_small: 60.0,
+            ether_large: 1230.0,
+            qbus_rx_small: 80.0,
+            qbus_rx_large: 835.0,
+            io_interrupt: 14.0,
+            rx_interrupt: 177.0,
+            wakeup: 220.0,
+            caller_loop: 16.0,
+            caller_stub: 90.0,
+            starter: 128.0,
+            transporter_send: 27.0,
+            receiver_recv: 158.0,
+            server_stub: 68.0,
+            null_proc: 10.0,
+            receiver_send: 27.0,
+            transporter_recv: 49.0,
+            ender: 33.0,
+            checksums: true,
+            code_version: CodeVersion::Assembly,
+            exerciser_stubs: false,
+            swapped_lines_fix: false,
+            // Saturation calibration: Table I caps Null() at ~741 calls/s
+            // (1.35 ms of controller occupancy per small call on the
+            // busiest controller: tx + rx of a 74-byte packet each way)
+            // and MaxResult at ~4.65 Mbit/s (2.49 ms per call on the
+            // server controller: tx 1514 + rx 74). §4.2.1's "reception
+            // rate is 40% higher than … transmission" fixes rx = tx/1.4.
+            ctrl_tx_occupancy_small: 787.0,
+            ctrl_tx_occupancy_large: 1927.0,
+            ctrl_rx_occupancy_small: 563.0,
+            ctrl_rx_occupancy_large: 1376.0,
+            residual: 147.0,
+            large_packet_overlap: 324.0,
+            uni_sched_extra: 700.0,
+            context_switch: 150.0,
+            background_cpu: 0.15,
+            marshal_scale: 1.0,
+        }
+    }
+
+    /// The paper's cost model with a Table IX code version applied: the
+    /// receive interrupt routine takes its measured value and the other
+    /// assembly software steps scale by the same ratio.
+    pub fn with_code_version(version: CodeVersion) -> CostModel {
+        let mut m = CostModel::paper();
+        m.code_version = version;
+        let k = version.software_scale();
+        m.rx_interrupt = version.interrupt_routine_us();
+        m.sender_header *= k;
+        m.trap *= k;
+        m.queue_packet *= k;
+        m.ipi_handler *= k;
+        m.activate_controller *= k;
+        m.io_interrupt *= k;
+        m.wakeup *= k;
+        m
+    }
+
+    /// The RPC-Exerciser configuration of §5 (hand stubs + swapped-lines
+    /// fix), used for Tables X and XI.
+    pub fn exerciser() -> CostModel {
+        CostModel {
+            exerciser_stubs: true,
+            swapped_lines_fix: true,
+            ..CostModel::paper()
+        }
+    }
+
+    /// Applies one §4.2 improvement.
+    pub fn with_improvement(imp: Improvement) -> CostModel {
+        let mut m = CostModel::paper();
+        m.apply(imp);
+        m
+    }
+
+    /// Applies an improvement to this model (improvements compose, with
+    /// the paper's caveat that "the effects discussed are not always
+    /// independent").
+    pub fn apply(&mut self, imp: Improvement) {
+        match imp {
+            Improvement::BetterController => {
+                // Maximum conceivable overlap between Ethernet and QBus:
+                // the QBus transfers vanish from the latency path (they
+                // fully overlap the Ethernet transmission, which is
+                // slower byte-for-byte).
+                self.qbus_tx_small = 0.0;
+                self.qbus_tx_large = 0.0;
+                self.qbus_rx_small = 0.0;
+                self.qbus_rx_large = 0.0;
+                self.large_packet_overlap = 0.0;
+                // The controller also transmits faster at saturation.
+                self.ctrl_tx_occupancy_small /= 1.4;
+                self.ctrl_tx_occupancy_large /= 1.4;
+            }
+            Improvement::FasterNetwork => {
+                self.ether_small /= 10.0;
+                self.ether_large /= 10.0;
+            }
+            Improvement::FasterCpus => {
+                for f in [
+                    &mut self.sender_header,
+                    &mut self.checksum_small,
+                    &mut self.checksum_large,
+                    &mut self.trap,
+                    &mut self.queue_packet,
+                    &mut self.ipi_handler,
+                    &mut self.activate_controller,
+                    &mut self.io_interrupt,
+                    &mut self.rx_interrupt,
+                    &mut self.wakeup,
+                    &mut self.caller_loop,
+                    &mut self.caller_stub,
+                    &mut self.starter,
+                    &mut self.transporter_send,
+                    &mut self.receiver_recv,
+                    &mut self.server_stub,
+                    &mut self.null_proc,
+                    &mut self.receiver_send,
+                    &mut self.transporter_recv,
+                    &mut self.ender,
+                    &mut self.residual,
+                    &mut self.uni_sched_extra,
+                    &mut self.context_switch,
+                    &mut self.marshal_scale,
+                ] {
+                    *f /= 3.0;
+                }
+            }
+            Improvement::OmitChecksums => self.checksums = false,
+            Improvement::RedesignProtocol => {
+                // ~200 µs per RPC: easier header interpretation and a
+                // better hash, split across the four per-packet software
+                // passes (two sends, two receives).
+                self.sender_header = (self.sender_header - 25.0).max(0.0);
+                self.rx_interrupt = (self.rx_interrupt - 75.0).max(0.0);
+            }
+            Improvement::OmitIpUdp => {
+                // ~100 µs per RPC across the two sends and two receives.
+                self.sender_header = (self.sender_header - 25.0).max(0.0);
+                self.rx_interrupt = (self.rx_interrupt - 25.0).max(0.0);
+            }
+            Improvement::BusyWait => {
+                // Saves the wakeup via the Nub at each end: 2 × 220 µs.
+                self.wakeup = 0.0;
+            }
+            Improvement::RecodeRuntime => {
+                // Factor 3 on the 422 µs of runtime routines (Starter,
+                // Transporter, Receiver, Ender) — not the stubs, the
+                // calling program, or the server procedure.
+                for f in [
+                    &mut self.starter,
+                    &mut self.transporter_send,
+                    &mut self.receiver_recv,
+                    &mut self.receiver_send,
+                    &mut self.transporter_recv,
+                    &mut self.ender,
+                ] {
+                    *f /= 3.0;
+                }
+            }
+        }
+    }
+
+    // --- Size-dependent accessors. ---
+
+    /// UDP checksum cost for a frame of `bytes` (zero when disabled).
+    pub fn checksum(&self, bytes: usize) -> f64 {
+        if self.checksums {
+            interp(bytes, self.checksum_small, self.checksum_large)
+        } else {
+            0.0
+        }
+    }
+
+    /// QBus/controller transmit latency.
+    pub fn qbus_tx(&self, bytes: usize) -> f64 {
+        interp(bytes, self.qbus_tx_small, self.qbus_tx_large)
+    }
+
+    /// Ethernet transmission time.
+    pub fn ether(&self, bytes: usize) -> f64 {
+        interp(bytes, self.ether_small, self.ether_large)
+    }
+
+    /// QBus/controller receive latency, including the calibrated overlap
+    /// credit on large packets.
+    pub fn qbus_rx(&self, bytes: usize) -> f64 {
+        let raw = interp(bytes, self.qbus_rx_small, self.qbus_rx_large);
+        let overlap = interp(bytes, 0.0, self.large_packet_overlap);
+        (raw - overlap).max(0.0)
+    }
+
+    /// Controller transmit occupancy (throughput limit).
+    pub fn ctrl_tx_occupancy(&self, bytes: usize) -> f64 {
+        interp(
+            bytes,
+            self.ctrl_tx_occupancy_small,
+            self.ctrl_tx_occupancy_large,
+        )
+    }
+
+    /// Controller receive occupancy (throughput limit).
+    pub fn ctrl_rx_occupancy(&self, bytes: usize) -> f64 {
+        interp(
+            bytes,
+            self.ctrl_rx_occupancy_small,
+            self.ctrl_rx_occupancy_large,
+        )
+    }
+
+    /// The per-wakeup cost, given the processor count of the machine
+    /// doing the waking (§5's uniprocessor path).
+    pub fn wakeup_on(&self, cpus: usize) -> f64 {
+        if cpus == 1 {
+            self.wakeup + self.uni_sched_extra
+        } else {
+            self.wakeup
+        }
+    }
+
+    /// The stub + runtime total, honoring the exerciser discount.
+    fn stub_discount(&self) -> f64 {
+        if self.exerciser_stubs {
+            140.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Caller-side compute before the call packet is handed to the Sender
+    /// (calling program + stub + Starter + Transporter-send), plus the
+    /// §5 fix penalty when installed.
+    pub fn caller_send_compute(&self) -> f64 {
+        let base = self.caller_loop + self.caller_stub + self.starter + self.transporter_send;
+        let fix = if self.swapped_lines_fix { 100.0 } else { 0.0 };
+        // The exerciser discount applies across caller stub work.
+        (base - self.stub_discount() * 0.7).max(0.0) + fix
+    }
+
+    /// Caller-side compute after the result arrives (Transporter-receive
+    /// + Ender); unmarshalling is charged separately.
+    pub fn caller_recv_compute(&self) -> f64 {
+        (self.transporter_recv + self.ender - self.stub_discount() * 0.3).max(0.0)
+    }
+
+    /// Server-side compute per call (Receiver both ways + server stub +
+    /// procedure body).
+    pub fn server_compute(&self) -> f64 {
+        self.receiver_recv + self.server_stub + self.null_proc + self.receiver_send
+    }
+
+    /// Marshalling time for MaxResult's 1440-byte VAR OUT result
+    /// (Table IV / Table VIII: 550 µs), waived for hand stubs, which
+    /// "don't do marshalling, for one thing" — §5 prices that at 600 µs
+    /// for MaxResult.
+    pub fn marshal_max_result(&self) -> f64 {
+        if self.exerciser_stubs {
+            0.0
+        } else {
+            firefly_idl::cost::open_array_micros(1440) * self.marshal_scale
+        }
+    }
+
+    // --- The paper's own compositions, used by Tables VI–VIII. ---
+
+    /// Table VI: the named steps of one send+receive for a frame of
+    /// `bytes`, in order, with the per-step microseconds.
+    pub fn send_receive_steps(&self, bytes: usize) -> Vec<(&'static str, f64)> {
+        vec![
+            ("Finish UDP header (Sender)", self.sender_header),
+            ("Calculate UDP checksum", self.checksum(bytes)),
+            ("Handle trap to Nub", self.trap),
+            ("Queue packet for transmission", self.queue_packet),
+            ("Interprocessor interrupt to CPU 0", self.ipi_wire),
+            ("Handle interprocessor interrupt", self.ipi_handler),
+            ("Activate Ethernet controller", self.activate_controller),
+            (
+                "QBus/Controller transmit latency",
+                interp(bytes, self.qbus_tx_small, self.qbus_tx_large),
+            ),
+            (
+                "Transmission time on Ethernet",
+                interp(bytes, self.ether_small, self.ether_large),
+            ),
+            (
+                "QBus/Controller receive latency",
+                interp(bytes, self.qbus_rx_small, self.qbus_rx_large),
+            ),
+            ("General I/O interrupt handler", self.io_interrupt),
+            ("Handle interrupt for received pkt", self.rx_interrupt),
+            ("Calculate UDP checksum", self.checksum(bytes)),
+            ("Wakeup RPC thread", self.wakeup),
+        ]
+    }
+
+    /// Table VI total for one send+receive.
+    pub fn send_receive_total(&self, bytes: usize) -> f64 {
+        self.send_receive_steps(bytes).iter().map(|(_, v)| v).sum()
+    }
+
+    /// Table VII: the stub and runtime steps with their machines.
+    pub fn runtime_steps(&self) -> Vec<(&'static str, &'static str, f64)> {
+        vec![
+            (
+                "Caller",
+                "Calling program (loop to repeat call)",
+                self.caller_loop,
+            ),
+            ("Caller", "Calling stub (call & return)", self.caller_stub),
+            ("Caller", "Starter", self.starter),
+            (
+                "Caller",
+                "Transporter (send call pkt)",
+                self.transporter_send,
+            ),
+            ("Server", "Receiver (receive call pkt)", self.receiver_recv),
+            ("Server", "Server stub (call & return)", self.server_stub),
+            ("Server", "Null (the server procedure)", self.null_proc),
+            ("Server", "Receiver (send result pkt)", self.receiver_send),
+            (
+                "Caller",
+                "Transporter (receive result pkt)",
+                self.transporter_recv,
+            ),
+            ("Caller", "Ender", self.ender),
+        ]
+    }
+
+    /// Table VII total.
+    pub fn runtime_total(&self) -> f64 {
+        self.runtime_steps().iter().map(|(_, _, v)| v).sum()
+    }
+
+    /// Table VIII: composed latency of `Null()` (2514 µs in the paper).
+    pub fn null_composed(&self) -> f64 {
+        self.runtime_total()
+            + self.send_receive_total(MIN_FRAME_LEN)
+            + self.send_receive_total(MIN_FRAME_LEN)
+    }
+
+    /// Table VIII: composed latency of `MaxResult(b)` (6524 µs).
+    pub fn max_result_composed(&self) -> f64 {
+        self.runtime_total()
+            + firefly_idl::cost::open_array_micros(1440) * self.marshal_scale
+            + self.send_receive_total(MIN_FRAME_LEN)
+            + self.send_receive_total(MAX_FRAME_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_vi_totals_match_paper() {
+        let m = CostModel::paper();
+        assert_eq!(m.send_receive_total(74), 954.0);
+        assert_eq!(m.send_receive_total(1514), 4414.0);
+    }
+
+    #[test]
+    fn table_vii_total_matches_paper() {
+        assert_eq!(CostModel::paper().runtime_total(), 606.0);
+    }
+
+    #[test]
+    fn table_viii_compositions_match_paper() {
+        let m = CostModel::paper();
+        assert_eq!(m.null_composed(), 2514.0);
+        assert_eq!(m.max_result_composed(), 6524.0);
+    }
+
+    #[test]
+    fn improvement_estimates_match_section_4_2() {
+        let base = CostModel::paper();
+
+        // §4.2.2: 100 Mbit/s network saves ~110 µs on Null, ~1160 on
+        // MaxResult.
+        let m = CostModel::with_improvement(Improvement::FasterNetwork);
+        let dn = base.null_composed() - m.null_composed();
+        let dm = base.max_result_composed() - m.max_result_composed();
+        assert!((dn - 110.0).abs() < 10.0, "faster net Null Δ {dn}");
+        assert!((dm - 1160.0).abs() < 15.0, "faster net MaxResult Δ {dm}");
+
+        // §4.2.3: 3× CPUs save ~1380 µs on Null, ~2280 on MaxResult.
+        let m = CostModel::with_improvement(Improvement::FasterCpus);
+        // Compare without the residual (the paper's estimate is over the
+        // accounted 2514/6524).
+        let dn = (base.null_composed()) - (m.null_composed());
+        let dm = (base.max_result_composed()) - (m.max_result_composed());
+        assert!((dn - 1380.0).abs() < 15.0, "3x CPU Null Δ {dn}");
+        assert!((dm - 2280.0).abs() < 40.0, "3x CPU MaxResult Δ {dm}");
+
+        // §4.2.4: omitting checksums saves 180 µs on Null, ~970–1000 on
+        // MaxResult.
+        let m = CostModel::with_improvement(Improvement::OmitChecksums);
+        let dn = base.null_composed() - m.null_composed();
+        let dm = base.max_result_composed() - m.max_result_composed();
+        assert_eq!(dn, 180.0);
+        assert!((dm - 1000.0).abs() < 35.0, "no-checksum MaxResult Δ {dm}");
+
+        // §4.2.5: protocol redesign saves ~200 µs per RPC.
+        let m = CostModel::with_improvement(Improvement::RedesignProtocol);
+        let dn = base.null_composed() - m.null_composed();
+        assert!((dn - 200.0).abs() < 1.0);
+
+        // §4.2.6: raw Ethernet saves ~100 µs per RPC.
+        let m = CostModel::with_improvement(Improvement::OmitIpUdp);
+        let dn = base.null_composed() - m.null_composed();
+        assert!((dn - 100.0).abs() < 1.0);
+
+        // §4.2.7: busy waiting saves 440 µs per RPC.
+        let m = CostModel::with_improvement(Improvement::BusyWait);
+        assert_eq!(base.null_composed() - m.null_composed(), 440.0);
+
+        // §4.2.8: recoding the runtime saves ~280 µs per RPC.
+        let m = CostModel::with_improvement(Improvement::RecodeRuntime);
+        let dn = base.null_composed() - m.null_composed();
+        assert!((dn - 281.0).abs() < 1.5, "recode Δ {dn}");
+    }
+
+    #[test]
+    fn table_ix_versions() {
+        assert_eq!(CodeVersion::Assembly.interrupt_routine_us(), 177.0);
+        assert_eq!(CodeVersion::FinalModula.interrupt_routine_us(), 547.0);
+        assert_eq!(CodeVersion::OriginalModula.interrupt_routine_us(), 758.0);
+        let m = CostModel::with_code_version(CodeVersion::OriginalModula);
+        assert!(m.send_receive_total(74) > 2.5 * 954.0);
+    }
+
+    #[test]
+    fn checksum_disabled_is_free() {
+        let mut m = CostModel::paper();
+        m.checksums = false;
+        assert_eq!(m.checksum(74), 0.0);
+        assert_eq!(m.checksum(1514), 0.0);
+    }
+
+    #[test]
+    fn interpolation_is_monotone() {
+        let m = CostModel::paper();
+        let mut last = 0.0;
+        for bytes in [74usize, 200, 500, 1000, 1514] {
+            let v = m.send_receive_total(bytes);
+            assert!(v > last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn ether_matches_physics() {
+        // 10 Mbit/s with preamble+IFG ≈ (bytes + 20) * 0.8 µs.
+        let m = CostModel::paper();
+        let physics = |b: usize| (b as f64 + 20.0) * 0.8;
+        assert!((m.ether(74) - physics(74)).abs() < 16.0);
+        assert!((m.ether(1514) - physics(1514)).abs() < 16.0);
+    }
+
+    #[test]
+    fn exerciser_discount() {
+        let m = CostModel::exerciser();
+        let paper = CostModel::paper();
+        let d = (paper.caller_send_compute() + paper.caller_recv_compute())
+            - (m.caller_send_compute() + m.caller_recv_compute());
+        // 140 µs faster stubs minus the 100 µs swapped-lines penalty.
+        assert!((d - 40.0).abs() < 1.0, "Δ {d}");
+        assert_eq!(m.marshal_max_result(), 0.0);
+    }
+
+    #[test]
+    fn uniprocessor_wakeup_penalty() {
+        let m = CostModel::paper();
+        assert_eq!(m.wakeup_on(5), 220.0);
+        assert!(m.wakeup_on(1) > m.wakeup_on(5));
+    }
+}

@@ -1,0 +1,214 @@
+//! The discrete-event core: a virtual clock and an event queue of
+//! continuations.
+//!
+//! Events are `FnOnce(&mut Sim)` closures ordered by `(time, sequence)`;
+//! ties break in scheduling order, so the simulation is deterministic.
+//! All model state lives in [`Sim`] so continuations can both mutate it
+//! and schedule further events.
+
+use crate::cost::CostModel;
+use crate::ether::Ether;
+use crate::machine::Machine;
+use crate::stats::SimStats;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled continuation.
+pub type Cont = Box<dyn FnOnce(&mut Sim)>;
+
+struct Event {
+    at: u64,
+    seq: u64,
+    f: Cont,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulation world: clock, event queue, two machines, one Ethernet.
+///
+/// Machine 0 is the caller Firefly, machine 1 the server, matching the
+/// paper's two-machine private-Ethernet testbed.
+pub struct Sim {
+    now: u64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event>>,
+    /// The two Fireflies.
+    pub machines: Vec<Machine>,
+    /// The shared 10 Mbit/s segment.
+    pub ether: Ether,
+    /// Step costs.
+    pub cost: CostModel,
+    /// Measurement accumulators.
+    pub stats: SimStats,
+}
+
+/// Index of the caller machine.
+pub const CALLER: usize = 0;
+/// Index of the server machine.
+pub const SERVER: usize = 1;
+
+impl Sim {
+    /// Creates a two-machine world with the given processor counts.
+    pub fn new(cost: CostModel, caller_cpus: usize, server_cpus: usize) -> Sim {
+        Sim::new_network(cost, &[caller_cpus, server_cpus])
+    }
+
+    /// Creates a world with one machine per entry of `cpus`, all attached
+    /// to one shared Ethernet (the paper's testbed is the two-machine
+    /// case; more machines extend §7's controller-saturation analysis).
+    pub fn new_network(cost: CostModel, cpus: &[usize]) -> Sim {
+        assert!(cpus.len() >= 2, "a network needs at least two machines");
+        Sim {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            machines: cpus.iter().map(|&n| Machine::new(n)).collect(),
+            ether: Ether::new(),
+            cost,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now_us(&self) -> f64 {
+        self.now as f64 / 1000.0
+    }
+
+    /// Schedules `f` to run `delay_ns` from now.
+    pub fn at(&mut self, delay_ns: u64, f: impl FnOnce(&mut Sim) + 'static) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            at: self.now + delay_ns,
+            seq: self.seq,
+            f: Box::new(f),
+        }));
+    }
+
+    /// Schedules `f` after a microsecond delay (the paper's unit).
+    pub fn after_us(&mut self, us: f64, f: impl FnOnce(&mut Sim) + 'static) {
+        self.at(crate::us(us), f);
+    }
+
+    /// Runs until the event queue drains; returns the final time.
+    pub fn run(&mut self) -> u64 {
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
+            (ev.f)(self);
+        }
+        self.now
+    }
+
+    /// Runs until the clock reaches `t_ns` (events beyond stay queued).
+    pub fn run_until(&mut self, t_ns: u64) {
+        while let Some(Reverse(peek)) = self.queue.peek() {
+            if peek.at > t_ns {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.now = ev.at;
+            (ev.f)(self);
+        }
+        self.now = self.now.max(t_ns);
+    }
+
+    /// True when no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn sim() -> Sim {
+        Sim::new(CostModel::paper(), 5, 5)
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut s = sim();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (delay, tag) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let log = Rc::clone(&log);
+            s.at(delay, move |sim| {
+                log.borrow_mut().push((sim.now(), tag));
+            });
+        }
+        s.run();
+        assert_eq!(&*log.borrow(), &[(10, 'a'), (20, 'b'), (30, 'c')]);
+    }
+
+    #[test]
+    fn ties_break_in_scheduling_order() {
+        let mut s = sim();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in ['x', 'y', 'z'] {
+            let log = Rc::clone(&log);
+            s.at(5, move |_| log.borrow_mut().push(tag));
+        }
+        s.run();
+        assert_eq!(&*log.borrow(), &['x', 'y', 'z']);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut s = sim();
+        let hits = Rc::new(RefCell::new(0u32));
+        let h = Rc::clone(&hits);
+        s.at(1, move |sim| {
+            *h.borrow_mut() += 1;
+            let h2 = Rc::clone(&h);
+            sim.at(1, move |_| {
+                *h2.borrow_mut() += 1;
+            });
+        });
+        assert_eq!(s.run(), 2);
+        assert_eq!(*hits.borrow(), 2);
+    }
+
+    #[test]
+    fn run_until_stops_at_barrier() {
+        let mut s = sim();
+        let hits = Rc::new(RefCell::new(0u32));
+        for d in [10u64, 20, 30] {
+            let h = Rc::clone(&hits);
+            s.at(d, move |_| *h.borrow_mut() += 1);
+        }
+        s.run_until(20);
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(s.now(), 20);
+        s.run();
+        assert_eq!(*hits.borrow(), 3);
+    }
+
+    #[test]
+    fn after_us_converts() {
+        let mut s = sim();
+        s.after_us(954.0, |_| {});
+        assert_eq!(s.run(), 954_000);
+    }
+}

@@ -1,0 +1,71 @@
+//! A discrete-event simulator of the Firefly RPC fast path.
+//!
+//! The paper's evaluation machinery is 1989 hardware: a 5-processor
+//! MicroVAX II Firefly with a DEQNA controller on a QBus, talking to a
+//! twin across a private 10 megabit/second Ethernet. This crate rebuilds
+//! that testbed as a deterministic discrete-event simulation whose
+//! parameters are **the paper's own measured step costs**:
+//!
+//! * [`cost::CostModel`] holds Table VI (send+receive steps: 954 µs for a
+//!   74-byte packet, 4414 µs for 1514 bytes) and Table VII (stubs and RPC
+//!   runtime: 606 µs), plus the marshalling costs of Tables II–V via
+//!   `firefly-idl`'s cost module;
+//! * [`machine::Machine`] models the processors (CPU 0 owns the QBus and
+//!   takes all interrupts), the scheduler's ready queue and its wakeup
+//!   cost, and the DEQNA controller's transmit/receive occupancy;
+//! * [`ether::Ether`] models the shared 10 Mbit/s medium;
+//! * [`rpc::spawn_call`] walks one RPC through the exact stage sequence
+//!   of §3.1 — caller stub → Sender → trap → interprocessor interrupt →
+//!   controller DMA → Ethernet → controller DMA → receive interrupt →
+//!   direct wakeup → server stub → … and back;
+//! * [`workload`] runs the paper's experiments: closed-loop caller
+//!   threads calling `Null()` or `MaxResult(b)` (Tables I, X, XI) under
+//!   any [`cost::CodeVersion`] (Table IX) and [`cost::Improvement`]
+//!   (§4.2) and any processor counts (§5).
+//!
+//! The simulator's event trace doubles as the paper's latency account:
+//! every stage records a span, and tests assert that the sum of the spans
+//! equals the end-to-end latency — the property Table VIII establishes
+//! ("we have accounted for the total measured time of RPCs … to within
+//! about 5%").
+//!
+//! # Examples
+//!
+//! ```
+//! use firefly_sim::workload::{run, Procedure, WorkloadSpec};
+//!
+//! // Table I, row 1: one caller thread, 10000 calls to Null().
+//! let report = run(&WorkloadSpec {
+//!     threads: 1,
+//!     calls: 1000,
+//!     procedure: Procedure::Null,
+//!     ..WorkloadSpec::default()
+//! });
+//! let latency_ms = report.seconds * 1000.0 / 1000.0;
+//! assert!((latency_ms - 2.66).abs() < 0.2, "Null ≈ 2.66 ms, got {latency_ms}");
+//! ```
+
+pub mod cost;
+pub mod engine;
+pub mod ether;
+pub mod machine;
+pub mod multi;
+pub mod rpc;
+pub mod stats;
+pub mod stream;
+pub mod workload;
+
+pub use cost::{CodeVersion, CostModel, Improvement};
+pub use engine::Sim;
+pub use workload::{run, Procedure, Report, WorkloadSpec};
+
+/// Microseconds, the paper's unit, as simulation time (we simulate in
+/// nanoseconds for headroom).
+pub fn us(x: f64) -> u64 {
+    (x * 1000.0).round() as u64
+}
+
+/// Converts simulation nanoseconds back to microseconds.
+pub fn to_us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}

@@ -1,0 +1,270 @@
+//! One simulated Firefly: processors, scheduler queues, and the DEQNA
+//! controller.
+//!
+//! "One of these processors is also attached to a QBus I/O bus" (§1.1):
+//! CPU 0 is special. The Ethernet driver's controller prod and all
+//! interrupt processing run on CPU 0; ordinary threads run on any
+//! processor (including CPU 0 when it is free). Interrupt-level work has
+//! priority when CPU 0 becomes free, modeling interrupt priority without
+//! preemption.
+
+use crate::engine::{Cont, Sim};
+use std::collections::VecDeque;
+
+/// The DEQNA controller model.
+///
+/// Latency and occupancy are separate: a packet's DMA transfer takes the
+/// Table VI latency, but the controller remains busy with descriptor
+/// processing for the (longer) calibrated occupancy, which is what caps
+/// saturation throughput (§7: throughput "appears limited by the network
+/// controller hardware").
+#[derive(Default)]
+pub struct Controller {
+    pub(crate) busy: bool,
+    pub(crate) q: VecDeque<crate::ether::CtrlJob>,
+    /// Accumulated transmit-side busy time (ns).
+    pub tx_busy_ns: u64,
+    /// Accumulated receive-side busy time (ns).
+    pub rx_busy_ns: u64,
+}
+
+/// One simulated Firefly.
+pub struct Machine {
+    /// Number of processors available to the scheduler (§5 varies this).
+    pub cpus: usize,
+    busy_non0: usize,
+    cpu0_busy: bool,
+    /// Threads waiting for any processor.
+    runq: VecDeque<Cont>,
+    /// Interrupt-level work waiting for CPU 0.
+    cpu0q: VecDeque<Cont>,
+    /// The machine's Ethernet controller.
+    pub controller: Controller,
+    /// Accumulated busy time across all processors (ns).
+    pub busy_ns: u64,
+    /// Accumulated CPU 0 busy time (ns).
+    pub cpu0_busy_ns: u64,
+}
+
+impl Machine {
+    /// Creates a machine with `cpus` processors (at least 1).
+    pub fn new(cpus: usize) -> Machine {
+        assert!(cpus >= 1, "a Firefly needs at least one processor");
+        Machine {
+            cpus,
+            busy_non0: 0,
+            cpu0_busy: false,
+            runq: VecDeque::new(),
+            cpu0q: VecDeque::new(),
+            controller: Controller::default(),
+            busy_ns: 0,
+            cpu0_busy_ns: 0,
+        }
+    }
+
+    /// Takes any free processor, preferring to leave CPU 0 for interrupt
+    /// work. Returns whether the processor taken was CPU 0.
+    fn try_take_any(&mut self) -> Option<bool> {
+        if self.busy_non0 < self.cpus - 1 {
+            self.busy_non0 += 1;
+            Some(false)
+        } else if !self.cpu0_busy {
+            self.cpu0_busy = true;
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    fn try_take_cpu0(&mut self) -> bool {
+        if self.cpu0_busy {
+            false
+        } else {
+            self.cpu0_busy = true;
+            true
+        }
+    }
+
+    fn release(&mut self, was_cpu0: bool) {
+        if was_cpu0 {
+            self.cpu0_busy = false;
+        } else {
+            self.busy_non0 -= 1;
+        }
+    }
+
+    /// Number of processors currently busy.
+    pub fn busy(&self) -> usize {
+        self.busy_non0 + usize::from(self.cpu0_busy)
+    }
+
+    /// Number of queued runnable threads.
+    pub fn runq_len(&self) -> usize {
+        self.runq.len()
+    }
+}
+
+/// Runs `us` microseconds of thread-level work on any processor of
+/// machine `m`, then continues with `k`. Queues when all processors are
+/// busy (the scheduler's ready queue).
+pub fn compute(sim: &mut Sim, m: usize, us: f64, k: impl FnOnce(&mut Sim) + 'static) {
+    if us <= 0.0 {
+        k(sim);
+        return;
+    }
+    match sim.machines[m].try_take_any() {
+        Some(was_cpu0) => {
+            let ns = crate::us(us);
+            sim.machines[m].busy_ns += ns;
+            if was_cpu0 {
+                sim.machines[m].cpu0_busy_ns += ns;
+            }
+            sim.at(ns, move |sim| {
+                sim.machines[m].release(was_cpu0);
+                dispatch(sim, m);
+                k(sim);
+            });
+        }
+        None => {
+            // The thread queues for a processor; dispatching it later
+            // costs a thread-to-thread context switch.
+            let cs = sim.cost.context_switch;
+            sim.machines[m]
+                .runq
+                .push_back(Box::new(move |sim| compute(sim, m, us + cs, k)));
+        }
+    }
+}
+
+/// Runs `us` microseconds of interrupt-level work, which must execute on
+/// CPU 0 ("the Ethernet driver must run on CPU 0", §3.1.3).
+pub fn compute0(sim: &mut Sim, m: usize, us: f64, k: impl FnOnce(&mut Sim) + 'static) {
+    if us <= 0.0 {
+        k(sim);
+        return;
+    }
+    if sim.machines[m].try_take_cpu0() {
+        let ns = crate::us(us);
+        sim.machines[m].busy_ns += ns;
+        sim.machines[m].cpu0_busy_ns += ns;
+        sim.at(ns, move |sim| {
+            sim.machines[m].release(true);
+            dispatch(sim, m);
+            k(sim);
+        });
+    } else {
+        sim.machines[m]
+            .cpu0q
+            .push_back(Box::new(move |sim| compute0(sim, m, us, k)));
+    }
+}
+
+/// Wakes queued work after a processor was released: interrupt work gets
+/// CPU 0 first, then the ready queue drains onto whatever is free.
+fn dispatch(sim: &mut Sim, m: usize) {
+    if !sim.machines[m].cpu0_busy {
+        if let Some(job) = sim.machines[m].cpu0q.pop_front() {
+            job(sim);
+            return;
+        }
+    }
+    // A thread can use any processor, including CPU 0.
+    if sim.machines[m].busy() < sim.machines[m].cpus {
+        if let Some(job) = sim.machines[m].runq.pop_front() {
+            job(sim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn parallel_threads_use_multiple_cpus() {
+        let mut sim = Sim::new(CostModel::paper(), 3, 1);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3 {
+            let d = Rc::clone(&done);
+            compute(&mut sim, 0, 100.0, move |s| {
+                d.borrow_mut().push((i, s.now()));
+            });
+        }
+        sim.run();
+        // All three ran in parallel: all finish at t=100 µs.
+        assert!(done.borrow().iter().all(|&(_, t)| t == 100_000));
+    }
+
+    fn no_switch_cost() -> CostModel {
+        CostModel {
+            context_switch: 0.0,
+            ..CostModel::paper()
+        }
+    }
+
+    #[test]
+    fn excess_threads_queue() {
+        let mut sim = Sim::new(no_switch_cost(), 2, 1);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3 {
+            let d = Rc::clone(&done);
+            compute(&mut sim, 0, 100.0, move |s| {
+                d.borrow_mut().push((i, s.now()));
+            });
+        }
+        sim.run();
+        let times: Vec<u64> = done.borrow().iter().map(|&(_, t)| t).collect();
+        assert_eq!(times, vec![100_000, 100_000, 200_000]);
+    }
+
+    #[test]
+    fn interrupt_work_has_priority_for_cpu0() {
+        let mut sim = Sim::new(no_switch_cost(), 1, 1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        // Occupy the only CPU with a thread, then queue one interrupt and
+        // one thread; the interrupt must run first when the CPU frees.
+        let l1 = Rc::clone(&log);
+        compute(&mut sim, 0, 50.0, move |_| l1.borrow_mut().push("t1"));
+        let l2 = Rc::clone(&log);
+        compute(&mut sim, 0, 10.0, move |_| l2.borrow_mut().push("t2"));
+        let l3 = Rc::clone(&log);
+        compute0(&mut sim, 0, 10.0, move |_| l3.borrow_mut().push("intr"));
+        sim.run();
+        assert_eq!(&*log.borrow(), &["t1", "intr", "t2"]);
+    }
+
+    #[test]
+    fn uniprocessor_serializes_everything() {
+        let mut sim = Sim::new(no_switch_cost(), 1, 1);
+        let end = Rc::new(RefCell::new(0u64));
+        for _ in 0..4 {
+            let e = Rc::clone(&end);
+            compute(&mut sim, 0, 100.0, move |s| *e.borrow_mut() = s.now());
+        }
+        sim.run();
+        assert_eq!(*end.borrow(), 400_000);
+    }
+
+    #[test]
+    fn busy_time_accounts() {
+        let mut sim = Sim::new(CostModel::paper(), 5, 5);
+        compute(&mut sim, 0, 100.0, |_| {});
+        compute0(&mut sim, 0, 30.0, |_| {});
+        sim.run();
+        assert_eq!(sim.machines[0].busy_ns, 130_000);
+        // The thread preferred a non-CPU0 processor.
+        assert_eq!(sim.machines[0].cpu0_busy_ns, 30_000);
+    }
+
+    #[test]
+    fn zero_cost_runs_inline() {
+        let mut sim = Sim::new(CostModel::paper(), 1, 1);
+        let hit = Rc::new(RefCell::new(false));
+        let h = Rc::clone(&hit);
+        compute(&mut sim, 0, 0.0, move |_| *h.borrow_mut() = true);
+        assert!(*hit.borrow());
+    }
+}

@@ -1,0 +1,183 @@
+//! Multi-machine workloads: several caller Fireflies against one server
+//! on a shared Ethernet.
+//!
+//! The paper's testbed is two machines, but its §7 conclusion — "the
+//! throughput of several RPC implementations (including ours) appears
+//! limited by the network controller hardware" — predicts what happens
+//! with more callers: total throughput stays pinned at the **server
+//! controller's** limit no matter how many machines offer load, until a
+//! better controller shifts the bottleneck to the Ethernet itself. This
+//! module runs that experiment.
+
+use crate::cost::CostModel;
+use crate::engine::Sim;
+use crate::rpc::{spawn_call_between, Procedure};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Parameters for a many-callers-one-server run.
+#[derive(Clone)]
+pub struct MultiSpec {
+    /// Number of caller machines (each with 5 CPUs).
+    pub caller_machines: usize,
+    /// Closed-loop threads per caller machine.
+    pub threads_per_machine: usize,
+    /// Total calls across everything.
+    pub calls: u64,
+    /// Procedure to call.
+    pub procedure: Procedure,
+    /// Cost model.
+    pub cost: CostModel,
+}
+
+/// Results of a multi-machine run.
+#[derive(Debug, Clone)]
+pub struct MultiReport {
+    /// Elapsed virtual seconds.
+    pub seconds: f64,
+    /// Aggregate payload throughput in megabits/second.
+    pub megabits_per_sec: f64,
+    /// Aggregate calls per second.
+    pub rpcs_per_sec: f64,
+    /// Server controller utilization (busy fraction, 0–1).
+    pub server_controller_util: f64,
+    /// Ethernet utilization (busy fraction, 0–1).
+    pub ether_util: f64,
+}
+
+/// Runs `spec.caller_machines` machines of 5 CPUs each against one
+/// 5-CPU server (machine index 0).
+pub fn run_multi(spec: &MultiSpec) -> MultiReport {
+    let cpus: Vec<usize> = std::iter::repeat_n(5, spec.caller_machines + 1).collect();
+    let mut sim = Sim::new_network(spec.cost.clone(), &cpus);
+    const SERVER_M: usize = 0;
+
+    let remaining = Rc::new(Cell::new(spec.calls));
+    let finished = Rc::new(Cell::new(0u64));
+    let end = Rc::new(Cell::new(0u64));
+
+    fn next_call(
+        sim: &mut Sim,
+        machine: usize,
+        procedure: Procedure,
+        remaining: Rc<Cell<u64>>,
+        finished: Rc<Cell<u64>>,
+        end: Rc<Cell<u64>>,
+        total: u64,
+    ) {
+        const SERVER_M: usize = 0;
+        let left = remaining.get();
+        if left == 0 {
+            return;
+        }
+        remaining.set(left - 1);
+        spawn_call_between(sim, machine, SERVER_M, procedure, move |sim| {
+            let done = finished.get() + 1;
+            finished.set(done);
+            if done == total {
+                end.set(sim.now());
+                return;
+            }
+            next_call(sim, machine, procedure, remaining, finished, end, total);
+        });
+    }
+
+    for m in 1..=spec.caller_machines {
+        for _ in 0..spec.threads_per_machine {
+            next_call(
+                &mut sim,
+                m,
+                spec.procedure,
+                Rc::clone(&remaining),
+                Rc::clone(&finished),
+                Rc::clone(&end),
+                spec.calls,
+            );
+        }
+    }
+    sim.run();
+
+    let elapsed_ns = end.get().max(1);
+    let seconds = elapsed_ns as f64 / 1e9;
+    let calls = finished.get();
+    let ctrl = &sim.machines[SERVER_M].controller;
+    MultiReport {
+        seconds,
+        megabits_per_sec: firefly_metrics::megabits_per_sec(
+            calls,
+            spec.procedure.payload_bytes(),
+            seconds,
+        ),
+        rpcs_per_sec: firefly_metrics::rpcs_per_sec(calls, seconds),
+        server_controller_util: (ctrl.tx_busy_ns + ctrl.rx_busy_ns) as f64 / elapsed_ns as f64,
+        ether_util: sim.ether.busy_ns as f64 / elapsed_ns as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(machines: usize) -> MultiSpec {
+        MultiSpec {
+            caller_machines: machines,
+            threads_per_machine: 4,
+            calls: 1500,
+            procedure: Procedure::MaxResult,
+            cost: CostModel::paper(),
+        }
+    }
+
+    #[test]
+    fn more_caller_machines_do_not_exceed_the_controller_limit() {
+        let one = run_multi(&spec(1));
+        let three = run_multi(&spec(3));
+        // The server controller pins aggregate throughput: adding caller
+        // machines buys (almost) nothing.
+        assert!(
+            three.megabits_per_sec < one.megabits_per_sec * 1.15,
+            "1 machine {:.2} Mb/s, 3 machines {:.2} Mb/s",
+            one.megabits_per_sec,
+            three.megabits_per_sec
+        );
+        // And the server controller is the saturated resource.
+        assert!(
+            three.server_controller_util > 0.9,
+            "server controller {:.2}",
+            three.server_controller_util
+        );
+        assert!(three.ether_util < 0.9, "ether {:.2}", three.ether_util);
+    }
+
+    #[test]
+    fn better_controller_shifts_the_bottleneck_toward_the_wire() {
+        let mut better = spec(3);
+        better.cost = CostModel::with_improvement(crate::Improvement::BetterController);
+        let r = run_multi(&better);
+        let stock = run_multi(&spec(3));
+        assert!(
+            r.megabits_per_sec > stock.megabits_per_sec * 1.2,
+            "better {:.2} vs stock {:.2}",
+            r.megabits_per_sec,
+            stock.megabits_per_sec
+        );
+        // The wire carries a larger share of the time now.
+        assert!(r.ether_util > stock.ether_util);
+    }
+
+    #[test]
+    fn null_calls_also_pin_at_the_server_controller() {
+        let mut s = spec(3);
+        s.procedure = Procedure::Null;
+        let r = run_multi(&s);
+        // Table I's 741/s is the two-machine cap set by the *caller*
+        // controller (tx+rx ≈ 1350 µs). With three caller machines the
+        // server controller (also tx+rx ≈ 1350 µs per call) becomes the
+        // cap — same ballpark.
+        assert!(
+            (600.0..900.0).contains(&r.rpcs_per_sec),
+            "{:.0} rpc/s",
+            r.rpcs_per_sec
+        );
+    }
+}

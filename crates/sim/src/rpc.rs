@@ -1,0 +1,259 @@
+//! One RPC as a staged job through the simulated machines — the fast
+//! path of §3.1, stage by stage.
+//!
+//! ```text
+//! caller CPU   : stub+Starter+Transporter | Sender+checksum+trap+queue
+//! (IPI wire)   : 10 µs
+//! caller CPU 0 : IPI handler + controller activation
+//! caller ctrl  : QBus DMA ─▶ Ethernet ─▶ server ctrl QBus DMA
+//! server CPU 0 : I/O intr + rx intr + checksum + wakeup
+//! server CPU   : Receiver + server stub + procedure | Sender(result)…
+//!     …and the mirror image back to the caller, then
+//! caller CPU   : Transporter(recv) + unmarshal + Ender (+ residual)
+//! ```
+
+use crate::engine::{Sim, CALLER, SERVER};
+use crate::ether::{ctrl_transmit, Frame};
+use crate::machine::{compute, compute0};
+use firefly_wire::{MAX_FRAME_LEN, MIN_FRAME_LEN};
+
+/// What procedure a simulated call invokes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Procedure {
+    /// `Null()`: 74-byte call and result packets.
+    Null,
+    /// `MaxResult(b)`: 74-byte call, 1514-byte result, 550 µs of
+    /// marshalling at the caller on return.
+    MaxResult,
+    /// `MaxArg(b)`: 1514-byte call, 74-byte result, marshalling at the
+    /// caller before sending.
+    MaxArg,
+}
+
+impl Procedure {
+    /// Wire size of the call packet.
+    pub fn call_bytes(self) -> usize {
+        match self {
+            Procedure::Null | Procedure::MaxResult => MIN_FRAME_LEN,
+            Procedure::MaxArg => MAX_FRAME_LEN,
+        }
+    }
+
+    /// Wire size of the result packet.
+    pub fn result_bytes(self) -> usize {
+        match self {
+            Procedure::Null | Procedure::MaxArg => MIN_FRAME_LEN,
+            Procedure::MaxResult => MAX_FRAME_LEN,
+        }
+    }
+
+    /// Payload bytes transferred per call (for megabit/second figures).
+    pub fn payload_bytes(self) -> usize {
+        match self {
+            Procedure::Null => 0,
+            Procedure::MaxResult | Procedure::MaxArg => 1440,
+        }
+    }
+}
+
+/// Launches one RPC from machine [`CALLER`] to machine [`SERVER`].
+pub fn spawn_call(sim: &mut Sim, proc_: Procedure, done: impl FnOnce(&mut Sim) + 'static) {
+    spawn_call_between(sim, CALLER, SERVER, proc_, done)
+}
+
+/// Launches one RPC from machine `src` to machine `dst`; `done` runs on
+/// the caller machine when the call completes, with the call's latency
+/// recorded in `sim.stats`.
+pub fn spawn_call_between(
+    sim: &mut Sim,
+    src: usize,
+    dst: usize,
+    proc_: Procedure,
+    done: impl FnOnce(&mut Sim) + 'static,
+) {
+    let start = sim.now();
+    let call_bytes = proc_.call_bytes();
+    let result_bytes = proc_.result_bytes();
+
+    // Caller-side marshalling cost (MaxArg marshals before sending; the
+    // 550 µs VAR OUT cost of MaxResult is paid on return instead).
+    let (marshal_before, marshal_after) = match proc_ {
+        Procedure::Null => (0.0, 0.0),
+        Procedure::MaxResult => (0.0, sim.cost.marshal_max_result()),
+        Procedure::MaxArg => (sim.cost.marshal_max_result(), 0.0),
+    };
+
+    // Stage 1: caller thread computes stub work + Sender for the call
+    // packet, then traps and queues it.
+    let send_work = sim.cost.caller_send_compute()
+        + marshal_before
+        + sim.cost.sender_header
+        + sim.cost.checksum(call_bytes)
+        + sim.cost.trap
+        + sim.cost.queue_packet;
+    let t = sim.now();
+    sim.stats
+        .record_span("caller: stub + Sender (call)", t, t + crate::us(send_work));
+    compute(sim, src, send_work, move |sim| {
+        // Stage 2: interprocessor interrupt to CPU 0, which prods the
+        // controller. (The caller thread meanwhile registers the call in
+        // the call table — off the latency path, §3.1.3.)
+        let ipi_wire = sim.cost.ipi_wire;
+        let t = sim.now();
+        sim.stats
+            .record_span("caller: IPI wire", t, t + crate::us(ipi_wire));
+        sim.after_us(ipi_wire, move |sim| {
+            let prod = sim.cost.ipi_handler + sim.cost.activate_controller;
+            let t = sim.now();
+            sim.stats
+                .record_span("caller: CPU0 controller prod", t, t + crate::us(prod));
+            compute0(sim, src, prod, move |sim| {
+                // Stage 3: call packet through controller + wire; its
+                // delivery continuation is the server-side processing.
+                let frame = Frame::new(
+                    call_bytes,
+                    dst,
+                    Box::new(move |sim| {
+                        server_side(sim, src, dst, result_bytes, marshal_after, start, done)
+                    }),
+                );
+                ctrl_transmit(sim, src, frame);
+            });
+        });
+    });
+}
+
+/// Server-side stages: runs after the server's receive interrupt has
+/// woken a server thread.
+fn server_side(
+    sim: &mut Sim,
+    src: usize,
+    dst: usize,
+    result_bytes: usize,
+    marshal_after: f64,
+    start: u64,
+    done: impl FnOnce(&mut Sim) + 'static,
+) {
+    // Stage 4: the server thread executes Receiver + stub + procedure,
+    // then the Sender path for the result packet. (VAR OUT results are
+    // written directly into the packet — no server-side copy, §2.2.)
+    let work = sim.cost.server_compute()
+        + sim.cost.sender_header
+        + sim.cost.checksum(result_bytes)
+        + sim.cost.trap
+        + sim.cost.queue_packet;
+    let t = sim.now();
+    sim.stats.record_span(
+        "server: Receiver + stub + Sender (result)",
+        t,
+        t + crate::us(work),
+    );
+    compute(sim, dst, work, move |sim| {
+        let ipi_wire = sim.cost.ipi_wire;
+        let t = sim.now();
+        sim.stats
+            .record_span("server: IPI wire", t, t + crate::us(ipi_wire));
+        sim.after_us(ipi_wire, move |sim| {
+            let prod = sim.cost.ipi_handler + sim.cost.activate_controller;
+            let t = sim.now();
+            sim.stats
+                .record_span("server: CPU0 controller prod", t, t + crate::us(prod));
+            compute0(sim, dst, prod, move |sim| {
+                let frame = Frame::new(
+                    result_bytes,
+                    src,
+                    Box::new(move |sim| caller_finish(sim, src, marshal_after, start, done)),
+                );
+                ctrl_transmit(sim, dst, frame);
+            });
+        });
+    });
+}
+
+/// Final caller-side stage: unmarshal (the single VAR OUT copy back into
+/// the caller's variable, §2.2) and return to the caller.
+fn caller_finish(
+    sim: &mut Sim,
+    src: usize,
+    marshal_after: f64,
+    start: u64,
+    done: impl FnOnce(&mut Sim) + 'static,
+) {
+    let work = sim.cost.caller_recv_compute() + marshal_after + sim.cost.residual;
+    let t = sim.now();
+    sim.stats.record_span(
+        "caller: Transporter(recv) + unmarshal + Ender (+residual)",
+        t,
+        t + crate::us(work),
+    );
+    compute(sim, src, work, move |sim| {
+        let latency = (sim.now() - start) as f64 / 1000.0;
+        sim.stats.record_call(latency);
+        done(sim);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    fn one_call_latency(proc_: Procedure, cost: CostModel) -> f64 {
+        let mut sim = Sim::new(cost, 5, 5);
+        spawn_call(&mut sim, proc_, |_| {});
+        sim.run();
+        sim.stats.latency.mean()
+    }
+
+    #[test]
+    fn null_latency_matches_table_i() {
+        let l = one_call_latency(Procedure::Null, CostModel::paper());
+        // Table I row 1: 26.61 s / 10000 = 2661 µs.
+        assert!((l - 2661.0).abs() < 2.0, "Null latency {l}");
+    }
+
+    #[test]
+    fn max_result_latency_matches_measured() {
+        let l = one_call_latency(Procedure::MaxResult, CostModel::paper());
+        // The paper's best measured MaxResult(b) is 6347 µs (§3.3);
+        // Table I row 1 gives 6347 µs average too (63.47 s / 10000).
+        assert!((l - 6347.0).abs() < 5.0, "MaxResult latency {l}");
+    }
+
+    #[test]
+    fn max_arg_is_symmetric_with_max_result() {
+        let r = one_call_latency(Procedure::MaxResult, CostModel::paper());
+        let a = one_call_latency(Procedure::MaxArg, CostModel::paper());
+        // "MaxArg(b) moves data from caller to server in the same way" —
+        // the packet sizes mirror, so latency should be near-identical.
+        assert!((r - a).abs() < 50.0, "MaxResult {r} vs MaxArg {a}");
+    }
+
+    #[test]
+    fn no_checksum_saves_180_us_on_null() {
+        let base = one_call_latency(Procedure::Null, CostModel::paper());
+        let mut cost = CostModel::paper();
+        cost.checksums = false;
+        let off = one_call_latency(Procedure::Null, cost);
+        assert!(((base - off) - 180.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn uniprocessor_caller_is_slower() {
+        let mut sim5 = Sim::new(CostModel::exerciser(), 5, 5);
+        spawn_call(&mut sim5, Procedure::Null, |_| {});
+        sim5.run();
+        let mut sim1 = Sim::new(CostModel::exerciser(), 1, 5);
+        spawn_call(&mut sim1, Procedure::Null, |_| {});
+        sim1.run();
+        assert!(sim1.stats.latency.mean() > sim5.stats.latency.mean() + 300.0);
+    }
+
+    #[test]
+    fn packet_sizes() {
+        assert_eq!(Procedure::Null.call_bytes(), 74);
+        assert_eq!(Procedure::MaxResult.result_bytes(), 1514);
+        assert_eq!(Procedure::MaxArg.call_bytes(), 1514);
+        assert_eq!(Procedure::MaxResult.payload_bytes(), 1440);
+    }
+}

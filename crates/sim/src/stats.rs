@@ -1,0 +1,84 @@
+//! Measurement accumulators for simulation runs.
+
+use firefly_metrics::Histogram;
+
+/// One recorded span of the latency account (for trace validation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Step name (Table VI/VII naming).
+    pub name: &'static str,
+    /// Start time (ns).
+    pub start: u64,
+    /// End time (ns).
+    pub end: u64,
+}
+
+/// Accumulators attached to a [`Sim`](crate::Sim).
+#[derive(Default)]
+pub struct SimStats {
+    /// Completed RPCs.
+    pub completed: u64,
+    /// Per-call latency distribution (µs).
+    pub latency: Histogram,
+    /// Optional step trace (enable with [`SimStats::enable_trace`]).
+    pub trace: Option<Vec<Span>>,
+}
+
+impl SimStats {
+    /// Starts recording step spans.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Records one span when tracing is on.
+    pub fn record_span(&mut self, name: &'static str, start: u64, end: u64) {
+        if let Some(t) = &mut self.trace {
+            t.push(Span { name, start, end });
+        }
+    }
+
+    /// Records one completed call.
+    pub fn record_call(&mut self, latency_us: f64) {
+        self.completed += 1;
+        self.latency.record(latency_us);
+    }
+
+    /// Sum of all trace spans in microseconds.
+    pub fn trace_total_us(&self) -> f64 {
+        self.trace
+            .as_ref()
+            .map(|t| t.iter().map(|s| (s.end - s.start) as f64 / 1000.0).sum())
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut s = SimStats::default();
+        s.record_span("x", 0, 10);
+        assert!(s.trace.is_none());
+        assert_eq!(s.trace_total_us(), 0.0);
+    }
+
+    #[test]
+    fn trace_sums() {
+        let mut s = SimStats::default();
+        s.enable_trace();
+        s.record_span("a", 0, 1000);
+        s.record_span("b", 1000, 4000);
+        assert_eq!(s.trace_total_us(), 4.0);
+    }
+
+    #[test]
+    fn calls_accumulate() {
+        let mut s = SimStats::default();
+        s.record_call(2661.0);
+        s.record_call(2661.0);
+        assert_eq!(s.completed, 2);
+        assert!((s.latency.mean() - 2661.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,80 @@
+//! Golden values: the simulator is deterministic, so key reproduction
+//! numbers are pinned exactly. A calibration or model change that moves
+//! any of these must be deliberate (update the constants *and*
+//! EXPERIMENTS.md together).
+
+use firefly_sim::workload::{run, Procedure, WorkloadSpec};
+use firefly_sim::CostModel;
+
+fn ms_per_call(threads: usize, calls: u64, p: Procedure) -> f64 {
+    let r = run(&WorkloadSpec {
+        threads,
+        calls,
+        procedure: p,
+        ..WorkloadSpec::default()
+    });
+    r.seconds * 1000.0 / r.calls as f64
+}
+
+#[test]
+fn golden_single_thread_latencies() {
+    // Table I row 1: 2.661 ms and 6.347 ms per call.
+    let null = ms_per_call(1, 500, Procedure::Null);
+    let max = ms_per_call(1, 500, Procedure::MaxResult);
+    assert!((null - 2.661).abs() < 0.005, "Null {null:.4} ms/call");
+    assert!((max - 6.347).abs() < 0.005, "MaxResult {max:.4} ms/call");
+}
+
+#[test]
+fn golden_saturation() {
+    let r = run(&WorkloadSpec {
+        threads: 7,
+        calls: 3000,
+        procedure: Procedure::Null,
+        ..WorkloadSpec::default()
+    });
+    assert!(
+        (r.rpcs_per_sec - 740.0).abs() < 8.0,
+        "Null saturation {:.1} rpc/s",
+        r.rpcs_per_sec
+    );
+    let r = run(&WorkloadSpec {
+        threads: 4,
+        calls: 3000,
+        procedure: Procedure::MaxResult,
+        ..WorkloadSpec::default()
+    });
+    assert!(
+        (r.megabits_per_sec - 4.5).abs() < 0.2,
+        "MaxResult saturation {:.2} Mb/s",
+        r.megabits_per_sec
+    );
+}
+
+#[test]
+fn golden_cost_model_composition() {
+    let m = CostModel::paper();
+    assert_eq!(m.send_receive_total(74), 954.0);
+    assert_eq!(m.send_receive_total(1514), 4414.0);
+    assert_eq!(m.runtime_total(), 606.0);
+    assert_eq!(m.null_composed(), 2514.0);
+    assert_eq!(m.max_result_composed(), 6524.0);
+}
+
+#[test]
+fn golden_determinism_across_runs() {
+    let a = run(&WorkloadSpec {
+        threads: 3,
+        calls: 700,
+        procedure: Procedure::MaxResult,
+        ..WorkloadSpec::default()
+    });
+    let b = run(&WorkloadSpec {
+        threads: 3,
+        calls: 700,
+        procedure: Procedure::MaxResult,
+        ..WorkloadSpec::default()
+    });
+    assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+    assert_eq!(a.mean_latency_us.to_bits(), b.mean_latency_us.to_bits());
+}

@@ -1,0 +1,85 @@
+//! Property tests of the simulator: determinism, conservation, and
+//! monotonicity of the cost model under parameter changes.
+
+use firefly_sim::workload::{run, Procedure, WorkloadSpec};
+use firefly_sim::CostModel;
+use proptest::prelude::*;
+
+fn spec(threads: usize, calls: u64, p: Procedure, caller: usize, server: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        threads,
+        calls,
+        procedure: p,
+        caller_cpus: caller,
+        server_cpus: server,
+        ..WorkloadSpec::default()
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let a = run(&spec(4, 800, Procedure::MaxResult, 5, 5));
+    let b = run(&spec(4, 800, Procedure::MaxResult, 5, 5));
+    assert_eq!(a.seconds, b.seconds);
+    assert_eq!(a.caller_cpus_used, b.caller_cpus_used);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every requested call completes, whatever the configuration.
+    #[test]
+    fn all_calls_complete(
+        threads in 1usize..6,
+        calls in 50u64..300,
+        caller in 1usize..6,
+        server in 1usize..6,
+    ) {
+        let r = run(&spec(threads, calls, Procedure::Null, caller, server));
+        prop_assert_eq!(r.calls, calls);
+        prop_assert!(r.seconds > 0.0);
+    }
+
+    /// More processors never make things slower (weak monotonicity with
+    /// a small tolerance for scheduling noise).
+    #[test]
+    fn more_cpus_never_hurt(threads in 1usize..4, calls in 100u64..250) {
+        let slow = run(&spec(threads, calls, Procedure::Null, 1, 1)).seconds;
+        let fast = run(&spec(threads, calls, Procedure::Null, 5, 5)).seconds;
+        prop_assert!(fast <= slow * 1.02, "5x5 {fast} vs 1x1 {slow}");
+    }
+
+    /// Latency never beats the analytic composition (queueing only adds).
+    #[test]
+    fn latency_never_beats_the_account(threads in 1usize..8) {
+        let m = CostModel::paper();
+        let r = run(&spec(threads, 300, Procedure::Null, 5, 5));
+        prop_assert!(
+            r.mean_latency_us + 1.0 >= m.null_composed(),
+            "mean {} < composed {}",
+            r.mean_latency_us,
+            m.null_composed()
+        );
+    }
+
+    /// Utilization is bounded by the machine's processor count.
+    #[test]
+    fn utilization_is_physical(
+        threads in 1usize..8,
+        caller in 1usize..6,
+        server in 1usize..6,
+    ) {
+        let r = run(&spec(threads, 200, Procedure::MaxResult, caller, server));
+        prop_assert!(r.caller_cpus_used <= caller as f64 + 1e-9);
+        prop_assert!(r.server_cpus_used <= server as f64 + 1e-9);
+        prop_assert!(r.caller_cpus_used >= 0.0);
+    }
+
+    /// Throughput in Mb/s equals the payload identity.
+    #[test]
+    fn throughput_identity(threads in 1usize..5) {
+        let r = run(&spec(threads, 200, Procedure::MaxResult, 5, 5));
+        let expected = r.calls as f64 * 1440.0 * 8.0 / r.seconds / 1e6;
+        prop_assert!((r.megabits_per_sec - expected).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,167 @@
+//! Shape tests for the paper's tables, with printed reproductions
+//! (`cargo test -p firefly-sim --test tables -- --nocapture` shows them).
+
+use firefly_sim::workload::{run, Procedure, WorkloadSpec};
+use firefly_sim::CostModel;
+
+fn spec(threads: usize, calls: u64, p: Procedure) -> WorkloadSpec {
+    WorkloadSpec {
+        threads,
+        calls,
+        procedure: p,
+        ..WorkloadSpec::default()
+    }
+}
+
+#[test]
+fn table_i_shape() {
+    // Paper values: (threads, Null seconds, MaxResult seconds) per 10000.
+    let paper = [
+        (1, 26.61, 63.47),
+        (2, 16.80, 35.28),
+        (3, 16.26, 27.28),
+        (4, 15.45, 24.93),
+        (5, 15.11, 24.69),
+        (6, 14.69, 24.65),
+        (7, 13.49, 24.72),
+        (8, 13.67, 24.68),
+    ];
+    println!("threads | Null s (paper) | MaxResult s (paper)");
+    let calls = 2000u64;
+    let scale = 10_000.0 / calls as f64;
+    let mut prev_null_rps = 0.0;
+    for (threads, p_null, p_max) in paper {
+        let rn = run(&spec(threads, calls, Procedure::Null));
+        let rm = run(&spec(threads, calls, Procedure::MaxResult));
+        let null_s = rn.seconds * scale;
+        let max_s = rm.seconds * scale;
+        println!(
+            "{threads} | {null_s:.2} ({p_null}) | {max_s:.2} ({p_max})  [{:.0} rpc/s, {:.2} Mb/s]",
+            rn.rpcs_per_sec, rm.megabits_per_sec
+        );
+        // Row 1 must match closely; later rows must fall within 25% of
+        // the paper (shape, not exact contention behaviour).
+        let tol = if threads == 1 { 0.05 } else { 0.25 };
+        assert!(
+            (null_s - p_null).abs() / p_null < tol,
+            "Null {threads} threads: {null_s:.2} vs {p_null}"
+        );
+        assert!(
+            (max_s - p_max).abs() / p_max < tol,
+            "MaxResult {threads} threads: {max_s:.2} vs {p_max}"
+        );
+        // Throughput never degrades materially with more threads.
+        assert!(rn.rpcs_per_sec >= prev_null_rps * 0.95);
+        prev_null_rps = rn.rpcs_per_sec;
+    }
+}
+
+#[test]
+fn table_x_shape() {
+    // 1 thread, 1000 calls to Null() with the RPC Exerciser; paper
+    // seconds for 1000 calls.
+    let paper = [
+        (5, 5, 2.69),
+        (4, 5, 2.73),
+        (3, 5, 2.85),
+        (2, 5, 2.98),
+        (1, 5, 3.96),
+        (1, 4, 3.98),
+        (1, 3, 4.13),
+        (1, 2, 4.21),
+        (1, 1, 4.81),
+    ];
+    println!("caller x server | seconds (paper)");
+    for (c, s, p) in paper {
+        let r = run(&WorkloadSpec {
+            threads: 1,
+            calls: 1000,
+            procedure: Procedure::Null,
+            cost: CostModel::exerciser(),
+            caller_cpus: c,
+            server_cpus: s,
+            background: true,
+        });
+        println!("{c} x {s} | {:.2} ({p})", r.seconds);
+        assert!(
+            (r.seconds - p).abs() / p < 0.30,
+            "{c}x{s}: {:.2} vs {p}",
+            r.seconds
+        );
+    }
+    // The characteristic shape: a sharp uniprocessor knee.
+    let five = run(&WorkloadSpec {
+        threads: 1,
+        calls: 1000,
+        procedure: Procedure::Null,
+        cost: CostModel::exerciser(),
+        caller_cpus: 5,
+        server_cpus: 5,
+        background: true,
+    });
+    let two = run(&WorkloadSpec {
+        caller_cpus: 2,
+        ..WorkloadSpec {
+            threads: 1,
+            calls: 1000,
+            procedure: Procedure::Null,
+            cost: CostModel::exerciser(),
+            caller_cpus: 2,
+            server_cpus: 5,
+            background: true,
+        }
+    });
+    let uni = run(&WorkloadSpec {
+        threads: 1,
+        calls: 1000,
+        procedure: Procedure::Null,
+        cost: CostModel::exerciser(),
+        caller_cpus: 1,
+        server_cpus: 5,
+        background: true,
+    });
+    let gentle = two.seconds - five.seconds;
+    let knee = uni.seconds - two.seconds;
+    assert!(
+        knee > 2.0 * gentle,
+        "knee {knee:.2} vs gentle slope {gentle:.2}"
+    );
+}
+
+#[test]
+fn table_xi_shape() {
+    // MaxResult throughput in Mbit/s for (caller CPUs, server CPUs) and
+    // 1–5 threads; paper values.
+    let configs = [(5usize, 5usize), (1, 5), (1, 1)];
+    let paper: [[f64; 5]; 3] = [
+        [2.0, 3.4, 4.6, 4.7, 4.7],
+        [1.5, 2.3, 2.7, 2.7, 2.7],
+        [1.3, 2.0, 2.4, 2.5, 2.5],
+    ];
+    println!("threads | 5x5 | 1x5 | 1x1  (Mb/s, paper in parens)");
+    for t in 1..=5usize {
+        let mut row = Vec::new();
+        for (ci, &(c, s)) in configs.iter().enumerate() {
+            let r = run(&WorkloadSpec {
+                threads: t,
+                calls: 1000,
+                procedure: Procedure::MaxResult,
+                cost: CostModel::exerciser(),
+                caller_cpus: c,
+                server_cpus: s,
+                background: true,
+            });
+            row.push((r.megabits_per_sec, paper[ci][t - 1]));
+        }
+        println!(
+            "{t} | {:.1} ({}) | {:.1} ({}) | {:.1} ({})",
+            row[0].0, row[0].1, row[1].0, row[1].1, row[2].0, row[2].1
+        );
+        for (got, want) in &row {
+            assert!(
+                (got - want).abs() / want < 0.40,
+                "{t} threads: {got:.2} vs {want}"
+            );
+        }
+    }
+}

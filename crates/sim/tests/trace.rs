@@ -1,0 +1,81 @@
+//! The trace *is* the account: for an uncontended call, the sum of the
+//! recorded step spans must equal the end-to-end latency — the property
+//! Table VIII establishes for the real system ("By adding the time of
+//! each instruction executed and of each hardware latency encountered, we
+//! have accounted for the total measured time").
+
+use firefly_sim::rpc::{spawn_call, Procedure};
+use firefly_sim::{CostModel, Sim};
+
+fn traced_call(proc_: Procedure) -> (f64, f64, Vec<(String, f64)>) {
+    let mut sim = Sim::new(CostModel::paper(), 5, 5);
+    sim.stats.enable_trace();
+    spawn_call(&mut sim, proc_, |_| {});
+    sim.run();
+    let latency = sim.stats.latency.mean();
+    let total = sim.stats.trace_total_us();
+    let spans = sim
+        .stats
+        .trace
+        .as_ref()
+        .unwrap()
+        .iter()
+        .map(|s| (s.name.to_string(), (s.end - s.start) as f64 / 1000.0))
+        .collect();
+    (latency, total, spans)
+}
+
+#[test]
+fn null_trace_accounts_for_all_latency() {
+    let (latency, total, spans) = traced_call(Procedure::Null);
+    assert_eq!(spans.len(), 15, "two send+receives plus runtime stages");
+    assert!(
+        (total - latency).abs() < 0.5,
+        "trace sums to {total:.1} µs but latency is {latency:.1} µs"
+    );
+    assert!((latency - 2661.0).abs() < 2.0);
+}
+
+#[test]
+fn max_result_trace_accounts_for_all_latency() {
+    let (latency, total, _) = traced_call(Procedure::MaxResult);
+    assert!(
+        (total - latency).abs() < 0.5,
+        "trace sums to {total:.1} µs but latency is {latency:.1} µs"
+    );
+    assert!((latency - 6347.0).abs() < 5.0);
+}
+
+#[test]
+fn trace_contains_the_table_vi_steps() {
+    let (_, _, spans) = traced_call(Procedure::Null);
+    let names: Vec<&str> = spans.iter().map(|(n, _)| n.as_str()).collect();
+    for expected in [
+        "caller: stub + Sender (call)",
+        "caller: IPI wire",
+        "caller: CPU0 controller prod",
+        "QBus/controller transmit",
+        "Ethernet transmission",
+        "QBus/controller receive",
+        "receive interrupt + wakeup",
+        "server: Receiver + stub + Sender (result)",
+        "caller: Transporter(recv) + unmarshal + Ender (+residual)",
+    ] {
+        assert!(names.contains(&expected), "missing span `{expected}`");
+    }
+    // The wakeup-bearing interrupt span carries Table VI's
+    // 14 + 177 + 45 + 220 = 456 µs.
+    let intr = spans
+        .iter()
+        .find(|(n, _)| n == "receive interrupt + wakeup")
+        .unwrap();
+    assert!((intr.1 - 456.0).abs() < 0.5, "interrupt span {:.1}", intr.1);
+}
+
+#[test]
+fn trace_off_by_default_costs_nothing() {
+    let mut sim = Sim::new(CostModel::paper(), 5, 5);
+    spawn_call(&mut sim, Procedure::Null, |_| {});
+    sim.run();
+    assert!(sim.stats.trace.is_none());
+}

@@ -1,0 +1,118 @@
+//! Error type for wire-format encoding and decoding.
+
+use core::fmt;
+
+/// Errors produced while encoding or decoding packet headers and frames.
+///
+/// The Firefly receive interrupt routine "validates the various headers in
+/// the received packet" before handing it to a thread; each validation
+/// failure it could observe has a variant here so callers can account for
+/// why a packet was dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is too short to contain the structure being read/written.
+    Truncated {
+        /// Number of bytes required.
+        needed: usize,
+        /// Number of bytes available.
+        available: usize,
+    },
+    /// An Ethernet frame exceeded the 1514-byte maximum.
+    FrameTooLong(usize),
+    /// The EtherType is not IPv4 and therefore not an RPC packet.
+    NotIpv4(u16),
+    /// The IP version field is not 4 or the header length is unsupported.
+    BadIpHeader(u8),
+    /// The IPv4 header checksum did not verify.
+    BadIpChecksum {
+        /// Checksum found in the header.
+        found: u16,
+        /// Checksum computed over the header.
+        computed: u16,
+    },
+    /// The IP protocol is not UDP.
+    NotUdp(u8),
+    /// The UDP checksum did not verify.
+    BadUdpChecksum {
+        /// Checksum found in the header.
+        found: u16,
+        /// Checksum computed over pseudo-header, header and data.
+        computed: u16,
+    },
+    /// The UDP length field is inconsistent with the IP payload length.
+    BadUdpLength {
+        /// Length claimed by the UDP header.
+        claimed: usize,
+        /// Length actually available.
+        available: usize,
+    },
+    /// The RPC packet type byte is unknown.
+    BadPacketType(u8),
+    /// The RPC data length field disagrees with the actual payload size.
+    BadDataLength {
+        /// Length claimed by the RPC header.
+        claimed: usize,
+        /// Length actually present.
+        available: usize,
+    },
+    /// Payload larger than the single-packet maximum of 1440 bytes.
+    PayloadTooLarge(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => {
+                write!(f, "truncated: need {needed} bytes, have {available}")
+            }
+            WireError::FrameTooLong(len) => {
+                write!(f, "frame of {len} bytes exceeds Ethernet maximum")
+            }
+            WireError::NotIpv4(et) => write!(f, "EtherType {et:#06x} is not IPv4"),
+            WireError::BadIpHeader(v) => write!(f, "unsupported IP version/IHL byte {v:#04x}"),
+            WireError::BadIpChecksum { found, computed } => {
+                write!(f, "IP checksum {found:#06x} != computed {computed:#06x}")
+            }
+            WireError::NotUdp(p) => write!(f, "IP protocol {p} is not UDP"),
+            WireError::BadUdpChecksum { found, computed } => {
+                write!(f, "UDP checksum {found:#06x} != computed {computed:#06x}")
+            }
+            WireError::BadUdpLength { claimed, available } => {
+                write!(
+                    f,
+                    "UDP length {claimed} inconsistent with {available} bytes"
+                )
+            }
+            WireError::BadPacketType(t) => write!(f, "unknown RPC packet type {t}"),
+            WireError::BadDataLength { claimed, available } => {
+                write!(f, "RPC data length {claimed} != payload {available}")
+            }
+            WireError::PayloadTooLarge(len) => {
+                write!(f, "payload of {len} bytes exceeds single-packet maximum")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::Truncated {
+            needed: 74,
+            available: 10,
+        };
+        assert!(e.to_string().contains("74"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(WireError::NotUdp(6), WireError::NotUdp(6));
+        assert_ne!(WireError::NotUdp(6), WireError::NotUdp(17));
+    }
+}

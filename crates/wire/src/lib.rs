@@ -1,0 +1,61 @@
+//! Byte-exact wire formats for the Firefly RPC packet exchange protocol.
+//!
+//! The Firefly RPC implementation described in Schroeder & Burrows,
+//! *Performance of Firefly RPC* (SRC-43, 1989) layers a custom RPC packet
+//! exchange protocol on IP/UDP over a 10 megabit/second Ethernet. A minimal
+//! RPC packet — the call or result of `Null()` — "consist\[s\] entirely of
+//! Ethernet, IP, UDP, and RPC headers and \[is\] the 74-byte minimum size
+//! generated for Ethernet RPC". A maximal single-packet result carries 1440
+//! bytes of data in a 1514-byte frame, the largest allowed on an Ethernet.
+//!
+//! This crate reproduces those formats exactly:
+//!
+//! * [`EthernetHeader`] — 14 bytes (destination, source, EtherType),
+//! * [`Ipv4Header`] — 20 bytes (no options), with header checksum,
+//! * [`UdpHeader`] — 8 bytes, with the optional end-to-end UDP checksum
+//!   over the IPv4 pseudo-header (§4.2.4 of the paper measures the cost of
+//!   this checksum; [`checksum`] implements it from scratch),
+//! * [`RpcHeader`] — 32 bytes carrying the packet type, activity identifier,
+//!   call and fragment sequence numbers, interface binding and procedure
+//!   index (the Birrell–Nelson protocol state),
+//!
+//! for a total of [`RPC_HEADERS_LEN`] = 74 bytes of headers, so that
+//! `74 + MAX_SINGLE_PACKET_DATA (1440) = MAX_FRAME_LEN (1514)`.
+//!
+//! [`Frame`] assembles and parses complete packets; every header type also
+//! round-trips independently. All multi-byte fields are big-endian (network
+//! byte order).
+//!
+//! # Examples
+//!
+//! ```
+//! use firefly_wire::{Frame, FrameBuilder, PacketType, RPC_HEADERS_LEN};
+//!
+//! let frame = FrameBuilder::new(PacketType::Call).build(&[]).unwrap();
+//! assert_eq!(frame.len(), RPC_HEADERS_LEN); // The 74-byte Null() packet.
+//! let parsed = Frame::parse(frame.bytes()).unwrap();
+//! assert_eq!(parsed.rpc.packet_type, PacketType::Call);
+//! ```
+
+pub mod checksum;
+pub mod error;
+pub mod ethernet;
+pub mod frame;
+pub mod ip;
+pub mod rpc;
+pub mod udp;
+
+pub use checksum::{internet_checksum, Checksum};
+pub use error::WireError;
+pub use ethernet::{EtherType, EthernetHeader, MacAddr, ETHERNET_HEADER_LEN};
+pub use frame::{
+    Frame, FrameBuilder, FrameView, DATA_OFFSET, MAX_FRAME_LEN, MIN_FRAME_LEN, RPC_HEADERS_LEN,
+};
+pub use ip::{Ipv4Header, IPV4_HEADER_LEN, PROTO_UDP};
+pub use rpc::{
+    ActivityId, PacketFlags, PacketType, RpcHeader, MAX_SINGLE_PACKET_DATA, RPC_HEADER_LEN,
+};
+pub use udp::{UdpHeader, UDP_HEADER_LEN};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, WireError>;

@@ -1,0 +1,132 @@
+//! Property-based tests for the wire formats.
+
+use firefly_wire::{
+    internet_checksum, ActivityId, Frame, FrameBuilder, MacAddr, PacketFlags, PacketType,
+    RpcHeader, MAX_SINGLE_PACKET_DATA, RPC_HEADERS_LEN, RPC_HEADER_LEN,
+};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_packet_type() -> impl Strategy<Value = PacketType> {
+    prop_oneof![
+        Just(PacketType::Call),
+        Just(PacketType::Result),
+        Just(PacketType::Ack),
+        Just(PacketType::Probe),
+        Just(PacketType::ProbeResponse),
+    ]
+}
+
+fn arb_header() -> impl Strategy<Value = RpcHeader> {
+    (
+        arb_packet_type(),
+        any::<(bool, bool)>(),
+        any::<(u32, u16, u16)>(),
+        any::<u32>(),
+        (0u16..16, 1u16..16),
+        any::<u64>(),
+        any::<(u16, u16)>(),
+        0u16..=MAX_SINGLE_PACKET_DATA as u16,
+    )
+        .prop_map(
+            |(
+                packet_type,
+                (pa, lf),
+                (m, s, t),
+                call_seq,
+                (frag, count),
+                uid,
+                (ver, proc_),
+                len,
+            )| {
+                RpcHeader {
+                    packet_type,
+                    flags: PacketFlags {
+                        please_ack: pa,
+                        last_fragment: lf,
+                        acks_result: false,
+                        call_failed: false,
+                    },
+                    activity: ActivityId::new(m, s, t),
+                    call_seq,
+                    fragment: frag.min(count - 1),
+                    fragment_count: count,
+                    interface_uid: uid,
+                    interface_version: ver,
+                    procedure: proc_,
+                    data_len: len,
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn rpc_header_round_trips(h in arb_header()) {
+        let mut buf = [0u8; RPC_HEADER_LEN];
+        h.encode(&mut buf).unwrap();
+        prop_assert_eq!(RpcHeader::decode(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn frame_round_trips(
+        data in proptest::collection::vec(any::<u8>(), 0..=MAX_SINGLE_PACKET_DATA),
+        seq in any::<u32>(),
+        uid in any::<u64>(),
+        proc_ in any::<u16>(),
+        with_checksum in any::<bool>(),
+    ) {
+        let frame = FrameBuilder::new(PacketType::Call)
+            .macs(MacAddr::from_host_id(1), MacAddr::from_host_id(2))
+            .ips(Ipv4Addr::new(10, 1, 0, 1), Ipv4Addr::new(10, 1, 0, 2))
+            .activity(ActivityId::new(9, 8, 7))
+            .call_seq(seq)
+            .interface(uid, 1)
+            .procedure(proc_)
+            .with_checksum(with_checksum)
+            .build(&data)
+            .unwrap();
+        prop_assert_eq!(frame.len(), RPC_HEADERS_LEN + data.len());
+        let parsed = Frame::parse(frame.bytes()).unwrap();
+        prop_assert_eq!(parsed.rpc.call_seq, seq);
+        prop_assert_eq!(parsed.rpc.interface_uid, uid);
+        prop_assert_eq!(parsed.rpc.procedure, proc_);
+        prop_assert_eq!(parsed.data, data);
+    }
+
+    #[test]
+    fn single_bit_corruption_never_passes_checksum(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        bit in 0usize..8,
+        // Corrupt somewhere in the RPC payload region.
+        pos_frac in 0.0f64..1.0,
+    ) {
+        let frame = FrameBuilder::new(PacketType::Result)
+            .ips(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .build(&data)
+            .unwrap();
+        let mut bytes = frame.into_bytes();
+        let payload_start = RPC_HEADERS_LEN - RPC_HEADER_LEN;
+        let span = bytes.len() - payload_start;
+        let pos = payload_start + ((span as f64 * pos_frac) as usize).min(span - 1);
+        bytes[pos] ^= 1 << bit;
+        // Either a validation error or (for header fields that decode the
+        // same way, which a one-bit flip in the payload never is) a
+        // different payload. A flip in the checksummed region must fail.
+        prop_assert!(Frame::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive_but_split_insensitive(
+        data in proptest::collection::vec(any::<u8>(), 2..256),
+        split in 1usize..255,
+    ) {
+        let split = split % data.len();
+        prop_assume!(split > 0);
+        let whole = internet_checksum(&data);
+        let mut acc = firefly_wire::Checksum::new();
+        acc.add_bytes(&data[..split]);
+        acc.add_bytes(&data[split..]);
+        prop_assert_eq!(acc.finish(), whole);
+    }
+}

@@ -1,0 +1,147 @@
+//! End-to-end use of the build-time generated typed stubs: the
+//! `TestClient` produced by `firefly-idl`'s codegen drives a real
+//! `firefly-rpc` client over the loopback Ethernet.
+
+use firefly::generated::{RpcCall, TestClient};
+use firefly::idl::{test_interface, IdlError, Value};
+use firefly::rpc::transport::LoopbackNet;
+use firefly::rpc::{Client, Config, Endpoint, RpcError, ServiceBuilder};
+use std::sync::Arc;
+
+/// The adapter from the generated stub's call surface to the runtime.
+struct Bound(Client);
+
+impl RpcCall for Bound {
+    type Error = RpcError;
+
+    fn call(&self, index: u16, args: &[Value]) -> Result<Vec<Value>, RpcError> {
+        self.0.call_index(index, args)
+    }
+}
+
+fn served_pair() -> (Arc<Endpoint>, Arc<Endpoint>, Client) {
+    let net = LoopbackNet::new();
+    let server = Endpoint::new(net.station(1), Config::default()).unwrap();
+    let caller = Endpoint::new(net.station(2), Config::default()).unwrap();
+    let service = ServiceBuilder::new(test_interface())
+        .on_call("Null", |_a, _w| Ok(()))
+        .on_call("MaxResult", |_a, w| {
+            let out = w.next_bytes(1440)?;
+            for (i, b) in out.iter_mut().enumerate() {
+                *b = (i % 251) as u8;
+            }
+            Ok(())
+        })
+        .on_call("MaxArg", |args, _w| {
+            assert_eq!(args[0].bytes().map(<[u8]>::len), Some(1440));
+            Ok(())
+        })
+        .build()
+        .unwrap();
+    server.export(service).unwrap();
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    (server, caller, client)
+}
+
+#[test]
+fn typed_stub_drives_real_rpc() {
+    let (_server, _caller, client) = served_pair();
+    let stub = TestClient::new(Bound(client));
+    // The generated signatures: null() -> (), max_result() -> Vec<u8>,
+    // max_arg(Vec<u8>) -> ().
+    stub.null().unwrap();
+    let data = stub.max_result().unwrap();
+    assert_eq!(data.len(), 1440);
+    assert!(data.iter().enumerate().all(|(i, &b)| b == (i % 251) as u8));
+    stub.max_arg(vec![0u8; 1440]).unwrap();
+}
+
+#[test]
+fn typed_stub_surfaces_remote_errors() {
+    // Calling a procedure the server rejects yields a typed error, not a
+    // panic or a mangled result.
+    let net = LoopbackNet::new();
+    let server = Endpoint::new(net.station(1), Config::default()).unwrap();
+    let caller = Endpoint::new(net.station(2), Config::default()).unwrap();
+    let service = ServiceBuilder::new(test_interface())
+        .on_call("Null", |_a, _w| Err(RpcError::Remote("nope".into())))
+        .on_call("MaxResult", |_a, w| {
+            w.next_bytes(1)?.fill(0);
+            Ok(())
+        })
+        .on_call("MaxArg", |_a, _w| Ok(()))
+        .build()
+        .unwrap();
+    server.export(service).unwrap();
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    let stub = TestClient::new(Bound(client));
+    let err = stub.null().expect_err("handler rejects");
+    assert!(err.to_string().contains("nope"));
+}
+
+/// A fully typed server: implements the generated `TestServer` trait and
+/// is adapted into a runtime `Service` through the generated dispatch
+/// glue — no hand-written marshalling anywhere on either side.
+struct TypedTestServer;
+
+impl firefly::generated::TestServer for TypedTestServer {
+    fn null(&self) {}
+
+    fn max_result(&self) -> Vec<u8> {
+        vec![0x5a; 1440]
+    }
+
+    fn max_arg(&self, buffer: Vec<u8>) {
+        assert_eq!(buffer.len(), 1440);
+    }
+}
+
+struct TypedService<S>(S, firefly::idl::InterfaceDef);
+
+impl<S: firefly::generated::TestServer + Send + Sync> firefly::rpc::Service for TypedService<S> {
+    fn interface(&self) -> &firefly::idl::InterfaceDef {
+        &self.1
+    }
+
+    fn dispatch(
+        &self,
+        index: u16,
+        args: &[firefly::idl::ServerArg<'_>],
+        results: &mut firefly::idl::ResultWriter<'_>,
+    ) -> Result<(), RpcError> {
+        firefly::generated::dispatch_test(&self.0, index, args, results)?;
+        Ok(())
+    }
+}
+
+#[test]
+fn fully_typed_server_and_client() {
+    let net = LoopbackNet::new();
+    let server = Endpoint::new(net.station(1), Config::default()).unwrap();
+    let caller = Endpoint::new(net.station(2), Config::default()).unwrap();
+    server
+        .export(Arc::new(TypedService(TypedTestServer, test_interface())))
+        .unwrap();
+    let client = caller.bind(&test_interface(), server.address()).unwrap();
+    let stub = TestClient::new(Bound(client));
+    stub.null().unwrap();
+    assert_eq!(stub.max_result().unwrap(), vec![0x5a; 1440]);
+    stub.max_arg(vec![1; 1440]).unwrap();
+    // Unknown procedure indices are rejected by the generated dispatch.
+    let net2 = LoopbackNet::new();
+    let s2 = Endpoint::new(net2.station(1), Config::default()).unwrap();
+    let c2 = Endpoint::new(net2.station(2), Config::default()).unwrap();
+    s2.export(Arc::new(TypedService(TypedTestServer, test_interface())))
+        .unwrap();
+    let raw = c2.bind(&test_interface(), s2.address()).unwrap();
+    assert!(raw.call_index(7, &[]).is_err());
+}
+
+#[test]
+fn generated_module_mentions_every_procedure() {
+    // Compile-time presence is the real test (this file compiles against
+    // the generated code); this is a cheap sanity check of the shape.
+    let _ = IdlError::Marshal(String::new()); // The stub error bound is real.
+    let iface = test_interface();
+    assert_eq!(iface.procedures().len(), 3);
+}
