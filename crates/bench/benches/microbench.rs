@@ -1,63 +1,147 @@
-//! Criterion microbenchmarks of the real stack's fast-path components:
-//! the modern-hardware counterparts of Tables II–VI and IX.
+//! Microbenchmarks of the real stack's fast-path components: the
+//! modern-hardware counterparts of Tables II–VI and IX.
+//!
+//! A self-contained `std::time::Instant` harness (no Criterion): each
+//! benchmark is calibrated until a batch runs long enough to time
+//! reliably, then sampled repeatedly and reported as the median ns/op
+//! with derived throughput where a payload size applies.
+//!
+//! Flags/env:
+//!   --markdown            emit Markdown instead of aligned text
+//!   --test                smoke mode: one tiny batch per benchmark
+//!   FIREFLY_BENCH_SAMPLES overrides the sample count (default 9)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use firefly_bench::{emit, mode_from_args};
 use firefly_idl::{parse_interface, test_interface, CompiledStub, InterpStub, StubEngine, Value};
+use firefly_metrics::table::{fnum, Align, Table};
 use firefly_pool::BufferPool;
+use firefly_rng::Rng;
 use firefly_rpc::transport::LoopbackNet;
 use firefly_rpc::{Config, Endpoint, ServiceBuilder};
 use firefly_wire::{internet_checksum, ActivityId, Frame, FrameBuilder, PacketType};
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Collects rows for the final report.
+struct Runner {
+    rows: Vec<(String, f64, Option<u64>)>,
+    samples: u32,
+    smoke: bool,
+}
+
+impl Runner {
+    fn new() -> Self {
+        let samples = std::env::var("FIREFLY_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(9);
+        let smoke = std::env::args().any(|a| a == "--test");
+        Runner {
+            rows: Vec::new(),
+            samples,
+            smoke,
+        }
+    }
+
+    /// Times `f`, returning the median ns per call across samples.
+    fn measure<F: FnMut()>(&self, mut f: F) -> f64 {
+        if self.smoke {
+            let t = Instant::now();
+            f();
+            return t.elapsed().as_nanos() as f64;
+        }
+        // Calibrate: grow the batch until it takes at least 2 ms, so
+        // Instant's resolution is negligible against the batch time.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let dt = t.elapsed();
+            if dt >= Duration::from_millis(2) || iters >= 1 << 28 {
+                break;
+            }
+            // Aim straight for the target rather than doubling blindly.
+            let scale = Duration::from_millis(2).as_nanos() as f64
+                / dt.as_nanos().max(1) as f64;
+            iters = (iters as f64 * scale.clamp(2.0, 100.0)) as u64;
+        }
+        let mut per_op: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_op.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        per_op[per_op.len() / 2]
+    }
+
+    /// Runs one benchmark; `bytes` enables the throughput column.
+    fn bench<F: FnMut()>(&mut self, name: &str, bytes: Option<u64>, f: F) {
+        let ns = self.measure(f);
+        self.rows.push((name.to_string(), ns, bytes));
+    }
+
+    fn report(self) {
+        let mut table = Table::new(&["benchmark", "ns/op", "Mops/s", "MB/s"])
+            .title("Microbenchmarks (median of samples)")
+            .aligns(&[Align::Left, Align::Right, Align::Right, Align::Right]);
+        for (name, ns, bytes) in &self.rows {
+            let mops = if *ns > 0.0 { 1e3 / ns } else { 0.0 };
+            let mbps = match bytes {
+                Some(b) if *ns > 0.0 => fnum(*b as f64 / *ns * 1e9 / 1e6, 1),
+                _ => "-".to_string(),
+            };
+            table.row_owned(vec![name.clone(), fnum(*ns, 1), fnum(mops, 3), mbps]);
+        }
+        emit(&table, mode_from_args());
+    }
+}
 
 /// Table VI's "Calculate UDP checksum" rows: 74- and 1514-byte frames.
-fn bench_checksum(c: &mut Criterion) {
-    let mut g = c.benchmark_group("checksum");
+fn bench_checksum(r: &mut Runner) {
+    let mut rng = Rng::new(0xc0de_cafe);
     for size in [74usize, 1514] {
-        let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
-            b.iter(|| internet_checksum(black_box(data)));
+        let mut data = vec![0u8; size];
+        rng.fill_bytes(&mut data);
+        r.bench(&format!("checksum/{size}"), Some(size as u64), || {
+            black_box(internet_checksum(black_box(&data)));
         });
     }
-    g.finish();
 }
 
 /// The Sender's job: build a complete frame with headers and checksum.
-fn bench_frame_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("frame_build");
+fn bench_frame_build(r: &mut Runner) {
     for payload in [0usize, 1440] {
         let data = vec![0xa5u8; payload];
         let builder = FrameBuilder::new(PacketType::Call)
             .activity(ActivityId::new(1, 2, 3))
             .call_seq(42);
-        g.bench_with_input(BenchmarkId::from_parameter(payload), &data, |b, data| {
-            b.iter(|| builder.build(black_box(data)).unwrap());
+        r.bench(&format!("frame_build/{payload}"), None, || {
+            black_box(builder.build(black_box(&data)).unwrap());
         });
     }
-    g.finish();
 }
 
 /// The receive interrupt's job: validate and parse a frame.
-fn bench_frame_parse(c: &mut Criterion) {
-    let mut g = c.benchmark_group("frame_parse");
+fn bench_frame_parse(r: &mut Runner) {
     for payload in [0usize, 1440] {
         let data = vec![0xa5u8; payload];
         let frame = FrameBuilder::new(PacketType::Call).build(&data).unwrap();
-        g.bench_with_input(
-            BenchmarkId::from_parameter(payload),
-            frame.bytes(),
-            |b, bytes| {
-                b.iter(|| Frame::parse(black_box(bytes)).unwrap());
-            },
-        );
+        let bytes = frame.bytes().to_vec();
+        r.bench(&format!("frame_parse/{payload}"), None, || {
+            black_box(Frame::parse(black_box(&bytes)).unwrap());
+        });
     }
-    g.finish();
 }
 
 /// Tables II–IV: marshalling by argument kind on the compiled engine.
-fn bench_marshal(c: &mut Criterion) {
-    let mut g = c.benchmark_group("marshal");
+fn bench_marshal(r: &mut Runner) {
     // Table II: four integers by value.
     let iface =
         parse_interface("DEFINITION MODULE M; PROCEDURE P(a, b, x, y: INTEGER); END M.").unwrap();
@@ -65,8 +149,8 @@ fn bench_marshal(c: &mut Criterion) {
     let ints = CompiledStub::new(p.name(), Arc::clone(p.plan()));
     let args: Vec<Value> = (0..4).map(Value::Integer).collect();
     let mut buf = vec![0u8; 64];
-    g.bench_function("four_integers", |b| {
-        b.iter(|| ints.marshal_call(black_box(&args), &mut buf).unwrap());
+    r.bench("marshal/four_integers", None, || {
+        black_box(ints.marshal_call(black_box(&args), &mut buf).unwrap());
     });
     // Table IV: the 1440-byte open array.
     let iface = test_interface();
@@ -74,9 +158,8 @@ fn bench_marshal(c: &mut Criterion) {
     let blob = CompiledStub::new(p.name(), Arc::clone(p.plan()));
     let args = vec![Value::char_array(1440)];
     let mut big = vec![0u8; 1500];
-    g.throughput(Throughput::Bytes(1440));
-    g.bench_function("open_array_1440", |b| {
-        b.iter(|| blob.marshal_call(black_box(&args), &mut big).unwrap());
+    r.bench("marshal/open_array_1440", Some(1440), || {
+        black_box(blob.marshal_call(black_box(&args), &mut big).unwrap());
     });
     // Table V: a 128-byte Text.T round trip (allocation included).
     let iface = parse_interface("DEFINITION MODULE T; PROCEDURE P(t: Text.T); END T.").unwrap();
@@ -84,58 +167,46 @@ fn bench_marshal(c: &mut Criterion) {
     let text = CompiledStub::new(p.name(), Arc::clone(p.plan()));
     let targs = vec![Value::text(&"z".repeat(128))];
     let mut tbuf = vec![0u8; 256];
-    g.bench_function("text_128_round_trip", |b| {
-        b.iter(|| {
-            let n = text.marshal_call(black_box(&targs), &mut tbuf).unwrap();
-            let args = text.unmarshal_call(&tbuf[..n]).unwrap();
-            black_box(args.len())
-        });
+    r.bench("marshal/text_128_round_trip", None, || {
+        let n = text.marshal_call(black_box(&targs), &mut tbuf).unwrap();
+        let args = text.unmarshal_call(&tbuf[..n]).unwrap();
+        black_box(args.len());
     });
-    g.finish();
 }
 
 /// Table IX analog: interpreted vs compiled stub engines on the same
 /// marshalling plan.
-fn bench_stub_dispatch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stub_dispatch");
+fn bench_stub_dispatch(r: &mut Runner) {
     let iface = test_interface();
     let p = iface.procedure("MaxResult").unwrap();
     let comp = CompiledStub::new(p.name(), Arc::clone(p.plan()));
     let interp = InterpStub::new(p.name(), Arc::clone(p.plan()));
     let out = vec![Value::Bytes(vec![0xabu8; 1440])];
     let mut buf = vec![0u8; 1500];
-    g.throughput(Throughput::Bytes(1440));
-    g.bench_function("compiled", |b| {
-        b.iter(|| comp.marshal_result(black_box(&out), &mut buf).unwrap());
+    r.bench("stub_dispatch/compiled", Some(1440), || {
+        black_box(comp.marshal_result(black_box(&out), &mut buf).unwrap());
     });
-    g.bench_function("interpreted", |b| {
-        b.iter(|| interp.marshal_result(black_box(&out), &mut buf).unwrap());
+    r.bench("stub_dispatch/interpreted", Some(1440), || {
+        black_box(interp.marshal_result(black_box(&out), &mut buf).unwrap());
     });
-    g.finish();
 }
 
 /// The buffer pool's fast path: alloc/free and the recycling path.
-fn bench_pool(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pool");
+fn bench_pool(r: &mut Runner) {
     let pool = BufferPool::new(8);
-    g.bench_function("alloc_free", |b| {
-        b.iter(|| {
-            let buf = pool.alloc().unwrap();
-            black_box(&buf);
-        });
+    r.bench("pool/alloc_free", None, || {
+        let buf = pool.alloc().unwrap();
+        black_box(&buf);
     });
-    g.bench_function("recycle_take", |b| {
-        b.iter(|| {
-            let buf = pool.take_receive_buffer().unwrap();
-            pool.recycle_to_receive_queue(buf);
-        });
+    r.bench("pool/recycle_take", None, || {
+        let buf = pool.take_receive_buffer().unwrap();
+        pool.recycle_to_receive_queue(buf);
     });
-    g.finish();
 }
 
 /// End-to-end round trips: local (shared memory) and remote (loopback
 /// Ethernet) Null() and MaxResult(b) — the modern Table I row 1.
-fn bench_rpc_round_trip(c: &mut Criterion) {
+fn bench_rpc_round_trip(r: &mut Runner) {
     let net = LoopbackNet::new();
     let server = Endpoint::new(net.station(1), Config::default()).unwrap();
     let caller = Endpoint::new(net.station(2), Config::default()).unwrap();
@@ -152,33 +223,29 @@ fn bench_rpc_round_trip(c: &mut Criterion) {
     let remote = caller.bind(&test_interface(), server.address()).unwrap();
     let local = server.bind_local(&test_interface()).unwrap();
 
-    let mut g = c.benchmark_group("rpc_round_trip");
-    g.bench_function("remote_null", |b| {
-        b.iter(|| remote.call("Null", &[]).unwrap());
+    r.bench("rpc_round_trip/remote_null", None, || {
+        black_box(remote.call("Null", &[]).unwrap());
     });
-    g.throughput(Throughput::Bytes(1440));
-    g.bench_function("remote_max_result", |b| {
-        let arg = [Value::char_array(1440)];
-        b.iter(|| remote.call("MaxResult", black_box(&arg)).unwrap());
+    let arg = [Value::char_array(1440)];
+    r.bench("rpc_round_trip/remote_max_result", Some(1440), || {
+        black_box(remote.call("MaxResult", black_box(&arg)).unwrap());
     });
-    g.bench_function("local_null", |b| {
-        b.iter(|| local.call("Null", &[]).unwrap());
+    r.bench("rpc_round_trip/local_null", None, || {
+        black_box(local.call("Null", &[]).unwrap());
     });
-    g.bench_function("local_max_result", |b| {
-        let arg = [Value::char_array(1440)];
-        b.iter(|| local.call("MaxResult", black_box(&arg)).unwrap());
+    r.bench("rpc_round_trip/local_max_result", Some(1440), || {
+        black_box(local.call("MaxResult", black_box(&arg)).unwrap());
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_checksum,
-    bench_frame_build,
-    bench_frame_parse,
-    bench_marshal,
-    bench_stub_dispatch,
-    bench_pool,
-    bench_rpc_round_trip
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new();
+    bench_checksum(&mut r);
+    bench_frame_build(&mut r);
+    bench_frame_parse(&mut r);
+    bench_marshal(&mut r);
+    bench_stub_dispatch(&mut r);
+    bench_pool(&mut r);
+    bench_rpc_round_trip(&mut r);
+    r.report();
+}

@@ -17,7 +17,7 @@
 
 use crate::packet::{Assembled, Packet};
 use firefly_wire::{ActivityId, PacketType, RpcHeader};
-use parking_lot::{Condvar, Mutex};
+use firefly_sync::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;

@@ -26,7 +26,7 @@ use firefly_idl::{engines_for_interface, InterfaceDef, StubEngine, Value};
 use firefly_wire::{
     ActivityId, PacketFlags, PacketType, RpcHeader, DATA_OFFSET, MAX_SINGLE_PACKET_DATA,
 };
-use parking_lot::Mutex;
+use firefly_sync::Mutex;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
@@ -278,6 +278,16 @@ impl Client {
         shared.ctx.transport.send(frame, self.inner.remote)?;
         crate::stats::RpcStats::bump(&shared.ctx.stats.calls_sent);
 
+        // Backoff jitter is seeded from the endpoint config (mixed with
+        // the activity and sequence number so concurrent callers
+        // decorrelate), which keeps retry timing reproducible in tests.
+        let mut jitter = firefly_rng::Rng::new(
+            cfg.rng_seed
+                ^ (u64::from(header.activity.machine) << 32)
+                ^ (u64::from(header.activity.space) << 16)
+                ^ u64::from(header.activity.thread)
+                ^ (u64::from(header.call_seq) << 48),
+        );
         let mut timeout = cfg.retransmit_initial;
         let mut transmissions = 1u32;
         let mut acked = false;
@@ -332,7 +342,11 @@ impl Client {
                         )?;
                         transmissions += 1;
                         crate::stats::RpcStats::bump(&shared.ctx.stats.retransmissions);
-                        timeout = (timeout * 2).min(cfg.retransmit_max);
+                        // Exponential backoff with up to +25% deterministic
+                        // jitter so synchronized callers spread out.
+                        timeout = (timeout * 2)
+                            .min(cfg.retransmit_max)
+                            .mul_f64(1.0 + jitter.f64() * 0.25);
                     }
                 }
             }

@@ -36,6 +36,10 @@ pub struct Config {
     /// fast path) or interpreted library-style marshalling — the real
     /// stack's version of Table IX's Modula-2+/assembly axis.
     pub stub_style: firefly_idl::StubStyle,
+    /// Seed for the endpoint's deterministic RNG (retransmission-backoff
+    /// jitter). Fixed by default so test runs are reproducible; vary it
+    /// per endpoint to decorrelate retry storms between machines.
+    pub rng_seed: u64,
 }
 
 impl Default for Config {
@@ -50,6 +54,7 @@ impl Default for Config {
             machine_id: 0, // 0 means "derive from the transport address".
             space_id: 1,
             stub_style: firefly_idl::StubStyle::Compiled,
+            rng_seed: 0x5eed_f1ef_0001,
         }
     }
 }

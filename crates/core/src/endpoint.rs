@@ -21,7 +21,7 @@ use crate::{Result, RpcError};
 use firefly_idl::InterfaceDef;
 use firefly_pool::BufferPool;
 use firefly_wire::PacketType;
-use parking_lot::Mutex;
+use firefly_sync::Mutex;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::thread::JoinHandle;

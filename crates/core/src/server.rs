@@ -16,11 +16,11 @@ use crate::send::SendCtx;
 use crate::service::Service;
 use crate::stats::RpcStats;
 use crate::{Result, RpcError};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use firefly_idl::{engines_for_interface, StubEngine, StubStyle, Written};
 use firefly_pool::PacketBuf;
+use firefly_sync::channel::{unbounded, Receiver, Sender};
+use firefly_sync::{Condvar, Mutex, RwLock};
 use firefly_wire::{ActivityId, PacketType, RpcHeader, DATA_OFFSET, MAX_SINGLE_PACKET_DATA};
-use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -17,10 +17,9 @@
 //! [`Endpoint`]: crate::Endpoint
 //! [`Client`]: crate::Client
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use firefly_rng::Rng;
+use firefly_sync::channel::{unbounded, Receiver, Sender};
+use firefly_sync::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
@@ -140,7 +139,7 @@ enum Msg {
 struct NetInner {
     stations: Mutex<HashMap<SocketAddr, Sender<Msg>>>,
     faults: Mutex<FaultPlan>,
-    rng: Mutex<StdRng>,
+    rng: Mutex<Rng>,
     frames_sent: Mutex<u64>,
     frames_dropped: Mutex<u64>,
 }
@@ -174,7 +173,7 @@ impl LoopbackNet {
             inner: Arc::new(NetInner {
                 stations: Mutex::new(HashMap::new()),
                 faults: Mutex::new(FaultPlan::default()),
-                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                rng: Mutex::new(Rng::new(seed)),
                 frames_sent: Mutex::new(0),
                 frames_dropped: Mutex::new(0),
             }),
@@ -226,18 +225,18 @@ impl LoopbackNet {
         let mut frame = frame.to_vec();
         {
             let mut rng = self.inner.rng.lock();
-            if plan.loss > 0.0 && rng.random::<f64>() < plan.loss {
+            if plan.loss > 0.0 && rng.f64() < plan.loss {
                 *self.inner.frames_dropped.lock() += 1;
                 return Ok(());
             }
-            if plan.corrupt > 0.0 && rng.random::<f64>() < plan.corrupt && !frame.is_empty() {
-                let i = rng.random_range(0..frame.len());
+            if plan.corrupt > 0.0 && rng.f64() < plan.corrupt && !frame.is_empty() {
+                let i = rng.range_usize(0..frame.len());
                 frame[i] ^= 0x01;
             }
         }
         let copies = {
             let mut rng = self.inner.rng.lock();
-            if plan.duplicate > 0.0 && rng.random::<f64>() < plan.duplicate {
+            if plan.duplicate > 0.0 && rng.f64() < plan.duplicate {
                 2
             } else {
                 1

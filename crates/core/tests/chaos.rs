@@ -2,9 +2,9 @@
 //! combination of loss, duplication, corruption and delay.
 
 use firefly_idl::{parse_interface, Value};
+use firefly_propcheck::{check, prop_assert_eq};
 use firefly_rpc::transport::{FaultPlan, LoopbackNet};
 use firefly_rpc::{Config, Endpoint, ServiceBuilder};
-use proptest::prelude::*;
 use std::time::Duration;
 
 fn echo_setup(
@@ -44,44 +44,51 @@ fn echo_setup(
     (server, caller, client)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 8,
-        .. ProptestConfig::default()
-    })]
-
-    /// Small calls survive any moderate fault mix with correct results.
-    #[test]
-    fn calls_survive_fault_mix(
-        seed in any::<u64>(),
-        loss in 0.0f64..0.25,
-        duplicate in 0.0f64..0.5,
-        corrupt in 0.0f64..0.15,
-    ) {
+/// Small calls survive any moderate fault mix with correct results.
+#[test]
+fn calls_survive_fault_mix() {
+    check("calls_survive_fault_mix", 8, |g| {
+        let seed = g.u64();
+        let loss = g.f64_unit() * 0.25;
+        let duplicate = g.f64_unit() * 0.5;
+        let corrupt = g.f64_unit() * 0.15;
         let net = LoopbackNet::with_seed(seed);
         let (_server, _caller, client) = echo_setup(&net);
-        net.set_faults(FaultPlan { loss, duplicate, corrupt, delay: None });
+        net.set_faults(FaultPlan {
+            loss,
+            duplicate,
+            corrupt,
+            delay: None,
+        });
         for i in 0..15i32 {
             let r = client.call("Twice", &[Value::Integer(i)]).unwrap();
             prop_assert_eq!(r[0].clone(), Value::Integer(2 * i), "call {}", i);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Fragmented bodies survive loss and duplication byte-exactly.
-    #[test]
-    fn fragments_survive_fault_mix(
-        seed in any::<u64>(),
-        loss in 0.0f64..0.12,
-        duplicate in 0.0f64..0.3,
-        size in 2000usize..12_000,
-    ) {
+/// Fragmented bodies survive loss and duplication byte-exactly.
+#[test]
+fn fragments_survive_fault_mix() {
+    check("fragments_survive_fault_mix", 8, |g| {
+        let seed = g.u64();
+        let loss = g.f64_unit() * 0.12;
+        let duplicate = g.f64_unit() * 0.3;
+        let size = g.usize_in(2000..12_000);
         let net = LoopbackNet::with_seed(seed);
         let (_server, _caller, client) = echo_setup(&net);
-        net.set_faults(FaultPlan { loss, duplicate, corrupt: 0.0, delay: None });
+        net.set_faults(FaultPlan {
+            loss,
+            duplicate,
+            corrupt: 0.0,
+            delay: None,
+        });
         let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
         let r = client
             .call("Blob", &[Value::Bytes(data.clone()), Value::Bytes(Vec::new())])
             .unwrap();
         prop_assert_eq!(r[0].as_bytes().unwrap(), &data[..]);
-    }
+        Ok(())
+    });
 }

@@ -25,13 +25,33 @@ fn pair() -> (Arc<Endpoint>, Arc<Endpoint>) {
 
 #[test]
 fn idle_activities_are_reclaimed() {
-    let (server, caller) = pair();
+    // A dedicated setup whose Null handler is slow enough that all eight
+    // calls are in flight at once: activity slots are pooled per client,
+    // so eight *distinct* activities only exist if no call completes
+    // (releasing its slot for reuse) before the last one starts. The
+    // server tracks an activity as soon as its call packet arrives, so
+    // queued calls count even with fewer worker threads than callers.
+    let net = LoopbackNet::new();
+    let server = Endpoint::new(net.station(1), Config::default()).unwrap();
+    let caller = Endpoint::new(net.station(2), Config::default()).unwrap();
+    let service = ServiceBuilder::new(test_interface())
+        .on_call("Null", |_a, _w| {
+            std::thread::sleep(Duration::from_millis(40));
+            Ok(())
+        })
+        .on_call("MaxResult", |_a, _w| Ok(()))
+        .on_call("MaxArg", |_a, _w| Ok(()))
+        .build()
+        .unwrap();
+    server.export(service).unwrap();
     let client = caller.bind(&test_interface(), server.address()).unwrap();
-    // Eight threads create eight distinct activities.
+    let barrier = Arc::new(std::sync::Barrier::new(8));
     let mut handles = Vec::new();
     for _ in 0..8 {
         let c = client.clone();
+        let b = barrier.clone();
         handles.push(std::thread::spawn(move || {
+            b.wait();
             c.call("Null", &[]).unwrap();
         }));
     }

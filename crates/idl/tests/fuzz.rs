@@ -2,47 +2,51 @@
 //! panicking — stubs face wire data from untrusted peers.
 
 use firefly_idl::{parse_interface, test_interface, CompiledStub, StubEngine};
-use proptest::prelude::*;
+use firefly_propcheck::{check, Gen};
 use std::sync::Arc;
 
-proptest! {
-    #[test]
-    fn parser_never_panics(source in "\\PC{0,300}") {
+#[test]
+fn parser_never_panics() {
+    check("parser_never_panics", 256, |g| {
+        let source = g.string(0..300);
         let _ = parse_interface(&source);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn parser_never_panics_on_idl_like_soup(
-        words in proptest::collection::vec(
-            prop_oneof![
-                Just("DEFINITION"), Just("MODULE"), Just("PROCEDURE"),
-                Just("VAR"), Just("IN"), Just("OUT"), Just("ARRAY"),
-                Just("OF"), Just("CHAR"), Just("INTEGER"), Just("RECORD"),
-                Just("END"), Just("Text"), Just("T"), Just(";"), Just(":"),
-                Just("("), Just(")"), Just("."), Just(".."), Just("["),
-                Just("]"), Just(","), Just("x"), Just("0"), Just("1439"),
-            ],
-            0..60,
-        )
-    ) {
+#[test]
+fn parser_never_panics_on_idl_like_soup() {
+    const WORDS: &[&str] = &[
+        "DEFINITION", "MODULE", "PROCEDURE", "VAR", "IN", "OUT", "ARRAY", "OF", "CHAR",
+        "INTEGER", "RECORD", "END", "Text", "T", ";", ":", "(", ")", ".", "..", "[", "]",
+        ",", "x", "0", "1439",
+    ];
+    check("parser_never_panics_on_idl_like_soup", 256, |g: &mut Gen| {
+        let words = g.vec(0..60, |g| *g.choose(WORDS));
         let source = words.join(" ");
         let _ = parse_interface(&source);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn unmarshal_never_panics_on_garbage(
-        data in proptest::collection::vec(any::<u8>(), 0..256),
-        proc_index in 0usize..3,
-    ) {
+#[test]
+fn unmarshal_never_panics_on_garbage() {
+    check("unmarshal_never_panics_on_garbage", 256, |g| {
+        let data = g.bytes(0..256);
+        let proc_index = g.usize_in(0..3);
         let iface = test_interface();
         let p = &iface.procedures()[proc_index];
         let stub = CompiledStub::new(p.name(), Arc::clone(p.plan()));
         let _ = stub.unmarshal_call(&data);
         let _ = stub.unmarshal_result(&data);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn record_unmarshal_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+#[test]
+fn record_unmarshal_never_panics() {
+    check("record_unmarshal_never_panics", 256, |g| {
+        let data = g.bytes(0..128);
         let iface = parse_interface(
             "DEFINITION MODULE F;
                PROCEDURE P(r: RECORD a: INTEGER; t: Text.T; b: BOOLEAN END);
@@ -52,5 +56,6 @@ proptest! {
         let p = iface.procedure("P").unwrap();
         let stub = CompiledStub::new(p.name(), Arc::clone(p.plan()));
         let _ = stub.unmarshal_call(&data);
-    }
+        Ok(())
+    });
 }

@@ -4,69 +4,61 @@
 
 use firefly_idl::ast::{Mode, TypeExpr};
 use firefly_idl::parse_interface;
-use proptest::prelude::*;
+use firefly_propcheck::{check, prop_assert_eq, Gen};
 
-fn arb_scalar() -> impl Strategy<Value = TypeExpr> {
-    prop_oneof![
-        Just(TypeExpr::Integer),
-        Just(TypeExpr::Cardinal),
-        Just(TypeExpr::Char),
-        Just(TypeExpr::Boolean),
-        Just(TypeExpr::Real),
-    ]
+fn arb_scalar(g: &mut Gen) -> TypeExpr {
+    g.choose(&[
+        TypeExpr::Integer,
+        TypeExpr::Cardinal,
+        TypeExpr::Char,
+        TypeExpr::Boolean,
+        TypeExpr::Real,
+    ])
+    .clone()
 }
 
 /// Types the IDL accepts in any position: scalars, Text.T, CHAR/scalar
-/// arrays (fixed and open), and flat records.
-fn arb_type() -> impl Strategy<Value = TypeExpr> {
-    prop_oneof![
-        4 => arb_scalar(),
-        1 => Just(TypeExpr::Text),
-        2 => (arb_scalar(), 1usize..100).prop_map(|(elem, len)| TypeExpr::FixedArray {
-            len,
-            elem: Box::new(elem),
-        }),
-        2 => arb_scalar().prop_map(|elem| TypeExpr::OpenArray {
-            elem: Box::new(elem),
-        }),
-        1 => proptest::collection::vec(arb_scalar(), 1..4).prop_map(|ts| TypeExpr::Record {
-            fields: ts
-                .into_iter()
-                .enumerate()
-                .map(|(i, t)| (format!("f{i}"), t))
+/// arrays (fixed and open), and flat records — weighted like the
+/// original proptest strategy (4:1:2:2:1).
+fn arb_type(g: &mut Gen) -> TypeExpr {
+    match g.usize_in(0..10) {
+        0..=3 => arb_scalar(g),
+        4 => TypeExpr::Text,
+        5 | 6 => TypeExpr::FixedArray {
+            len: g.usize_in(1..100),
+            elem: Box::new(arb_scalar(g)),
+        },
+        7 | 8 => TypeExpr::OpenArray {
+            elem: Box::new(arb_scalar(g)),
+        },
+        _ => TypeExpr::Record {
+            fields: (0..g.usize_in(1..4))
+                .map(|i| (format!("f{i}"), arb_scalar(g)))
                 .collect(),
-        }),
-    ]
+        },
+    }
 }
 
-fn arb_mode() -> impl Strategy<Value = Mode> {
-    prop_oneof![
-        Just(Mode::Value),
-        Just(Mode::VarIn),
-        Just(Mode::VarOut),
-        Just(Mode::VarInOut),
-    ]
+fn arb_mode(g: &mut Gen) -> Mode {
+    *g.choose(&[Mode::Value, Mode::VarIn, Mode::VarOut, Mode::VarInOut])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn render_then_parse_is_identity() {
+    check("render_then_parse_is_identity", 64, |g| {
+        let procs: Vec<(Vec<(Mode, TypeExpr)>, Option<TypeExpr>)> = g.vec(1..5, |g| {
+            let params = g.vec(0..4, |g| (arb_mode(g), arb_type(g)));
+            let ret = if g.bool() { Some(arb_type(g)) } else { None };
+            (params, ret)
+        });
 
-    #[test]
-    fn render_then_parse_is_identity(
-        procs in proptest::collection::vec(
-            (proptest::collection::vec((arb_mode(), arb_type()), 0..4), proptest::option::of(arb_type())),
-            1..5,
-        )
-    ) {
         // Build a source text from the generated shapes.
         let mut src = String::from("DEFINITION MODULE Gen;\n");
         for (pi, (params, ret)) in procs.iter().enumerate() {
             let ps: Vec<String> = params
                 .iter()
                 .enumerate()
-                .map(|(ai, (mode, ty))| {
-                    format!("{}a{ai}: {}", mode.to_modula(), ty.to_modula())
-                })
+                .map(|(ai, (mode, ty))| format!("{}a{ai}: {}", mode.to_modula(), ty.to_modula()))
                 .collect();
             let ret_s = match ret {
                 Some(t) => format!(": {}", t.to_modula()),
@@ -83,7 +75,8 @@ proptest! {
         prop_assert_eq!(first.procedures().len(), second.procedures().len());
         // And the rendered text is a fixed point.
         prop_assert_eq!(rendered.clone(), second.to_modula_source());
-    }
+        Ok(())
+    });
 }
 
 #[test]

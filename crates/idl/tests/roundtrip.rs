@@ -2,7 +2,7 @@
 //! engine equivalence (interpreted vs compiled).
 
 use firefly_idl::{parse_interface, CompiledStub, InterpStub, StubEngine, Value};
-use proptest::prelude::*;
+use firefly_propcheck::{check, prop_assert_eq};
 use std::sync::Arc;
 
 fn engines(src: &str, name: &str) -> (CompiledStub, InterpStub) {
@@ -14,15 +14,9 @@ fn engines(src: &str, name: &str) -> (CompiledStub, InterpStub) {
     )
 }
 
-proptest! {
-    #[test]
-    fn scalar_quintuple_round_trips(
-        n in any::<i32>(),
-        c in any::<u32>(),
-        ch in any::<u8>(),
-        b in any::<bool>(),
-        r in any::<f64>().prop_filter("NaN breaks equality", |x| !x.is_nan()),
-    ) {
+#[test]
+fn scalar_quintuple_round_trips() {
+    check("scalar_quintuple_round_trips", 256, |g| {
         let (comp, interp) = engines(
             "DEFINITION MODULE S;
                PROCEDURE P(n: INTEGER; c: CARDINAL; ch: CHAR; b: BOOLEAN; r: LONGREAL);
@@ -30,11 +24,11 @@ proptest! {
             "P",
         );
         let args = vec![
-            Value::Integer(n),
-            Value::Cardinal(c),
-            Value::Char(ch),
-            Value::Boolean(b),
-            Value::Real(r),
+            Value::Integer(g.i32()),
+            Value::Cardinal(g.u32()),
+            Value::Char(g.u8()),
+            Value::Boolean(g.bool()),
+            Value::Real(g.f64_finite()),
         ];
         let mut buf = vec![0u8; 64];
         let len = comp.marshal_call(&args, &mut buf).unwrap();
@@ -46,10 +40,14 @@ proptest! {
         for (got, want) in server.iter().zip(&args) {
             prop_assert_eq!(got.value().unwrap(), want);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn open_char_array_round_trips(data in proptest::collection::vec(any::<u8>(), 0..1436)) {
+#[test]
+fn open_char_array_round_trips() {
+    check("open_char_array_round_trips", 256, |g| {
+        let data = g.bytes(0..1436);
         let (comp, interp) = engines(
             "DEFINITION MODULE A;
                PROCEDURE P(VAR IN blob: ARRAY OF CHAR);
@@ -68,25 +66,29 @@ proptest! {
         // Interpreter copies but sees identical content.
         let iserver = interp.unmarshal_call(&buf[..len]).unwrap();
         prop_assert_eq!(iserver[0].value().unwrap().as_bytes().unwrap(), &data[..]);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn text_round_trips(s in "\\PC{0,200}", use_nil in any::<bool>()) {
-        let (comp, _) = engines(
-            "DEFINITION MODULE T; PROCEDURE P(t: Text.T); END T.",
-            "P",
-        );
+#[test]
+fn text_round_trips() {
+    check("text_round_trips", 256, |g| {
+        let s = g.string(0..200);
+        let use_nil = g.bool();
+        let (comp, _) = engines("DEFINITION MODULE T; PROCEDURE P(t: Text.T); END T.", "P");
         let v = if use_nil { Value::nil_text() } else { Value::text(&s) };
         let mut buf = vec![0u8; 1024];
         let len = comp.marshal_call(std::slice::from_ref(&v), &mut buf).unwrap();
         let server = comp.unmarshal_call(&buf[..len]).unwrap();
         prop_assert_eq!(server[0].value().unwrap(), &v);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn result_zero_copy_equals_copy_for_any_payload(
-        data in proptest::collection::vec(any::<u8>(), 1..1400),
-    ) {
+#[test]
+fn result_zero_copy_equals_copy_for_any_payload() {
+    check("result_zero_copy_equals_copy_for_any_payload", 256, |g| {
+        let data = g.bytes(1..1400);
         let (comp, _) = engines(
             "DEFINITION MODULE R;
                PROCEDURE P(VAR OUT out: ARRAY OF CHAR): INTEGER;
@@ -107,10 +109,14 @@ proptest! {
         prop_assert_eq!(&copy_buf[..copy_len], &zc_buf[..zc_len]);
         let back = comp.unmarshal_result(&copy_buf[..copy_len]).unwrap();
         prop_assert_eq!(back, outputs);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn scalar_array_round_trips(xs in proptest::collection::vec(any::<i32>(), 0..100)) {
+#[test]
+fn scalar_array_round_trips() {
+    check("scalar_array_round_trips", 256, |g| {
+        let xs = g.vec(0..100, |g| g.i32());
         let (comp, interp) = engines(
             "DEFINITION MODULE V;
                PROCEDURE P(VAR IN v: ARRAY OF INTEGER);
@@ -124,14 +130,14 @@ proptest! {
         let b = interp.unmarshal_call(&buf[..len]).unwrap();
         prop_assert_eq!(a[0].value().unwrap(), &args[0]);
         prop_assert_eq!(b[0].value().unwrap(), &args[0]);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn flat_records_round_trip(
-        a in any::<i32>(),
-        b in any::<bool>(),
-        c in any::<u8>(),
-    ) {
+#[test]
+fn flat_records_round_trip() {
+    check("flat_records_round_trip", 256, |g| {
+        let (a, b, c) = (g.i32(), g.bool(), g.u8());
         let (comp, interp) = engines(
             "DEFINITION MODULE R;
                PROCEDURE P(r: RECORD a: INTEGER; b: BOOLEAN; c: CHAR END): RECORD x, y: INTEGER END;
@@ -151,12 +157,14 @@ proptest! {
         let out = Value::Record(vec![Value::Integer(a), Value::Integer(a.wrapping_add(1))]);
         let m = comp.marshal_result(std::slice::from_ref(&out), &mut buf).unwrap();
         prop_assert_eq!(comp.unmarshal_result(&buf[..m]).unwrap()[0].clone(), out);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn corrupt_length_prefix_never_panics(
-        data in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
+#[test]
+fn corrupt_length_prefix_never_panics() {
+    check("corrupt_length_prefix_never_panics", 256, |g| {
+        let data = g.bytes(0..64);
         let (comp, _) = engines(
             "DEFINITION MODULE C;
                PROCEDURE P(VAR IN b: ARRAY OF CHAR; t: Text.T);
@@ -166,5 +174,6 @@ proptest! {
         // Feeding arbitrary bytes must produce Ok or Err, never a panic.
         let _ = comp.unmarshal_call(&data);
         let _ = comp.unmarshal_result(&data);
-    }
+        Ok(())
+    });
 }

@@ -37,7 +37,7 @@
 //! assert_eq!(pool.stats().outstanding(), 0);
 //! ```
 
-use parking_lot::{Condvar, Mutex};
+use firefly_sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::fmt;
 use std::ops::{Deref, DerefMut};

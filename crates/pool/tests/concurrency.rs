@@ -1,7 +1,7 @@
 //! Concurrency and property tests for the buffer pool.
 
 use firefly_pool::{BufferPool, PoolError, BUFFER_SIZE};
-use proptest::prelude::*;
+use firefly_propcheck::{check, prop_assert_eq};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -52,11 +52,12 @@ fn receive_queue_buffers_are_reusable() {
     assert_eq!(pool.free_count() + pool.receive_queue_len(), 4);
 }
 
-proptest! {
-    /// Any interleaving of alloc/free/recycle keeps the buffer count
-    /// conserved: free + receive_queue + outstanding == capacity.
-    #[test]
-    fn buffer_count_is_conserved(ops in proptest::collection::vec(0u8..4, 1..200)) {
+/// Any interleaving of alloc/free/recycle keeps the buffer count
+/// conserved: free + receive_queue + outstanding == capacity.
+#[test]
+fn buffer_count_is_conserved() {
+    check("buffer_count_is_conserved", 256, |g| {
+        let ops = g.vec(1..200, |g| g.usize_in(0..4));
         let capacity = 6;
         let pool = BufferPool::new(capacity);
         let mut held = Vec::new();
@@ -85,11 +86,15 @@ proptest! {
             prop_assert_eq!(total, capacity);
             prop_assert_eq!(pool.stats().outstanding(), held.len() as u64);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Writes through one handle never alias another live handle.
-    #[test]
-    fn buffers_do_not_alias(n in 2usize..6) {
+/// Writes through one handle never alias another live handle.
+#[test]
+fn buffers_do_not_alias() {
+    check("buffers_do_not_alias", 64, |g| {
+        let n = g.usize_in(2..6);
         let pool = BufferPool::new(n);
         let mut bufs: Vec<_> = (0..n).map(|_| pool.alloc().unwrap()).collect();
         for (i, b) in bufs.iter_mut().enumerate() {
@@ -101,5 +106,6 @@ proptest! {
             prop_assert_eq!(b[0], i as u8);
             prop_assert_eq!(b[BUFFER_SIZE - 1], (i * 7) as u8);
         }
-    }
+        Ok(())
+    });
 }

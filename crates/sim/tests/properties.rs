@@ -1,9 +1,9 @@
 //! Property tests of the simulator: determinism, conservation, and
 //! monotonicity of the cost model under parameter changes.
 
+use firefly_propcheck::{check, prop_assert, prop_assert_eq};
 use firefly_sim::workload::{run, Procedure, WorkloadSpec};
 use firefly_sim::CostModel;
-use proptest::prelude::*;
 
 fn spec(threads: usize, calls: u64, p: Procedure, caller: usize, server: usize) -> WorkloadSpec {
     WorkloadSpec {
@@ -24,34 +24,40 @@ fn simulation_is_deterministic() {
     assert_eq!(a.caller_cpus_used, b.caller_cpus_used);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Every requested call completes, whatever the configuration.
-    #[test]
-    fn all_calls_complete(
-        threads in 1usize..6,
-        calls in 50u64..300,
-        caller in 1usize..6,
-        server in 1usize..6,
-    ) {
+/// Every requested call completes, whatever the configuration.
+#[test]
+fn all_calls_complete() {
+    check("all_calls_complete", 12, |g| {
+        let threads = g.usize_in(1..6);
+        let calls = g.range(50..300);
+        let caller = g.usize_in(1..6);
+        let server = g.usize_in(1..6);
         let r = run(&spec(threads, calls, Procedure::Null, caller, server));
         prop_assert_eq!(r.calls, calls);
         prop_assert!(r.seconds > 0.0);
-    }
+        Ok(())
+    });
+}
 
-    /// More processors never make things slower (weak monotonicity with
-    /// a small tolerance for scheduling noise).
-    #[test]
-    fn more_cpus_never_hurt(threads in 1usize..4, calls in 100u64..250) {
+/// More processors never make things slower (weak monotonicity with
+/// a small tolerance for scheduling noise).
+#[test]
+fn more_cpus_never_hurt() {
+    check("more_cpus_never_hurt", 12, |g| {
+        let threads = g.usize_in(1..4);
+        let calls = g.range(100..250);
         let slow = run(&spec(threads, calls, Procedure::Null, 1, 1)).seconds;
         let fast = run(&spec(threads, calls, Procedure::Null, 5, 5)).seconds;
-        prop_assert!(fast <= slow * 1.02, "5x5 {fast} vs 1x1 {slow}");
-    }
+        prop_assert!(fast <= slow * 1.02, "5x5 {} vs 1x1 {}", fast, slow);
+        Ok(())
+    });
+}
 
-    /// Latency never beats the analytic composition (queueing only adds).
-    #[test]
-    fn latency_never_beats_the_account(threads in 1usize..8) {
+/// Latency never beats the analytic composition (queueing only adds).
+#[test]
+fn latency_never_beats_the_account() {
+    check("latency_never_beats_the_account", 12, |g| {
+        let threads = g.usize_in(1..8);
         let m = CostModel::paper();
         let r = run(&spec(threads, 300, Procedure::Null, 5, 5));
         prop_assert!(
@@ -60,26 +66,33 @@ proptest! {
             r.mean_latency_us,
             m.null_composed()
         );
-    }
+        Ok(())
+    });
+}
 
-    /// Utilization is bounded by the machine's processor count.
-    #[test]
-    fn utilization_is_physical(
-        threads in 1usize..8,
-        caller in 1usize..6,
-        server in 1usize..6,
-    ) {
+/// Utilization is bounded by the machine's processor count.
+#[test]
+fn utilization_is_physical() {
+    check("utilization_is_physical", 12, |g| {
+        let threads = g.usize_in(1..8);
+        let caller = g.usize_in(1..6);
+        let server = g.usize_in(1..6);
         let r = run(&spec(threads, 200, Procedure::MaxResult, caller, server));
         prop_assert!(r.caller_cpus_used <= caller as f64 + 1e-9);
         prop_assert!(r.server_cpus_used <= server as f64 + 1e-9);
         prop_assert!(r.caller_cpus_used >= 0.0);
-    }
+        Ok(())
+    });
+}
 
-    /// Throughput in Mb/s equals the payload identity.
-    #[test]
-    fn throughput_identity(threads in 1usize..5) {
+/// Throughput in Mb/s equals the payload identity.
+#[test]
+fn throughput_identity() {
+    check("throughput_identity", 12, |g| {
+        let threads = g.usize_in(1..5);
         let r = run(&spec(threads, 200, Procedure::MaxResult, 5, 5));
         let expected = r.calls as f64 * 1440.0 * 8.0 / r.seconds / 1e6;
         prop_assert!((r.megabits_per_sec - expected).abs() < 1e-6);
-    }
+        Ok(())
+    });
 }

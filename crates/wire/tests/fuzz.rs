@@ -1,32 +1,42 @@
 //! Robustness: arbitrary bytes must never panic the parsers — the
 //! receive interrupt routine cannot afford to crash on a garbage frame.
 
+use firefly_propcheck::{check, prop_assert_eq};
 use firefly_wire::{EthernetHeader, Frame, FrameView, Ipv4Header, RpcHeader, UdpHeader};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn frame_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..1600)) {
+#[test]
+fn frame_parse_never_panics() {
+    check("frame_parse_never_panics", 256, |g| {
+        let bytes = g.bytes(0..1600);
         let _ = Frame::parse(&bytes);
         let _ = FrameView::parse(&bytes);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn header_decoders_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn header_decoders_never_panic() {
+    check("header_decoders_never_panic", 256, |g| {
+        let bytes = g.bytes(0..64);
         let _ = EthernetHeader::decode(&bytes);
         let _ = Ipv4Header::decode(&bytes);
         let _ = UdpHeader::decode(&bytes);
         let _ = RpcHeader::decode(&bytes);
-    }
+        Ok(())
+    });
+}
 
-    /// A frame that parses must re-encode to something that parses to
-    /// the same headers (parse/encode idempotence on valid inputs).
-    #[test]
-    fn valid_frames_reparse_stably(bytes in proptest::collection::vec(any::<u8>(), 74..1514)) {
+/// A frame that parses must re-encode to something that parses to
+/// the same headers (parse/encode idempotence on valid inputs).
+#[test]
+fn valid_frames_reparse_stably() {
+    check("valid_frames_reparse_stably", 256, |g| {
+        let bytes = g.bytes(74..1514);
         if let Ok(frame) = Frame::parse(&bytes) {
             let view = FrameView::parse(&bytes).expect("Frame::parse accepted it");
             prop_assert_eq!(frame.rpc, view.rpc);
             prop_assert_eq!(&frame.data[..], view.data);
         }
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run fully offline to prove the build is hermetic:
+# a clean checkout with an empty cargo registry must build and pass every
+# test. tests/hermetic.rs additionally asserts no manifest can reintroduce
+# a registry dependency.
+#
+# Usage:
+#   scripts/verify.sh            # offline release build + full test suite
+#   FIREFLY_VERIFY_LINT=1 scripts/verify.sh   # also run fmt + clippy
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release --offline (workspace)"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline (workspace)"
+cargo test -q --offline --workspace
+
+# Lint gates are opt-in: rustfmt/clippy components may be absent from a
+# minimal toolchain, and their absence must not fail the hermetic check.
+if [[ "${FIREFLY_VERIFY_LINT:-0}" == "1" ]]; then
+    if command -v rustfmt >/dev/null 2>&1; then
+        echo "==> cargo fmt --check"
+        cargo fmt --all --check
+    else
+        echo "==> rustfmt not installed; skipping fmt check"
+    fi
+    if cargo clippy --version >/dev/null 2>&1; then
+        echo "==> cargo clippy"
+        cargo clippy --offline --workspace --all-targets -- -D warnings
+    else
+        echo "==> clippy not installed; skipping lint"
+    fi
+fi
+
+echo "verify: OK"

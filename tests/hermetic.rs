@@ -1,0 +1,165 @@
+//! Hermetic-build guard: the workspace must never grow a registry
+//! dependency. Every `Cargo.toml` is parsed and each dependency entry
+//! must resolve to an in-tree path (directly or via `workspace = true`
+//! against the root's path-only `[workspace.dependencies]`).
+//!
+//! This keeps `cargo build --offline` working from a clean checkout
+//! with an empty cargo registry — the property scripts/verify.sh
+//! exercises end to end.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crate names this repo deliberately replaced with in-tree equivalents;
+/// they must never reappear in any manifest section.
+const BANNED: &[&str] = &[
+    "parking_lot",
+    "crossbeam",
+    "crossbeam-channel",
+    "rand",
+    "rand_core",
+    "proptest",
+    "criterion",
+];
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn manifests() -> Vec<PathBuf> {
+    let root = workspace_root();
+    let mut found = vec![root.join("Cargo.toml")];
+    for entry in fs::read_dir(root.join("crates")).expect("crates/ directory") {
+        let dir = entry.expect("readable dir entry").path();
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            found.push(manifest);
+        }
+    }
+    assert!(
+        found.len() >= 8,
+        "expected the root and at least 7 crate manifests, found {}",
+        found.len()
+    );
+    found
+}
+
+/// One `name = ...` entry from a dependency section.
+struct Dep {
+    manifest: PathBuf,
+    section: String,
+    name: String,
+    spec: String,
+}
+
+/// Minimal TOML scan: collects entries of every `[...dependencies...]`
+/// section (table-form `name = { ... }` or string-form `name = "1.0"`).
+fn dependency_entries(manifest: &Path) -> Vec<Dep> {
+    let text = fs::read_to_string(manifest).expect("readable manifest");
+    let mut section = String::new();
+    let mut deps = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        if !section.contains("dependencies") {
+            continue;
+        }
+        if let Some((name, spec)) = line.split_once('=') {
+            let mut name = name.trim().trim_matches('"').to_string();
+            let mut spec = spec.trim().to_string();
+            // Normalize the dotted form `name.workspace = true`.
+            if let Some(bare) = name.strip_suffix(".workspace") {
+                name = bare.to_string();
+                spec = format!("workspace = {spec}");
+            }
+            deps.push(Dep {
+                manifest: manifest.to_path_buf(),
+                section: section.clone(),
+                name,
+                spec,
+            });
+        }
+    }
+    deps
+}
+
+fn is_path_only(spec: &str) -> bool {
+    spec.contains("path =")
+        && !spec.contains("version =")
+        && !spec.contains("git =")
+        && !spec.contains("registry =")
+}
+
+#[test]
+fn every_dependency_is_an_in_tree_path() {
+    for manifest in manifests() {
+        for dep in dependency_entries(&manifest) {
+            let ok = if dep.spec.contains("workspace = true") {
+                // Resolved against [workspace.dependencies], checked below.
+                true
+            } else {
+                is_path_only(&dep.spec)
+            };
+            assert!(
+                ok,
+                "{}: [{}] `{}` is not a pure path dependency: {}",
+                dep.manifest.display(),
+                dep.section,
+                dep.name,
+                dep.spec
+            );
+        }
+    }
+}
+
+#[test]
+fn workspace_dependency_table_is_path_only() {
+    let root = workspace_root().join("Cargo.toml");
+    let entries: Vec<Dep> = dependency_entries(&root)
+        .into_iter()
+        .filter(|d| d.section == "workspace.dependencies")
+        .collect();
+    assert!(!entries.is_empty(), "workspace.dependencies table exists");
+    for dep in entries {
+        assert!(
+            is_path_only(&dep.spec) && dep.spec.contains("crates/"),
+            "workspace dependency `{}` must point into crates/: {}",
+            dep.name,
+            dep.spec
+        );
+    }
+}
+
+#[test]
+fn replaced_crates_never_come_back() {
+    for manifest in manifests() {
+        for dep in dependency_entries(&manifest) {
+            assert!(
+                !BANNED.contains(&dep.name.as_str()),
+                "{}: [{}] depends on banned crate `{}`",
+                manifest.display(),
+                dep.section,
+                dep.name
+            );
+        }
+    }
+}
+
+#[test]
+fn no_lockfile_entry_references_the_registry() {
+    let lock = workspace_root().join("Cargo.lock");
+    if !lock.is_file() {
+        return; // Nothing locked yet; cargo will only see path deps anyway.
+    }
+    let text = fs::read_to_string(lock).expect("readable lockfile");
+    assert!(
+        !text.contains("registry+https://"),
+        "Cargo.lock pins a registry crate — the build is no longer hermetic"
+    );
+}
