@@ -5,6 +5,9 @@
 //! Markdown (`--markdown`), so EXPERIMENTS.md can be regenerated
 //! mechanically.
 
+// No unsafe anywhere in this crate — see DESIGN.md ("Unsafe policy").
+#![forbid(unsafe_code)]
+
 use firefly_metrics::Table;
 
 /// Output mode selected by the command line.

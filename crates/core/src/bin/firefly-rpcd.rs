@@ -184,7 +184,10 @@ fn cmd_serve(interface: InterfaceDef, addr: SocketAddr) {
         endpoint.address()
     );
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+        // Serving happens on the endpoint's own threads; this thread
+        // only has to stay alive. `park` needs no wakeup schedule
+        // (spurious unparks just loop) and burns nothing while waiting.
+        std::thread::park();
     }
 }
 

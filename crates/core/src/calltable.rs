@@ -190,6 +190,9 @@ impl CallTable {
                 let count = rpc.fragment_count;
                 let reass = st.reassembly.get_or_insert_with(|| Reassembly {
                     count,
+                    // lint:allow(no-alloc-on-fast-path): multi-fragment
+                    // reassembly is the stop-and-wait slow path; the
+                    // single-packet fast path never reaches this arm.
                     received: vec![None; count as usize],
                 });
                 if reass.count != count || frag >= reass.received.len() {
@@ -197,17 +200,23 @@ impl CallTable {
                     return Deliver::Orphan(pkt);
                 }
                 if reass.received[frag].is_none() {
+                    // lint:allow(no-alloc-on-fast-path): fragment bodies
+                    // outlive the pooled packet buffer, so the slow path
+                    // copies them out; single-packet results never do.
                     reass.received[frag] = Some(pkt.data().to_vec());
                 }
                 let complete = reass.received.iter().all(|f| f.is_some());
                 let ack = RpcHeader::ack_for(&rpc);
                 if complete {
-                    let parts = st.reassembly.take().expect("just inserted");
-                    let data = parts
-                        .received
-                        .into_iter()
-                        .flat_map(|f| f.expect("all present"))
-                        .collect();
+                    // `complete` has just verified every slot, so the
+                    // double flatten drops nothing; written without
+                    // expect() so the demultiplexer thread can never
+                    // panic here (a dead demux strands every caller).
+                    let Some(parts) = st.reassembly.take() else {
+                        drop(st);
+                        return Deliver::Orphan(pkt);
+                    };
+                    let data = parts.received.into_iter().flatten().flatten().collect();
                     st.outcome = Some(Assembled::Multi { rpc, data });
                     drop(st);
                     entry.cond.notify_one();
@@ -286,6 +295,56 @@ mod tests {
         let _entry = table.register(activity(), 5);
         let pkt = result_packet(4, &[], 0, 1);
         assert!(matches!(table.deliver(pkt), Deliver::Orphan(_)));
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_fragments_reassemble_without_panic() {
+        // Regression for the reassembly rewrite: the completion path
+        // must tolerate any arrival order and duplicated fragments
+        // (the old expect()-based code assumed a clean interleaving).
+        let table = CallTable::new();
+        let entry = table.register(activity(), 9);
+        assert!(matches!(
+            table.deliver(result_packet(9, &[30, 31], 2, 3)),
+            Deliver::AcceptedNeedsAck(_)
+        ));
+        assert!(matches!(
+            table.deliver(result_packet(9, &[10, 11], 0, 3)),
+            Deliver::AcceptedNeedsAck(_)
+        ));
+        // Duplicate of an already-buffered fragment.
+        assert!(matches!(
+            table.deliver(result_packet(9, &[10, 11], 0, 3)),
+            Deliver::AcceptedNeedsAck(_)
+        ));
+        assert!(matches!(
+            table.deliver(result_packet(9, &[20, 21], 1, 3)),
+            Deliver::Accepted
+        ));
+        match entry.wait(Instant::now() + Duration::from_secs(1)) {
+            Wait::Complete(a) => assert_eq!(a.data(), &[10, 11, 20, 21, 30, 31]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fragment_index_out_of_range_is_orphaned_not_a_panic() {
+        let table = CallTable::new();
+        let _entry = table.register(activity(), 9);
+        assert!(matches!(
+            table.deliver(result_packet(9, &[1], 0, 3)),
+            Deliver::AcceptedNeedsAck(_)
+        ));
+        // Claims fragment 7 of 3 — malformed; must be orphaned.
+        assert!(matches!(
+            table.deliver(result_packet(9, &[2], 7, 3)),
+            Deliver::Orphan(_)
+        ));
+        // A count mismatch mid-reassembly is equally malformed.
+        assert!(matches!(
+            table.deliver(result_packet(9, &[3], 1, 5)),
+            Deliver::Orphan(_)
+        ));
     }
 
     #[test]
@@ -369,7 +428,7 @@ mod tests {
         let entry = table.register(activity(), 1);
         let t2 = Arc::clone(&table);
         let h = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(20));
+            firefly_sync::test_sleep();
             t2.deliver(result_packet(1, &[42], 0, 1));
         });
         match entry.wait(Instant::now() + Duration::from_secs(5)) {

@@ -101,6 +101,8 @@ impl Client {
         Client {
             inner: Arc::new(ClientInner {
                 activities: ActivityPool {
+                    // lint:allow(no-alloc-on-fast-path): one-time Client
+                    // construction at bind time, not the per-call path.
                     free: Mutex::new(Vec::new()),
                     shared: Arc::clone(&shared),
                     machine,
@@ -183,6 +185,10 @@ impl Client {
             Err(firefly_idl::IdlError::BufferTooSmall { .. }) => {
                 let mut size = 4 * MAX_SINGLE_PACKET_DATA;
                 loop {
+                    // lint:allow(no-alloc-on-fast-path): oversized
+                    // argument lists take the fragmentation slow path;
+                    // single-packet calls marshal straight into the
+                    // pooled buffer above.
                     let mut big = vec![0u8; size];
                     match stub.marshal_call(args, &mut big) {
                         Ok(n) => {
@@ -410,7 +416,9 @@ impl Client {
             }
         }
         // The final fragment behaves like a single-packet call.
-        let (index, chunk) = *chunks.last().expect("at least one fragment");
+        let (index, chunk) = *chunks.last().ok_or(RpcError::Internal {
+            context: "fragmented transfer produced zero fragments",
+        })?;
         let final_header = RpcHeader {
             fragment: index,
             fragment_count: count,

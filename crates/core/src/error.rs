@@ -31,6 +31,13 @@ pub enum RpcError {
     /// The caller's deadline passed before the result arrived (the call
     /// may still execute at the server).
     DeadlineExceeded,
+    /// A runtime invariant did not hold. This replaces fast-path
+    /// panics: instead of taking down the demultiplexer or a worker
+    /// thread, a broken invariant fails only the call that hit it.
+    Internal {
+        /// Which invariant was violated, for the error report.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for RpcError {
@@ -48,6 +55,9 @@ impl fmt::Display for RpcError {
             RpcError::Binding(m) => write!(f, "binding error: {m}"),
             RpcError::TooLarge(n) => write!(f, "{n} bytes exceed the maximum transferable size"),
             RpcError::DeadlineExceeded => write!(f, "caller deadline exceeded"),
+            RpcError::Internal { context } => {
+                write!(f, "internal invariant violated: {context}")
+            }
         }
     }
 }
@@ -98,6 +108,15 @@ mod tests {
         assert!(e.to_string().contains("11"));
         let e = RpcError::Remote("no such interface".into());
         assert!(e.to_string().contains("no such interface"));
+    }
+
+    #[test]
+    fn internal_carries_the_broken_invariant() {
+        let e = RpcError::Internal {
+            context: "fragmented transfer produced zero fragments",
+        };
+        assert!(e.to_string().contains("invariant"));
+        assert!(e.to_string().contains("zero fragments"));
     }
 
     #[test]

@@ -79,6 +79,9 @@
 //! assert_eq!(r[0].as_bytes().unwrap().len(), 1440);
 //! ```
 
+// No unsafe anywhere in this crate — see DESIGN.md ("Unsafe policy").
+#![forbid(unsafe_code)]
+
 pub mod auth;
 pub mod binder;
 pub mod calltable;

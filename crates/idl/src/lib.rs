@@ -42,6 +42,9 @@
 //! assert_eq!(interface.procedures().len(), 3);
 //! ```
 
+// No unsafe anywhere in this crate — see DESIGN.md ("Unsafe policy").
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod codegen;
 pub mod cost;

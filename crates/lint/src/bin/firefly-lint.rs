@@ -1,0 +1,57 @@
+//! Workspace lint driver. Usage: `firefly-lint [workspace-root]`.
+//!
+//! With no argument, walks upward from the current directory to the
+//! first `Cargo.toml` containing `[workspace]`. Exits 1 when any
+//! diagnostic is emitted, 2 on I/O errors.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use firefly_lint::Engine;
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => match find_workspace_root() {
+            Some(root) => root,
+            None => {
+                eprintln!("firefly-lint: no workspace root found (looked for [workspace] in Cargo.toml)");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let engine = Engine::for_root(&root);
+    match engine.run(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("firefly-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                eprintln!("{d}");
+            }
+            eprintln!("firefly-lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("firefly-lint: I/O error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

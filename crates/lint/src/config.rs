@@ -1,0 +1,295 @@
+//! Lint configuration: compiled-in defaults plus a `lint.toml` overlay.
+//!
+//! The checked-in `lint.toml` at the workspace root is the source of
+//! truth for which files are on the fast path, the global lock order,
+//! and the banned dependency list. The compiled-in defaults are kept
+//! identical so the engine still runs sensibly if the file is absent
+//! (e.g. when linting a fixture tree in tests).
+//!
+//! Only the TOML subset the config needs is parsed: `[section]`
+//! headers, `key = "string"`, and `key = ["a", "b", ...]` arrays
+//! (single- or multi-line). Unknown sections and keys are ignored, so
+//! the file can carry commentary for future rules.
+
+use std::collections::HashMap;
+
+/// One lock class: a rank in the global order plus the receiver field
+/// names that acquire it.
+#[derive(Debug, Clone)]
+pub struct LockClass {
+    /// Class name as declared in the order (e.g. `calltable`).
+    pub name: String,
+    /// Identifiers of fields whose `.lock()`/`.read()`/`.write()`
+    /// acquire this class (e.g. `entries`, `state`).
+    pub receivers: Vec<String>,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Path prefixes (relative to the workspace root, `/`-separated)
+    /// where `no-panic-on-fast-path` applies.
+    pub no_panic_files: Vec<String>,
+    /// Path prefixes where `no-alloc-on-fast-path` applies.
+    pub no_alloc_files: Vec<String>,
+    /// Substrings marking a line as error construction — allocation
+    /// there is exempt from `no-alloc-on-fast-path`, because error
+    /// paths are off the fast path by definition.
+    pub error_markers: Vec<String>,
+    /// Lock classes in their global acquisition order.
+    pub lock_order: Vec<LockClass>,
+    /// Path prefixes where `lock-order` applies.
+    pub lock_files: Vec<String>,
+    /// Banned registry crates for `hermetic-deps`.
+    pub banned_deps: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            no_panic_files: vec![
+                "crates/core/src/client.rs".into(),
+                "crates/core/src/server.rs".into(),
+                "crates/core/src/transport.rs".into(),
+                "crates/core/src/send.rs".into(),
+                "crates/core/src/packet.rs".into(),
+                "crates/core/src/fragment.rs".into(),
+                "crates/core/src/calltable.rs".into(),
+                "crates/core/src/endpoint.rs".into(),
+                "crates/wire/src".into(),
+            ],
+            no_alloc_files: vec![
+                "crates/core/src/client.rs".into(),
+                "crates/core/src/server.rs".into(),
+                "crates/core/src/transport.rs".into(),
+                "crates/core/src/send.rs".into(),
+                "crates/core/src/packet.rs".into(),
+                "crates/core/src/fragment.rs".into(),
+                "crates/core/src/calltable.rs".into(),
+                "crates/core/src/endpoint.rs".into(),
+                "crates/wire/src".into(),
+            ],
+            error_markers: vec![
+                "Err(".into(),
+                "RpcError::".into(),
+                "WireError::".into(),
+                "IdlError::".into(),
+                "PoolError::".into(),
+                "map_err".into(),
+                "ok_or_else".into(),
+            ],
+            lock_order: vec![
+                LockClass {
+                    name: "calltable".into(),
+                    receivers: vec![
+                        "entries".into(),
+                        "state".into(),
+                        "activities".into(),
+                        "calls".into(),
+                    ],
+                },
+                LockClass {
+                    name: "pool".into(),
+                    receivers: vec!["free".into(), "receive_queue".into()],
+                },
+                LockClass {
+                    name: "stats".into(),
+                    receivers: vec![
+                        "stats".into(),
+                        "frames_sent".into(),
+                        "frames_dropped".into(),
+                    ],
+                },
+            ],
+            lock_files: vec!["crates/core/src".into(), "crates/pool/src".into()],
+            banned_deps: vec![
+                "parking_lot".into(),
+                "crossbeam".into(),
+                "crossbeam-channel".into(),
+                "rand".into(),
+                "rand_core".into(),
+                "proptest".into(),
+                "criterion".into(),
+            ],
+        }
+    }
+}
+
+impl Config {
+    /// Parses a `lint.toml` overlay on top of the defaults. Keys that
+    /// are present replace the corresponding default wholesale.
+    pub fn from_toml(text: &str) -> Config {
+        let mut config = Config::default();
+        let sections = parse_sections(text);
+        if let Some(s) = sections.get("no-panic-on-fast-path") {
+            if let Some(v) = s.get("files") {
+                config.no_panic_files = v.clone();
+            }
+        }
+        if let Some(s) = sections.get("no-alloc-on-fast-path") {
+            if let Some(v) = s.get("files") {
+                config.no_alloc_files = v.clone();
+            }
+            if let Some(v) = s.get("error_markers") {
+                config.error_markers = v.clone();
+            }
+        }
+        if let Some(s) = sections.get("lock-order") {
+            if let Some(order) = s.get("order") {
+                config.lock_order = order
+                    .iter()
+                    .map(|name| LockClass {
+                        name: name.clone(),
+                        receivers: s.get(name.as_str()).cloned().unwrap_or_default(),
+                    })
+                    .collect();
+            }
+            if let Some(v) = s.get("files") {
+                config.lock_files = v.clone();
+            }
+        }
+        if let Some(s) = sections.get("hermetic-deps") {
+            if let Some(v) = s.get("banned") {
+                config.banned_deps = v.clone();
+            }
+        }
+        config
+    }
+
+    /// True when `rel_path` falls under any of the given prefixes.
+    pub fn path_matches(rel_path: &str, prefixes: &[String]) -> bool {
+        prefixes.iter().any(|p| {
+            rel_path == p || rel_path.starts_with(&format!("{p}/")) || rel_path.starts_with(p)
+        })
+    }
+}
+
+/// `[section] → key → list-of-strings` (a bare string parses as a
+/// one-element list).
+fn parse_sections(text: &str) -> HashMap<String, HashMap<String, Vec<String>>> {
+    let mut sections: HashMap<String, HashMap<String, Vec<String>>> = HashMap::new();
+    let mut current = String::new();
+    let mut lines = text.lines().peekable();
+    while let Some(raw) = lines.next() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            current = line.trim_matches(['[', ']']).to_string();
+            sections.entry(current.clone()).or_default();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let mut value = value.trim().to_string();
+        // Accumulate a multi-line array until the closing bracket.
+        if value.starts_with('[') && !value.ends_with(']') {
+            for more in lines.by_ref() {
+                let more = strip_toml_comment(more).trim().to_string();
+                value.push(' ');
+                value.push_str(&more);
+                if more.ends_with(']') {
+                    break;
+                }
+            }
+        }
+        let items = parse_value(&value);
+        sections.entry(current.clone()).or_default().insert(key, items);
+    }
+    sections
+}
+
+/// Strips a `#` comment that is not inside a quoted string.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `"x"` or `["a", "b"]` into a list of strings.
+fn parse_value(value: &str) -> Vec<String> {
+    let value = value.trim();
+    let inner = if value.starts_with('[') && value.ends_with(']') {
+        &value[1..value.len() - 1]
+    } else {
+        value
+    };
+    inner
+        .split(',')
+        .map(|s| s.trim().trim_matches('"').to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_the_fast_path_modules() {
+        let c = Config::default();
+        assert!(Config::path_matches(
+            "crates/core/src/calltable.rs",
+            &c.no_panic_files
+        ));
+        assert!(Config::path_matches(
+            "crates/wire/src/frame.rs",
+            &c.no_panic_files
+        ));
+        assert!(!Config::path_matches(
+            "crates/sim/src/engine.rs",
+            &c.no_panic_files
+        ));
+        assert_eq!(c.lock_order.len(), 3);
+        assert_eq!(c.lock_order[0].name, "calltable");
+    }
+
+    #[test]
+    fn toml_overlay_replaces_lists() {
+        let toml = r#"
+# a comment
+[no-panic-on-fast-path]
+files = [
+    "a/b.rs",  # trailing comment
+    "c",
+]
+
+[lock-order]
+order = ["alpha", "beta"]
+alpha = ["x"]
+beta = ["y", "z"]
+files = ["src"]
+
+[hermetic-deps]
+banned = ["tokio"]
+"#;
+        let c = Config::from_toml(toml);
+        assert_eq!(c.no_panic_files, vec!["a/b.rs", "c"]);
+        assert_eq!(c.lock_order.len(), 2);
+        assert_eq!(c.lock_order[1].name, "beta");
+        assert_eq!(c.lock_order[1].receivers, vec!["y", "z"]);
+        assert_eq!(c.lock_files, vec!["src"]);
+        assert_eq!(c.banned_deps, vec!["tokio"]);
+        // Untouched sections keep their defaults.
+        assert!(!c.no_alloc_files.is_empty());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let toml = "[s]\nfiles = [\"a#b\"]\n";
+        let c = Config::from_toml(toml);
+        // Section `s` is unknown; just proving the parser didn't choke.
+        assert!(!c.no_panic_files.is_empty());
+        let sections = parse_sections(toml);
+        assert_eq!(sections["s"]["files"], vec!["a#b"]);
+    }
+}

@@ -1,0 +1,298 @@
+//! firefly-lint: in-tree static analysis for the Firefly RPC workspace.
+//!
+//! The paper's performance argument rests on invariants the compiler
+//! cannot check: the packet fast path never allocates or panics, locks
+//! are taken in one global order, and the build depends on nothing
+//! outside the tree. This crate enforces them with a lightweight
+//! comment- and string-aware tokenizer — no rustc internals, no
+//! external parser, std only.
+//!
+//! Rules (see docs/LINTS.md for the full rationale):
+//! - `no-panic-on-fast-path`
+//! - `no-alloc-on-fast-path`
+//! - `lock-order`
+//! - `no-sleep-in-lib`
+//! - `safety-comment`
+//! - `hermetic-deps`
+//!
+//! Suppression: `// lint:allow(<rule>): <justification>` on the same
+//! line or the line above, `// lint:allow-file(<rule>): <reason>` for a
+//! whole file. An allow without a justification is itself reported
+//! (`unjustified-allow`).
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod rules;
+pub mod source;
+pub mod tokenizer;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use config::Config;
+use source::SourceFile;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name (one of [`rules::name`]).
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `lint:allow` marker.
+struct Allow {
+    rule: String,
+    /// Line the marker itself is on.
+    line: usize,
+    /// Line the marker covers: its own line, plus the first code line
+    /// after the comment block it belongs to (a justification may span
+    /// several comment lines before reaching the code it exempts).
+    covered: usize,
+    file_wide: bool,
+    justified: bool,
+}
+
+/// The rule engine: configuration plus the workspace walker.
+pub struct Engine {
+    pub config: Config,
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(config: Config) -> Engine {
+        Engine { config }
+    }
+
+    /// An engine configured from `<root>/lint.toml` when present,
+    /// compiled-in defaults otherwise.
+    pub fn for_root(root: &Path) -> Engine {
+        let config = match fs::read_to_string(root.join("lint.toml")) {
+            Ok(text) => Config::from_toml(&text),
+            Err(_) => Config::default(),
+        };
+        Engine::new(config)
+    }
+
+    /// Lints one Rust source file given its workspace-relative path.
+    pub fn check_source_text(&self, rel_path: &str, text: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::new(rel_path, text);
+        let allows = collect_allows(&file);
+        let mut out: Vec<Diagnostic> = rules::check_source(&file, &self.config)
+            .into_iter()
+            .filter(|d| !is_suppressed(d, &allows))
+            .collect();
+        for allow in &allows {
+            if !allow.justified {
+                out.push(file.diagnostic(
+                    rules::name::UNJUSTIFIED_ALLOW,
+                    allow.line,
+                    format!(
+                        "`lint:allow({})` without a justification; write \
+                         `// lint:allow({}): <why this site is exempt>`",
+                        allow.rule, allow.rule
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Lints one `Cargo.toml` given its workspace-relative path.
+    pub fn check_manifest_text(&self, rel_path: &str, text: &str) -> Vec<Diagnostic> {
+        rules::check_manifest(rel_path, text, &self.config)
+    }
+
+    /// Walks the workspace at `root` and lints every `.rs` file and
+    /// every `Cargo.toml`. Skips `target/`, VCS metadata, and lint
+    /// test fixtures (which contain violations on purpose).
+    pub fn run(&self, root: &Path) -> io::Result<Vec<Diagnostic>> {
+        let mut diags = Vec::new();
+        let mut stack = vec![root.to_path_buf()];
+        while let Some(dir) = stack.pop() {
+            let mut entries: Vec<_> = fs::read_dir(&dir)?
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .map(|e| e.path())
+                .collect();
+            entries.sort();
+            for path in entries {
+                let file_name = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or_default()
+                    .to_string();
+                if path.is_dir() {
+                    if matches!(file_name.as_str(), "target" | ".git" | "fixtures") {
+                        continue;
+                    }
+                    stack.push(path);
+                    continue;
+                }
+                let rel = rel_path(root, &path);
+                if file_name == "Cargo.toml" {
+                    let text = fs::read_to_string(&path)?;
+                    diags.extend(self.check_manifest_text(&rel, &text));
+                } else if file_name.ends_with(".rs") {
+                    let text = fs::read_to_string(&path)?;
+                    diags.extend(self.check_source_text(&rel, &text));
+                }
+            }
+        }
+        diags.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        Ok(diags)
+    }
+}
+
+/// Workspace-relative `/`-separated path.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Extracts every `lint:allow` / `lint:allow-file` marker from the
+/// file's comments.
+fn collect_allows(file: &SourceFile) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for comment in &file.tokens.comments {
+        let mut rest = comment.text.as_str();
+        while let Some(pos) = rest.find("lint:allow") {
+            let after = &rest[pos + "lint:allow".len()..];
+            let (file_wide, args) = match after.strip_prefix("-file(") {
+                Some(a) => (true, a),
+                None => match after.strip_prefix('(') {
+                    Some(a) => (false, a),
+                    None => {
+                        rest = after;
+                        continue;
+                    }
+                },
+            };
+            let Some(close) = args.find(')') else {
+                rest = args;
+                continue;
+            };
+            let rule = args[..close].trim().to_string();
+            let tail = args[close + 1..]
+                .trim_start()
+                .trim_start_matches(':')
+                .trim();
+            // Walk to the end of the comment block: the covered code
+            // line is the first non-comment line after it.
+            let mut last_comment = comment.line;
+            while file
+                .lines
+                .get(last_comment)
+                .is_some_and(|l| l.trim_start().starts_with("//"))
+            {
+                last_comment += 1;
+            }
+            allows.push(Allow {
+                rule,
+                line: comment.line,
+                covered: last_comment + 1,
+                file_wide,
+                justified: !tail.is_empty(),
+            });
+            rest = &args[close + 1..];
+        }
+    }
+    allows
+}
+
+/// True when `diag` is covered by an allow for its rule on the same
+/// line, on the code line its comment block precedes, or file-wide.
+fn is_suppressed(diag: &Diagnostic, allows: &[Allow]) -> bool {
+    allows.iter().any(|a| {
+        a.rule == diag.rule && (a.file_wide || a.line == diag.line || a.covered == diag.line)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(Config::default())
+    }
+
+    #[test]
+    fn allow_on_same_line_suppresses() {
+        let src = "fn f() { x.unwrap(); } // lint:allow(no-panic-on-fast-path): test scaffolding\n";
+        let diags = engine().check_source_text("crates/core/src/client.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_on_line_above_suppresses() {
+        let src = "// lint:allow(no-panic-on-fast-path): invariant documented here\n\
+                   fn f() { x.unwrap(); }\n";
+        let diags = engine().check_source_text("crates/core/src/client.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_with_multi_line_justification_covers_the_code_below() {
+        let src = "fn f() {\n\
+                   // lint:allow(no-panic-on-fast-path): the justification\n\
+                   // continues on a second comment line before the code.\n\
+                   x.unwrap();\n\
+                   }\n";
+        let diags = engine().check_source_text("crates/core/src/client.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_for_other_rule_does_not_suppress() {
+        let src = "// lint:allow(no-alloc-on-fast-path): wrong rule\n\
+                   fn f() { x.unwrap(); }\n";
+        let diags = engine().check_source_text("crates/core/src/client.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, rules::name::NO_PANIC);
+    }
+
+    #[test]
+    fn file_wide_allow_suppresses_everywhere() {
+        let src = "// lint:allow-file(no-panic-on-fast-path): legacy shim, tracked in ROADMAP\n\
+                   fn f() { x.unwrap(); }\n\
+                   fn g() { y.unwrap(); }\n";
+        let diags = engine().check_source_text("crates/core/src/client.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unjustified_allow_is_reported() {
+        let src = "fn f() { x.unwrap() } // lint:allow(no-panic-on-fast-path)\n";
+        let diags = engine().check_source_text("crates/core/src/client.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, rules::name::UNJUSTIFIED_ALLOW);
+    }
+
+    #[test]
+    fn rules_do_not_fire_outside_scoped_files(){
+        let src = "fn f() { x.unwrap(); let v = vec![0u8; 4]; }\n";
+        let diags = engine().check_source_text("crates/sim/src/engine.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,335 @@
+//! The lint rules. Each rule walks a tokenized source file (or a
+//! manifest) and yields [`Diagnostic`]s; suppression filtering happens
+//! in the engine, not here.
+
+use crate::config::Config;
+use crate::source::SourceFile;
+use crate::Diagnostic;
+use crate::tokenizer::TokenKind;
+
+/// Rule name constants, shared by rules, suppressions and tests.
+pub mod name {
+    /// `unwrap`/`expect`/`panic!` on the fast path.
+    pub const NO_PANIC: &str = "no-panic-on-fast-path";
+    /// Heap allocation on the fast path.
+    pub const NO_ALLOC: &str = "no-alloc-on-fast-path";
+    /// Nested lock acquisitions violating the global order.
+    pub const LOCK_ORDER: &str = "lock-order";
+    /// `thread::sleep` in library code.
+    pub const NO_SLEEP: &str = "no-sleep-in-lib";
+    /// `unsafe` without a `// SAFETY:` comment.
+    pub const SAFETY_COMMENT: &str = "safety-comment";
+    /// Non-path dependencies in a manifest.
+    pub const HERMETIC_DEPS: &str = "hermetic-deps";
+    /// A `lint:allow` with no justification.
+    pub const UNJUSTIFIED_ALLOW: &str = "unjustified-allow";
+}
+
+/// True for files that are test-only by location: integration tests,
+/// benches, and examples never sit on the fast path.
+fn is_test_path(rel_path: &str) -> bool {
+    rel_path.starts_with("tests/")
+        || rel_path.contains("/tests/")
+        || rel_path.starts_with("benches/")
+        || rel_path.contains("/benches/")
+        || rel_path.starts_with("examples/")
+        || rel_path.contains("/examples/")
+}
+
+/// Runs every source-level rule over one file.
+pub fn check_source(file: &SourceFile, config: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if is_test_path(&file.rel_path) {
+        return out;
+    }
+    if Config::path_matches(&file.rel_path, &config.no_panic_files) {
+        no_panic(file, &mut out);
+    }
+    if Config::path_matches(&file.rel_path, &config.no_alloc_files) {
+        no_alloc(file, config, &mut out);
+    }
+    if Config::path_matches(&file.rel_path, &config.lock_files) {
+        lock_order(file, config, &mut out);
+    }
+    no_sleep(file, &mut out);
+    safety_comment(file, &mut out);
+    out
+}
+
+/// `unwrap()`, `expect(...)`, `panic!`, `unreachable!`, `todo!`,
+/// `unimplemented!` are banned in fast-path modules (tests exempt).
+///
+/// Paper rationale: the fast path is the §3.1.3 interrupt-routine path;
+/// a panic there takes down the demultiplexer and every outstanding
+/// call with it. Failures must surface as `RpcError` so the protocol's
+/// retransmission machinery (§5) can handle them.
+fn no_panic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || file.is_test_line(tok.line) {
+            continue;
+        }
+        let followed_by = |s: &str| toks.get(i + 1).is_some_and(|t| t.text == s);
+        let preceded_by_dot = i > 0 && toks[i - 1].text == ".";
+        let hit = match tok.text.as_str() {
+            "unwrap" | "expect" => preceded_by_dot && followed_by("("),
+            "panic" | "unreachable" | "todo" | "unimplemented" => followed_by("!"),
+            _ => false,
+        };
+        if hit {
+            out.push(file.diagnostic(
+                name::NO_PANIC,
+                tok.line,
+                format!(
+                    "`{}` can panic on the fast path; return an RpcError instead",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `Vec::new`, `vec!`, `to_vec()`, `.clone()`, `format!`, `Box::new`
+/// are banned in fast-path modules (tests exempt; lines constructing
+/// errors exempt — error paths are off the fast path by definition).
+///
+/// Paper rationale: §3.2 — packet buffers live in a shared pool so the
+/// fast path copies and allocates nothing ("This strategy eliminates
+/// the need for extra address mapping operations or copying when doing
+/// RPC"). Tables VI–VII account for every microsecond; a stray
+/// allocation would not show up in the account but would show up in
+/// the latency.
+fn no_alloc(file: &SourceFile, config: &Config, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || file.is_test_line(tok.line) {
+            continue;
+        }
+        if file.line_has_any(tok.line, &config.error_markers) {
+            continue;
+        }
+        let next_is = |off: usize, s: &str| toks.get(i + off).is_some_and(|t| t.text == s);
+        let preceded_by_dot = i > 0 && toks[i - 1].text == ".";
+        let path_call = |head: &str| {
+            // `head::name` — two ':' puncts between the idents.
+            i >= 3
+                && toks[i - 1].text == ":"
+                && toks[i - 2].text == ":"
+                && toks[i - 3].text == head
+        };
+        let construct = match tok.text.as_str() {
+            "new" if path_call("Vec") => Some("Vec::new"),
+            "new" if path_call("Box") => Some("Box::new"),
+            "to_vec" if preceded_by_dot && next_is(1, "(") => Some(".to_vec()"),
+            "clone" if preceded_by_dot && next_is(1, "(") => Some(".clone()"),
+            "format" if next_is(1, "!") => Some("format!"),
+            "vec" if next_is(1, "!") => Some("vec!"),
+            _ => None,
+        };
+        if let Some(what) = construct {
+            out.push(file.diagnostic(
+                name::NO_ALLOC,
+                tok.line,
+                format!(
+                    "`{what}` allocates on the fast path; use the shared buffer pool \
+                     (zero-copy) instead"
+                ),
+            ));
+        }
+    }
+}
+
+/// Lock acquisitions within one function must follow the declared
+/// global order. The check is conservative: any acquisition of an
+/// earlier-ranked class after a later-ranked one in the same function
+/// body is flagged, whether or not the first guard is provably still
+/// held.
+///
+/// Paper rationale: the §3.1.3 interrupt routine takes the call-table
+/// lock and the buffer-pool lock back to back on every packet; an
+/// inversion anywhere else in the runtime deadlocks the demultiplexer,
+/// which is single-threaded by design (one wakeup per packet).
+fn lock_order(file: &SourceFile, config: &Config, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens.tokens;
+    let rank_of = |ident: &str| -> Option<(usize, &str)> {
+        config
+            .lock_order
+            .iter()
+            .enumerate()
+            .find(|(_, class)| class.receivers.iter().any(|r| r == ident))
+            .map(|(rank, class)| (rank, class.name.as_str()))
+    };
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokenKind::Ident && toks[i].text == "fn" {
+            // Find the body braces of this fn.
+            let Some(open) = (i..toks.len()).find(|&j| {
+                matches!(toks[j].text.as_str(), "{" | ";")
+            }) else {
+                break;
+            };
+            if toks[open].text == ";" {
+                i = open + 1;
+                continue;
+            }
+            let close = crate::source::match_brace(toks, open);
+            // Collect classed acquisitions in token order.
+            let mut seen: Vec<(usize, &str, usize)> = Vec::new(); // (rank, class, line)
+            for j in open..close {
+                let t = &toks[j];
+                if t.kind != TokenKind::Ident
+                    || !matches!(t.text.as_str(), "lock" | "read" | "write")
+                    || j < 2
+                    || toks[j - 1].text != "."
+                    || !toks.get(j + 1).is_some_and(|n| n.text == "(")
+                    || file.is_test_line(t.line)
+                {
+                    continue;
+                }
+                let receiver = &toks[j - 2];
+                if receiver.kind != TokenKind::Ident {
+                    continue;
+                }
+                let Some((rank, class)) = rank_of(&receiver.text) else {
+                    continue;
+                };
+                if let Some(&(prev_rank, prev_class, _)) =
+                    seen.iter().filter(|(r, ..)| *r > rank).next_back()
+                {
+                    let _ = prev_rank;
+                    let order: Vec<&str> = config
+                        .lock_order
+                        .iter()
+                        .map(|c| c.name.as_str())
+                        .collect();
+                    out.push(file.diagnostic(
+                        name::LOCK_ORDER,
+                        t.line,
+                        format!(
+                            "`{class}` lock acquired after `{prev_class}` in the same \
+                             function; the global order is {}",
+                            order.join(" → ")
+                        ),
+                    ));
+                }
+                seen.push((rank, class, t.line));
+            }
+            i = close + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// `thread::sleep` is banned in library code (tests exempt). Timing
+/// belongs to the retransmission machinery, which computes deadlines
+/// from the endpoint config — a sleep anywhere else either hides a
+/// missing condition variable or adds unaccounted latency.
+fn no_sleep(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokenKind::Ident
+            || tok.text != "sleep"
+            || file.is_test_line(tok.line)
+            || !toks.get(i + 1).is_some_and(|t| t.text == "(")
+        {
+            continue;
+        }
+        // Require a `thread::sleep` or `thread.sleep`-shaped call so a
+        // local method merely named `sleep` can be introduced
+        // deliberately without tripping the rule.
+        let qualified = i >= 3
+            && toks[i - 3].text == "thread"
+            && toks[i - 2].text == ":"
+            && toks[i - 1].text == ":";
+        if qualified {
+            out.push(file.diagnostic(
+                name::NO_SLEEP,
+                tok.line,
+                "`thread::sleep` in library code adds unaccounted latency; \
+                 wait on a condition variable with a deadline instead"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Every `unsafe` keyword needs a `// SAFETY:` comment on one of the
+/// three preceding lines (tests exempt). Crates with no unsafe at all
+/// should declare `#![forbid(unsafe_code)]` instead — see DESIGN.md.
+fn safety_comment(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for tok in &file.tokens.tokens {
+        if tok.kind != TokenKind::Ident || tok.text != "unsafe" || file.is_test_line(tok.line) {
+            continue;
+        }
+        let documented = (tok.line.saturating_sub(3)..=tok.line)
+            .any(|l| file.comment_on(l).is_some_and(|c| c.contains("SAFETY:")));
+        if !documented {
+            out.push(file.diagnostic(
+                name::SAFETY_COMMENT,
+                tok.line,
+                "`unsafe` without a `// SAFETY:` comment on the preceding lines".to_string(),
+            ));
+        }
+    }
+}
+
+/// Every dependency in every manifest must be an in-tree path (directly
+/// or via `workspace = true`), and the crates this repo replaced with
+/// in-tree equivalents must never come back. Subsumes the grep in
+/// `tests/hermetic.rs`: the build stays reproducible from a clean
+/// checkout with an empty cargo registry.
+pub fn check_manifest(rel_path: &str, text: &str, config: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        if !section.contains("dependencies") {
+            continue;
+        }
+        let Some((name_part, spec)) = line.split_once('=') else {
+            continue;
+        };
+        let mut dep = name_part.trim().trim_matches('"').to_string();
+        let mut spec = spec.trim().to_string();
+        if let Some(bare) = dep.strip_suffix(".workspace") {
+            dep = bare.to_string();
+            spec = format!("workspace = {spec}");
+        }
+        let diag = |msg: String| Diagnostic {
+            rule: name::HERMETIC_DEPS,
+            path: rel_path.to_string(),
+            line: line_no,
+            message: msg,
+        };
+        if config.banned_deps.iter().any(|b| b == &dep) {
+            out.push(diag(format!(
+                "dependency `{dep}` was replaced by an in-tree crate and is banned"
+            )));
+            continue;
+        }
+        let workspace_ref = spec.contains("workspace = true");
+        let path_only = spec.contains("path =")
+            && !spec.contains("version =")
+            && !spec.contains("git =")
+            && !spec.contains("registry =");
+        if !(workspace_ref || path_only) {
+            out.push(diag(format!(
+                "[{section}] `{dep}` is not a pure path dependency: {spec}"
+            )));
+        } else if section == "workspace.dependencies" && !spec.contains("crates/") {
+            out.push(diag(format!(
+                "workspace dependency `{dep}` must point into crates/: {spec}"
+            )));
+        }
+    }
+    out
+}

@@ -1,0 +1,4 @@
+pub fn hot(data: &[u8]) -> Vec<u8> {
+    // lint:allow(no-alloc-on-fast-path): fixture — slow path copy.
+    data.to_vec()
+}

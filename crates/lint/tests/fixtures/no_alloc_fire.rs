@@ -1,0 +1,10 @@
+pub fn hot(data: &[u8]) -> Vec<u8> {
+    let copy = data.to_vec();
+    let mut extra = Vec::new();
+    extra.extend_from_slice(&copy);
+    extra
+}
+
+pub fn error_paths_are_exempt(x: Option<u8>) -> Result<u8, String> {
+    x.ok_or_else(|| format!("missing value"))
+}

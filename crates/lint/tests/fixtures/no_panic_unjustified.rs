@@ -1,0 +1,3 @@
+pub fn hot(x: Option<u8>) -> u8 {
+    x.unwrap() // lint:allow(no-panic-on-fast-path)
+}

@@ -1,0 +1,4 @@
+pub fn fault_delay(d: std::time::Duration) {
+    // lint:allow(no-sleep-in-lib): fixture — models in-flight latency.
+    std::thread::sleep(d);
+}

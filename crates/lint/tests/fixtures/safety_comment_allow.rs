@@ -1,0 +1,5 @@
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points at a live byte for the
+    // duration of this call.
+    unsafe { *p }
+}

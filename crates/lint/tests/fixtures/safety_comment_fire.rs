@@ -1,0 +1,3 @@
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

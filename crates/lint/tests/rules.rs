@@ -1,0 +1,162 @@
+//! Fire / allow / suppress coverage for every rule, driven by the
+//! fixture files in `tests/fixtures/`, plus a property test that the
+//! tokenizer total-functions over arbitrary byte soup.
+
+use firefly_lint::config::Config;
+use firefly_lint::rules::name;
+use firefly_lint::tokenizer::tokenize;
+use firefly_lint::{Diagnostic, Engine};
+
+/// Lints a fixture as if it lived at a fast-path location so every
+/// path-scoped rule is in force.
+fn lint(source: &str) -> Vec<Diagnostic> {
+    Engine::new(Config::default()).check_source_text("crates/core/src/client.rs", source)
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn no_panic_fires_and_tests_are_exempt() {
+    let diags = lint(include_str!("fixtures/no_panic_fire.rs"));
+    // `unwrap` on line 2 and `panic!` on line 7; the `unwrap` inside
+    // `#[test]` must not be reported.
+    assert_eq!(rules_of(&diags), vec![name::NO_PANIC, name::NO_PANIC]);
+    assert_eq!(diags[0].line, 2);
+    assert_eq!(diags[1].line, 7);
+}
+
+#[test]
+fn no_panic_justified_allow_suppresses() {
+    let diags = lint(include_str!("fixtures/no_panic_allow.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn no_panic_unjustified_allow_is_flagged() {
+    let diags = lint(include_str!("fixtures/no_panic_unjustified.rs"));
+    assert_eq!(rules_of(&diags), vec![name::UNJUSTIFIED_ALLOW]);
+}
+
+#[test]
+fn no_alloc_fires_and_error_lines_are_exempt() {
+    let diags = lint(include_str!("fixtures/no_alloc_fire.rs"));
+    // `.to_vec()` and `Vec::new` fire; the `format!` inside the
+    // `ok_or_else` error constructor is exempt.
+    assert_eq!(rules_of(&diags), vec![name::NO_ALLOC, name::NO_ALLOC]);
+    assert_eq!(diags[0].line, 2);
+    assert_eq!(diags[1].line, 3);
+}
+
+#[test]
+fn no_alloc_justified_allow_suppresses() {
+    let diags = lint(include_str!("fixtures/no_alloc_allow.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn lock_order_fires_on_inversion_only() {
+    let diags = lint(include_str!("fixtures/lock_order_fire.rs"));
+    // `inverted` takes pool before calltable — one diagnostic; the
+    // `in_order` function below it is clean.
+    assert_eq!(rules_of(&diags), vec![name::LOCK_ORDER]);
+    assert_eq!(diags[0].line, 3);
+    assert!(diags[0].message.contains("calltable"));
+}
+
+#[test]
+fn lock_order_justified_allow_suppresses() {
+    let diags = lint(include_str!("fixtures/lock_order_allow.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn no_sleep_fires_outside_tests_only() {
+    let diags = lint(include_str!("fixtures/no_sleep_fire.rs"));
+    assert_eq!(rules_of(&diags), vec![name::NO_SLEEP]);
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn no_sleep_justified_allow_suppresses() {
+    let diags = lint(include_str!("fixtures/no_sleep_allow.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn safety_comment_fires_without_and_not_with() {
+    let fire = lint(include_str!("fixtures/safety_comment_fire.rs"));
+    assert_eq!(rules_of(&fire), vec![name::SAFETY_COMMENT]);
+    let ok = lint(include_str!("fixtures/safety_comment_allow.rs"));
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn hermetic_deps_fires_on_registry_and_banned_deps() {
+    let engine = Engine::new(Config::default());
+    let diags =
+        engine.check_manifest_text("Cargo.toml", include_str!("fixtures/hermetic_deps_fire.toml"));
+    // `rand` is banned outright; `serde` is a versioned registry dep;
+    // the path-only `firefly-wire` is fine.
+    assert_eq!(
+        rules_of(&diags),
+        vec![name::HERMETIC_DEPS, name::HERMETIC_DEPS]
+    );
+    assert!(diags[0].message.contains("rand"));
+    assert!(diags[1].message.contains("serde"));
+
+    let clean = engine
+        .check_manifest_text("Cargo.toml", include_str!("fixtures/hermetic_deps_clean.toml"));
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn rules_stay_quiet_off_the_fast_path() {
+    // The same allocating/panicking source at a non-fast-path location
+    // only answers to the everywhere-rules (sleep, safety), which it
+    // does not violate.
+    let engine = Engine::new(Config::default());
+    let diags = engine.check_source_text(
+        "crates/sim/src/engine.rs",
+        include_str!("fixtures/no_panic_fire.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn tokenizer_never_panics_on_arbitrary_bytes() {
+    firefly_propcheck::check("tokenize-total", 500, |g| {
+        let bytes = g.bytes(0..256);
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let t = tokenize(&text);
+        // Weak sanity bound: token count can never exceed char count.
+        if t.tokens.len() > text.chars().count() {
+            return Err(format!(
+                "{} tokens from {} chars",
+                t.tokens.len(),
+                text.chars().count()
+            ));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn tokenizer_never_panics_on_rusty_fragments() {
+    // Biased generator: glue together Rust-ish fragments (including
+    // pathological unterminated literals) and tokenize the result.
+    const PIECES: &[&str] = &[
+        "fn f() {", "}", "\"str", "r#\"raw\"#", "r#\"", "'a", "'a'", "b'\\x", "//", "/*", "*/",
+        "0.5", "0..5", "x.lock()", "#[test]", "unsafe", "\\", "\"", "\n", "é", "🦀",
+    ];
+    firefly_propcheck::check("tokenize-rusty-total", 500, |g| {
+        let n = g.usize_in(0..40);
+        let mut text = String::new();
+        for _ in 0..n {
+            text.push_str(g.choose::<&str>(PIECES));
+        }
+        let _ = tokenize(&text);
+        Ok(())
+    });
+}

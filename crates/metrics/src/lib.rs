@@ -15,6 +15,9 @@
 //! * [`Table`] — fixed-width text tables shaped like the paper's
 //!   Tables I–XII, with optional Markdown output for EXPERIMENTS.md.
 
+// No unsafe anywhere in this crate — see DESIGN.md ("Unsafe policy").
+#![forbid(unsafe_code)]
+
 pub mod hist;
 pub mod table;
 pub mod throughput;

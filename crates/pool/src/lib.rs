@@ -37,6 +37,9 @@
 //! assert_eq!(pool.stats().outstanding(), 0);
 //! ```
 
+// No unsafe anywhere in this crate — see DESIGN.md ("Unsafe policy").
+#![forbid(unsafe_code)]
+
 use firefly_sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::fmt;
@@ -436,7 +439,7 @@ mod tests {
         let held = pool.alloc().unwrap();
         let p2 = pool.clone();
         let t = std::thread::spawn(move || p2.alloc_timeout(Duration::from_secs(5)).is_ok());
-        std::thread::sleep(Duration::from_millis(20));
+        firefly_sync::test_sleep();
         drop(held);
         assert!(t.join().unwrap());
     }

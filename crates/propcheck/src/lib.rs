@@ -36,6 +36,9 @@
 //! });
 //! ```
 
+// No unsafe anywhere in this crate — see DESIGN.md ("Unsafe policy").
+#![forbid(unsafe_code)]
+
 pub use firefly_rng::Rng;
 use firefly_rng::splitmix64;
 use std::ops::Range;

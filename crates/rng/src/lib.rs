@@ -26,6 +26,9 @@
 //! assert!((1..=6).contains(&d));
 //! ```
 
+// No unsafe anywhere in this crate — see DESIGN.md ("Unsafe policy").
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// One step of the SplitMix64 sequence: advances `state` and returns the

@@ -45,6 +45,9 @@
 //! assert!((latency_ms - 2.66).abs() < 0.2, "Null ≈ 2.66 ms, got {latency_ms}");
 //! ```
 
+// No unsafe anywhere in this crate — see DESIGN.md ("Unsafe policy").
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod engine;
 pub mod ether;

@@ -170,7 +170,6 @@ impl<T> fmt::Debug for Receiver<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
 
     #[test]
     fn send_then_recv() {
@@ -185,7 +184,7 @@ mod tests {
     fn recv_blocks_until_send() {
         let (tx, rx) = unbounded();
         let t = std::thread::spawn(move || rx.recv());
-        std::thread::sleep(Duration::from_millis(20));
+        crate::test_sleep();
         tx.send(9u8).unwrap();
         assert_eq!(t.join().unwrap(), Ok(9));
     }
@@ -194,7 +193,7 @@ mod tests {
     fn recv_fails_when_senders_drop() {
         let (tx, rx) = unbounded::<u8>();
         let t = std::thread::spawn(move || rx.recv());
-        std::thread::sleep(Duration::from_millis(20));
+        crate::test_sleep();
         drop(tx);
         assert_eq!(t.join().unwrap(), Err(RecvError));
     }

@@ -19,6 +19,9 @@
 //!   `recv` by `&self`), the surface of `crossbeam::channel` the runtime
 //!   uses for demux→worker hand-off and loopback frame delivery.
 
+// No unsafe anywhere in this crate — see DESIGN.md ("Unsafe policy").
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
@@ -171,6 +174,24 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     }
 }
 
+/// Sleeps for the cross-thread settling interval tests use to let a
+/// spawned thread reach its blocking point: 20 ms by default,
+/// overridable through `FIREFLY_TEST_SLEEP_MS` for slow CI machines
+/// (raise it) or fast local iteration (lower it).
+///
+/// This is the **only** sanctioned sleep outside test code; every test
+/// that needs a settle interval funnels through here instead of
+/// hard-coding a magic number.
+pub fn test_sleep() {
+    let ms = std::env::var("FIREFLY_TEST_SLEEP_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(20);
+    // lint:allow(no-sleep-in-lib): this is the designated test-settle
+    // helper the rule exists to funnel callers into.
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,7 +234,7 @@ mod tests {
             }
             true
         });
-        std::thread::sleep(Duration::from_millis(20));
+        crate::test_sleep();
         let (m, cv) = &*pair;
         *m.lock() = true;
         cv.notify_one();

@@ -89,6 +89,9 @@ impl Frame {
             ip,
             udp,
             rpc,
+            // lint:allow(no-alloc-on-fast-path): `Frame::decode` builds
+            // an owned frame for tools and tests; the runtime parses
+            // packets in place in the pooled buffer instead.
             data: udp_payload[RPC_HEADER_LEN..].to_vec(),
         })
     }
@@ -336,6 +339,9 @@ impl FrameBuilder {
             return Err(WireError::PayloadTooLarge(data.len()));
         }
         let total = RPC_HEADERS_LEN + data.len();
+        // lint:allow(no-alloc-on-fast-path): `build` is the heap-frame
+        // constructor for retained results and fragments; the per-call
+        // path uses `encode_into` on the pooled buffer.
         let mut bytes = vec![0u8; total];
         bytes[DATA_OFFSET..].copy_from_slice(data);
         self.encode_into(&mut bytes, data.len())?;

@@ -37,6 +37,9 @@
 //! assert_eq!(parsed.rpc.packet_type, PacketType::Call);
 //! ```
 
+// No unsafe anywhere in this crate — see DESIGN.md ("Unsafe policy").
+#![forbid(unsafe_code)]
+
 pub mod checksum;
 pub mod error;
 pub mod ethernet;

@@ -18,6 +18,11 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline (workspace)"
 cargo test -q --offline --workspace
 
+# Always-on static analysis: the in-tree linter needs no extra
+# components, so unlike fmt/clippy below it is not opt-in.
+echo "==> firefly-lint (fast-path, lock-order, hermetic-deps rules)"
+cargo run --release --offline -q -p firefly-lint
+
 # Lint gates are opt-in: rustfmt/clippy components may be absent from a
 # minimal toolchain, and their absence must not fail the hermetic check.
 if [[ "${FIREFLY_VERIFY_LINT:-0}" == "1" ]]; then

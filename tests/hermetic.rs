@@ -163,3 +163,31 @@ fn no_lockfile_entry_references_the_registry() {
         "Cargo.lock pins a registry crate — the build is no longer hermetic"
     );
 }
+
+#[test]
+fn lint_crate_is_itself_hermetic() {
+    // The static-analysis crate guards the dependency policy, so it
+    // must satisfy that policy: reachable as a path-only workspace
+    // dependency, and depending on nothing outside the tree itself.
+    let root = workspace_root().join("Cargo.toml");
+    let entry = dependency_entries(&root)
+        .into_iter()
+        .filter(|d| d.section == "workspace.dependencies")
+        .find(|d| d.name == "firefly-lint")
+        .expect("firefly-lint is declared in [workspace.dependencies]");
+    assert!(
+        is_path_only(&entry.spec) && entry.spec.contains("crates/lint"),
+        "firefly-lint must be a path dependency into crates/lint: {}",
+        entry.spec
+    );
+
+    let lint_manifest = workspace_root().join("crates/lint/Cargo.toml");
+    for dep in dependency_entries(&lint_manifest) {
+        assert!(
+            dep.spec.contains("workspace = true") || is_path_only(&dep.spec),
+            "crates/lint dependency `{}` is not path-only: {}",
+            dep.name,
+            dep.spec
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Tier-1 static-analysis gate: `cargo test -q` fails if the workspace
+//! violates any lint rule, and the `firefly-lint` binary must exit
+//! nonzero on a seeded violation of every rule.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use firefly_lint::Engine;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let engine = Engine::for_root(&root);
+    let diags = engine.run(&root).expect("walk workspace");
+    assert!(
+        diags.is_empty(),
+        "firefly-lint found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Runs the built binary against a throwaway tree containing `files`
+/// and returns (exit_code, stderr).
+fn run_binary_on(tag: &str, files: &[(&str, &str)]) -> (i32, String) {
+    let dir = std::env::temp_dir().join(format!("firefly-lint-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    for (rel, text) in files {
+        let path = dir.join(rel);
+        fs::create_dir_all(path.parent().unwrap_or(Path::new("."))).expect("mkdir fixture");
+        fs::write(&path, text).expect("write fixture");
+    }
+    // The binary belongs to the firefly-lint package, so cargo only
+    // exposes a CARGO_BIN_EXE_ variable to that package's own tests;
+    // from here, `cargo run` is the portable way to reach it.
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let out = Command::new(cargo)
+        .args(["run", "--offline", "-q", "-p", "firefly-lint", "--"])
+        .arg(&dir)
+        .current_dir(workspace_root())
+        .output()
+        .expect("run firefly-lint");
+    let _ = fs::remove_dir_all(&dir);
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Scope every path-scoped rule onto the fixture's `src/` tree.
+const FIXTURE_LINT_TOML: &str = r#"
+[no-panic-on-fast-path]
+files = ["src"]
+
+[no-alloc-on-fast-path]
+files = ["src"]
+
+[lock-order]
+order = ["calltable", "pool"]
+calltable = ["entries"]
+pool = ["free"]
+files = ["src"]
+"#;
+
+#[test]
+fn binary_flags_each_seeded_rule_violation() {
+    let seeded: &[(&str, &str, &str)] = &[
+        (
+            "no-panic-on-fast-path",
+            "src/lib.rs",
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        ),
+        (
+            "no-alloc-on-fast-path",
+            "src/lib.rs",
+            "pub fn f(d: &[u8]) -> Vec<u8> { d.to_vec() }\n",
+        ),
+        (
+            "lock-order",
+            "src/lib.rs",
+            "pub fn f(p: &P, t: &T) { let _a = p.free.lock(); let _b = t.entries.lock(); }\n",
+        ),
+        (
+            "no-sleep-in-lib",
+            "src/lib.rs",
+            "pub fn f() { std::thread::sleep(std::time::Duration::from_millis(1)); }\n",
+        ),
+        (
+            "safety-comment",
+            "src/lib.rs",
+            "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        ),
+        (
+            "hermetic-deps",
+            "Cargo.toml",
+            "[package]\nname = \"fixture\"\n\n[dependencies]\nrand = \"0.8\"\n",
+        ),
+        (
+            "unjustified-allow",
+            "src/lib.rs",
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(no-panic-on-fast-path)\n",
+        ),
+    ];
+    for (rule, rel, source) in seeded {
+        let tag = rule.replace(|c: char| !c.is_ascii_alphanumeric(), "-");
+        let (code, stderr) =
+            run_binary_on(&tag, &[("lint.toml", FIXTURE_LINT_TOML), (rel, source)]);
+        assert_eq!(
+            code, 1,
+            "seeded `{rule}` violation should exit 1, got {code}; stderr:\n{stderr}"
+        );
+        assert!(
+            stderr.contains(rule),
+            "stderr should name `{rule}`:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn binary_exits_zero_on_a_clean_tree() {
+    let (code, stderr) = run_binary_on(
+        "clean",
+        &[
+            ("lint.toml", FIXTURE_LINT_TOML),
+            (
+                "src/lib.rs",
+                "pub fn f(x: Option<u8>) -> Option<u8> { x }\n",
+            ),
+            (
+                "Cargo.toml",
+                "[package]\nname = \"fixture\"\n\n[dependencies]\nfirefly-wire = { path = \"../wire\" }\n",
+            ),
+        ],
+    );
+    assert_eq!(code, 0, "clean tree should exit 0; stderr:\n{stderr}");
+}
