@@ -238,6 +238,51 @@ fn bench_rpc_round_trip(r: &mut Runner) {
     });
 }
 
+/// Tracing-is-observability guard: a traced Null() round trip must cost
+/// less than 15% more than an untraced one. The trace write path is a
+/// handful of `Instant` reads and one ring push per call, so anything
+/// above that margin means an allocation or lock crept onto the fast
+/// path.
+fn bench_trace_overhead(r: &mut Runner) {
+    let net = LoopbackNet::new();
+    let server = Endpoint::new(net.station(1), Config::default()).unwrap();
+    let caller = Endpoint::new(net.station(2), Config::default()).unwrap();
+    let service = ServiceBuilder::new(test_interface())
+        .on_call("Null", |_a, _w| Ok(()))
+        .on_call("MaxResult", |_a, _w| Ok(()))
+        .on_call("MaxArg", |_a, _w| Ok(()))
+        .build()
+        .unwrap();
+    server.export(service).unwrap();
+    let remote = caller.bind(&test_interface(), server.address()).unwrap();
+    // Warm the path before either measurement so the comparison is
+    // steady state vs steady state.
+    for _ in 0..50 {
+        remote.call("Null", &[]).unwrap();
+    }
+    let untraced = r.measure(|| {
+        black_box(remote.call("Null", &[]).unwrap());
+    });
+    caller.set_tracing(true);
+    server.set_tracing(true);
+    let traced = r.measure(|| {
+        black_box(remote.call("Null", &[]).unwrap());
+    });
+    r.rows
+        .push(("rpc_round_trip/null_untraced".to_string(), untraced, None));
+    r.rows
+        .push(("rpc_round_trip/null_traced".to_string(), traced, None));
+    if !r.smoke {
+        let overhead = traced / untraced - 1.0;
+        assert!(
+            overhead < 0.15,
+            "traced Null() overhead {:.1}% exceeds the 15% budget \
+             (untraced {untraced:.0} ns, traced {traced:.0} ns)",
+            overhead * 100.0
+        );
+    }
+}
+
 fn main() {
     let mut r = Runner::new();
     bench_checksum(&mut r);
@@ -247,5 +292,6 @@ fn main() {
     bench_stub_dispatch(&mut r);
     bench_pool(&mut r);
     bench_rpc_round_trip(&mut r);
+    bench_trace_overhead(&mut r);
     r.report();
 }

@@ -1,0 +1,45 @@
+//! The real stack's own Tables VII/VIII: a live per-step latency account
+//! of Null() and MaxResult-style calls over the loopback Ethernet, built
+//! from `firefly_rpc::trace` records.
+//!
+//! For each procedure it prints the caller-side step table (mean +
+//! p50/p95/p99 per step), an "accounted vs measured" comparison in the
+//! paper's style, and the server-side breakdown of the wire step.
+//!
+//! Flags:
+//!   --markdown   emit Markdown instead of aligned text (EXPERIMENTS.md)
+//!   --smoke      tiny run for scripts/verify.sh (no percentile value)
+//!   --calls N    measured calls per procedure (default 2000)
+
+use firefly_bench::account::{paper_procedures, run_account};
+use firefly_bench::{emit, mode_from_args};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let calls = args
+        .iter()
+        .position(|a| a == "--calls")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 50 } else { 2000 });
+    let warmup = if smoke { 10 } else { 200 };
+    let mode = mode_from_args();
+
+    for (procedure, call_args) in paper_procedures() {
+        let account = run_account(procedure, &call_args, calls, warmup);
+        emit(&account.caller_table(), mode);
+        emit(&account.server_table(), mode);
+        println!(
+            "{procedure}: accounted {:.2} us vs measured {:.2} us ({:.1}% explained)",
+            account.accounted_mean_us,
+            account.measured_mean_us,
+            account.coverage() * 100.0
+        );
+        println!();
+    }
+    println!(
+        "Paper analog: Table VII explains Null()'s 2660 us within a few \
+         percent; tests/latency_account.rs holds this account to +/-10%."
+    );
+}

@@ -10,6 +10,8 @@
 
 use firefly_metrics::Table;
 
+pub mod account;
+
 /// Output mode selected by the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! firefly-rpcd info  <idl-file> [--stubs]
-//! firefly-rpcd serve <idl-file> [--addr 127.0.0.1:0]
+//! firefly-rpcd serve <idl-file> [--addr 127.0.0.1:0] [--trace]
 //! firefly-rpcd call  <idl-file> <server-addr> <procedure> [arg]...
 //! ```
 //!
@@ -23,7 +23,7 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  firefly-rpcd info  <idl-file> [--stubs]\n  \
-         firefly-rpcd serve <idl-file> [--addr HOST:PORT]\n  \
+         firefly-rpcd serve <idl-file> [--addr HOST:PORT] [--trace]\n  \
          firefly-rpcd call  <idl-file> <server-addr> <procedure> [arg]..."
     );
     exit(2);
@@ -133,12 +133,16 @@ fn cmd_info(interface: &InterfaceDef, stubs: bool) {
     }
 }
 
-fn cmd_serve(interface: InterfaceDef, addr: SocketAddr) {
+fn cmd_serve(interface: InterfaceDef, addr: SocketAddr, trace: bool) {
     let transport = UdpTransport::bind(addr).unwrap_or_else(|e| {
         eprintln!("cannot bind {addr}: {e}");
         exit(1);
     });
-    let endpoint = Endpoint::new(transport, Config::default()).expect("endpoint");
+    let config = Config {
+        trace,
+        ..Config::default()
+    };
+    let endpoint = Endpoint::new(transport, config).expect("endpoint");
     let mut builder = ServiceBuilder::new(interface.clone());
     for p in interface.procedures() {
         let name = p.name().to_string();
@@ -179,10 +183,34 @@ fn cmd_serve(interface: InterfaceDef, addr: SocketAddr) {
     let service = builder.build().expect("handlers cover every procedure");
     endpoint.export(service).expect("export");
     println!(
-        "serving {} on {} (ctrl-c to stop)",
+        "serving {} on {}{} (ctrl-c to stop)",
         interface.name(),
-        endpoint.address()
+        endpoint.address(),
+        if trace { " [tracing]" } else { "" }
     );
+    if trace {
+        // Periodically drain the trace ring and print the per-step
+        // account (the live Table VII of this server's calls).
+        loop {
+            std::thread::park_timeout(std::time::Duration::from_secs(10));
+            let report = endpoint.trace_report();
+            if report.server.records == 0 {
+                continue;
+            }
+            println!("--- trace: {} server calls ---", report.server.records);
+            for (name, h) in &report.server.steps {
+                println!(
+                    "  {name:<34} mean {:8.2} us  p50 {:8.2}  p99 {:8.2}",
+                    h.mean(),
+                    h.percentile(50.0),
+                    h.percentile(99.0)
+                );
+            }
+            if report.dropped > 0 {
+                println!("  ({} records dropped by the ring)", report.dropped);
+            }
+        }
+    }
     loop {
         // Serving happens on the endpoint's own threads; this thread
         // only has to stay alive. `park` needs no wakeup schedule
@@ -259,7 +287,7 @@ fn main() {
                 .and_then(|i| args.get(i + 1))
                 .map(|s| s.parse().unwrap_or_else(|_| usage()))
                 .unwrap_or_else(|| "127.0.0.1:0".parse().expect("literal"));
-            cmd_serve(load_interface(path), addr);
+            cmd_serve(load_interface(path), addr, args.iter().any(|a| a == "--trace"));
         }
         Some("call") => {
             if args.len() < 4 {

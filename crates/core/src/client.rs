@@ -167,12 +167,16 @@ impl Client {
             .get(index as usize)
             .ok_or_else(|| firefly_idl::IdlError::NoSuchProcedure(format!("#{index}")))?;
         let shared = &inner.shared;
+        // The live latency account (Table VII): stamp each step boundary
+        // into the stack-resident span. Inert unless tracing is enabled.
+        let mut span = shared.ctx.tracer.caller_span(index);
 
         // --- Starter: obtain a packet buffer. ---
         let mut call_buf = shared
             .ctx
             .pool
             .alloc_timeout(std::time::Duration::from_secs(2))?;
+        span.stamp(crate::trace::Stamp::BufferAcquired);
 
         // --- Marshal the arguments. ---
         // Fast path straight into the packet buffer; oversized argument
@@ -208,6 +212,7 @@ impl Client {
             }
             Err(e) => return Err(e.into()),
         };
+        span.stamp(crate::trace::Stamp::MarshalDone);
 
         // --- Transporter: register, send, await, retransmit. ---
         let mut slot = inner.activities.acquire();
@@ -239,9 +244,9 @@ impl Client {
                         .builder_from(&header, inner.remote)
                         .encode_into(call_buf.raw_mut(), data_len)?;
                     call_buf.set_len(total);
-                    self.transact_single(&header, &call_buf, &entry, deadline)
+                    self.transact_single(&header, &call_buf, &entry, deadline, &mut span)
                 }
-                Some(data) => self.transact_multi(&header, data, &entry, deadline),
+                Some(data) => self.transact_multi(&header, data, &entry, deadline, &mut span),
             };
             shared.calls.unregister(activity);
             outcome
@@ -263,11 +268,16 @@ impl Client {
             return Err(RpcError::Remote(msg));
         }
         let values = stub.unmarshal_result(outcome.data());
+        span.stamp(crate::trace::Stamp::UnmarshalDone);
         inner.activities.release(slot);
         // Ender: recycle the call buffer straight onto the receive queue,
         // the paper's on-the-fly buffer replacement.
         shared.ctx.pool.recycle_to_receive_queue(call_buf);
         crate::stats::RpcStats::bump(&shared.ctx.stats.buffers_recycled);
+        span.stamp(crate::trace::Stamp::CallEnd);
+        if span.finish() {
+            crate::stats::RpcStats::bump(&shared.ctx.stats.trace_records);
+        }
         Ok(values?)
     }
 
@@ -278,10 +288,14 @@ impl Client {
         frame: &[u8],
         entry: &crate::calltable::CallEntry,
         deadline: Option<Instant>,
+        span: &mut crate::trace::Span<'_>,
     ) -> Result<Assembled> {
         let shared = &self.inner.shared;
         let cfg = &shared.config;
         shared.ctx.transport.send(frame, self.inner.remote)?;
+        // First-write-wins: for fragmented calls the `Sent` stamp was
+        // already taken at the first fragment.
+        span.stamp(crate::trace::Stamp::Sent);
         crate::stats::RpcStats::bump(&shared.ctx.stats.calls_sent);
 
         // Backoff jitter is seeded from the endpoint config (mixed with
@@ -307,11 +321,24 @@ impl Client {
                 wake_at = wake_at.min(d);
             }
             match entry.wait(wake_at) {
-                Wait::Complete(a) => return Ok(a),
-                Wait::Acked { .. } => {
-                    acked = true;
-                    probes = 0;
-                    timeout = cfg.retransmit_max;
+                Wait::Complete(a) => {
+                    span.stamp(crate::trace::Stamp::ResultReceived);
+                    return Ok(a);
+                }
+                Wait::Acked { fragment, .. } => {
+                    // Only an ack that covers *this* packet proves the
+                    // server holds the complete call. Acks of earlier
+                    // fragments can surface here (delayed, duplicated,
+                    // or left in the slot by the fragment loop) while
+                    // the final fragment itself was lost; believing
+                    // them would switch to probing a call the server
+                    // never started — which it answers with silence —
+                    // instead of retransmitting the missing packet.
+                    if fragment >= header.fragment {
+                        acked = true;
+                        probes = 0;
+                        timeout = cfg.retransmit_max;
+                    }
                 }
                 Wait::TimedOut => {
                     if acked {
@@ -366,6 +393,7 @@ impl Client {
         data: &[u8],
         entry: &crate::calltable::CallEntry,
         deadline: Option<Instant>,
+        span: &mut crate::trace::Span<'_>,
     ) -> Result<Assembled> {
         let shared = &self.inner.shared;
         let cfg = &shared.config;
@@ -385,6 +413,9 @@ impl Client {
                 .fragment(index, count)
                 .please_ack(true);
             shared.ctx.send_built(&builder, chunk, self.inner.remote)?;
+            // The account's "send" boundary is the first transmission of
+            // the first fragment (first-write-wins on later fragments).
+            span.stamp(crate::trace::Stamp::Sent);
             crate::stats::RpcStats::bump(&shared.ctx.stats.fragments_sent);
             let mut attempts = 1;
             loop {
@@ -401,7 +432,11 @@ impl Client {
                 ) {
                     Wait::Acked { fragment, .. } if fragment >= index => break,
                     Wait::Acked { .. } => continue,
-                    Wait::Complete(a) => return Ok(a), // Server already answered (dup).
+                    Wait::Complete(a) => {
+                        // Server already answered (dup of an earlier call).
+                        span.stamp(crate::trace::Stamp::ResultReceived);
+                        return Ok(a);
+                    }
                     Wait::TimedOut => {
                         attempts += 1;
                         if attempts > cfg.max_transmissions {
@@ -431,7 +466,7 @@ impl Client {
             .fragment(index, count)
             .build(chunk)?;
         crate::stats::RpcStats::bump(&shared.ctx.stats.fragments_sent);
-        self.transact_single(&final_header, frame.bytes(), entry, deadline)
+        self.transact_single(&final_header, frame.bytes(), entry, deadline, span)
     }
 }
 

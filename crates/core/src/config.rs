@@ -40,6 +40,16 @@ pub struct Config {
     /// jitter). Fixed by default so test runs are reproducible; vary it
     /// per endpoint to decorrelate retry storms between machines.
     pub rng_seed: u64,
+    /// Start with per-call step tracing enabled (see [`crate::trace`]).
+    ///
+    /// Tracing is pure observability — the paper's Table VII latency
+    /// account, live — and can also be toggled at runtime with
+    /// [`Endpoint::set_tracing`](crate::Endpoint::set_tracing). Off by
+    /// default: the disabled cost is one relaxed atomic load per call.
+    pub trace: bool,
+    /// Capacity (in records) of the per-endpoint completed-trace ring
+    /// buffer, preallocated at endpoint creation.
+    pub trace_capacity: usize,
 }
 
 impl Default for Config {
@@ -55,6 +65,8 @@ impl Default for Config {
             space_id: 1,
             stub_style: firefly_idl::StubStyle::Compiled,
             rng_seed: 0x5eed_f1ef_0001,
+            trace: false,
+            trace_capacity: crate::trace::DEFAULT_RING_CAPACITY,
         }
     }
 }
@@ -73,6 +85,14 @@ impl Config {
         Config {
             retransmit_initial: Duration::from_millis(5),
             retransmit_max: Duration::from_millis(100),
+            ..Config::default()
+        }
+    }
+
+    /// Convenience: a config with per-call step tracing enabled.
+    pub fn traced() -> Self {
+        Config {
+            trace: true,
             ..Config::default()
         }
     }
@@ -95,5 +115,8 @@ mod tests {
     fn presets() {
         assert!(!Config::without_checksums().checksum);
         assert!(Config::fast_retry().retransmit_initial < Duration::from_millis(50));
+        assert!(!Config::default().trace);
+        assert!(Config::traced().trace);
+        assert!(Config::traced().trace_capacity > 0);
     }
 }

@@ -58,7 +58,9 @@ impl Endpoint {
             pool,
             Arc::clone(&stats),
             config.checksum,
+            config.trace_capacity,
         ));
+        ctx.tracer.set_enabled(config.trace);
         let machine_id = if config.machine_id != 0 {
             config.machine_id
         } else {
@@ -194,6 +196,23 @@ impl Endpoint {
     /// Runtime counters.
     pub fn stats(&self) -> &RpcStats {
         &self.shared.ctx.stats
+    }
+
+    /// The per-call step tracer — the live Table VII latency account.
+    pub fn tracer(&self) -> &crate::trace::Tracer {
+        &self.shared.ctx.tracer
+    }
+
+    /// Turns per-call step tracing on or off at runtime. Pure
+    /// observability: protocol behaviour and results are unaffected.
+    pub fn set_tracing(&self, on: bool) {
+        self.shared.ctx.tracer.set_enabled(on);
+    }
+
+    /// Drains the completed-trace ring and aggregates per-step latency
+    /// histograms for both the caller and server roles of this endpoint.
+    pub fn trace_report(&self) -> crate::trace::TraceReport {
+        self.shared.ctx.tracer.report()
     }
 
     /// The shared packet-buffer pool.

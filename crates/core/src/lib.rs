@@ -96,6 +96,7 @@ pub(crate) mod send;
 pub mod server;
 pub mod service;
 pub mod stats;
+pub mod trace;
 pub mod transport;
 
 pub use client::Client;
@@ -104,6 +105,7 @@ pub use endpoint::Endpoint;
 pub use error::RpcError;
 pub use service::{Service, ServiceBuilder};
 pub use stats::RpcStats;
+pub use trace::{TraceRecord, TraceReport, Tracer};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, RpcError>;

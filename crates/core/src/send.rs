@@ -5,6 +5,7 @@
 //! around marshalled data and hands the frame to the bound transport.
 
 use crate::stats::RpcStats;
+use crate::trace::Tracer;
 use crate::transport::Transport;
 use crate::Result;
 use firefly_pool::BufferPool;
@@ -42,6 +43,10 @@ pub(crate) struct SendCtx {
     pub transport: Arc<dyn Transport>,
     pub pool: BufferPool,
     pub stats: Arc<RpcStats>,
+    /// Per-call step tracer (the live latency account); rides here so
+    /// both the caller path and the server path reach it through the
+    /// context they already hold.
+    pub tracer: Tracer,
     pub checksum: bool,
     pub src_mac: MacAddr,
     pub src_ip: Ipv4Addr,
@@ -54,6 +59,7 @@ impl SendCtx {
         pool: BufferPool,
         stats: Arc<RpcStats>,
         checksum: bool,
+        trace_capacity: usize,
     ) -> SendCtx {
         let addr = transport.local_addr();
         SendCtx {
@@ -62,6 +68,7 @@ impl SendCtx {
             transport,
             pool,
             stats,
+            tracer: Tracer::new(trace_capacity),
             checksum,
             ip_ident: AtomicU16::new(1),
         }
@@ -140,7 +147,7 @@ mod tests {
             }
             fn shutdown(&self) {}
         }
-        let ctx = SendCtx::new(Arc::new(Nop(a)), pool, stats, true);
+        let ctx = SendCtx::new(Arc::new(Nop(a)), pool, stats, true, 8);
         let hdr = RpcHeader {
             packet_type: PacketType::Result,
             flags: PacketFlags {

@@ -27,20 +27,39 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A retained (already transmitted) result frame, kept for retransmission
-/// until the next call from the same activity implicitly acknowledges it.
+/// The retained (already transmitted) result of an activity's last call,
+/// kept for retransmission until the next call from the same activity
+/// implicitly acknowledges it.
+///
+/// The single-frame cases are inlined so the fast path stores its one
+/// pooled result buffer without allocating a list around it.
 enum Retained {
-    /// The frame lives in a pool buffer (single-packet fast path).
+    /// Nothing retained (initial state, or released by an explicit ack).
+    None,
+    /// The result frame lives in a pool buffer (single-packet fast path).
     Pooled(PacketBuf),
-    /// The frame was heap-built (multi-packet results).
+    /// One heap-built frame (the call-failed path).
     Heap(Vec<u8>),
+    /// Multi-packet results: one heap-built frame per fragment.
+    Frames(Vec<Vec<u8>>),
 }
 
 impl Retained {
-    fn bytes(&self) -> &[u8] {
+    fn is_none(&self) -> bool {
+        matches!(self, Retained::None)
+    }
+
+    /// Visits every retained frame in transmission order.
+    fn for_each_frame(&self, mut f: impl FnMut(&[u8])) {
         match self {
-            Retained::Pooled(b) => b,
-            Retained::Heap(v) => v,
+            Retained::None => {}
+            Retained::Pooled(b) => f(b),
+            Retained::Heap(v) => f(v),
+            Retained::Frames(frames) => {
+                for v in frames {
+                    f(v);
+                }
+            }
         }
     }
 }
@@ -59,8 +78,8 @@ struct ActState {
     last_seq: u32,
     /// True while a server thread executes the current call.
     in_progress: bool,
-    /// Result frames of the last completed call.
-    retained: Vec<Retained>,
+    /// Result frame(s) of the last completed call.
+    retained: Retained,
     /// Fragment-ack notification for multi-packet result transmission:
     /// `(seq, fragment)` most recently acknowledged by the caller.
     acked_frag: Option<(u32, u16)>,
@@ -81,7 +100,13 @@ struct ServiceEntry {
 }
 
 enum Work {
-    Call { call: Assembled, src: SocketAddr },
+    Call {
+        call: Assembled,
+        src: SocketAddr,
+        /// Demux-level receive stamp ([`crate::trace`] nanos); 0 when
+        /// tracing was off at receipt.
+        received_at: u64,
+    },
     Shutdown,
 }
 
@@ -217,9 +242,7 @@ impl ServerSide {
                     last_used: Instant::now(),
                     last_seq: 0,
                     in_progress: false,
-                    // lint:allow(no-alloc-on-fast-path): runs once per
-                    // new caller activity, amortized across its calls.
-                    retained: Vec::new(),
+                    retained: Retained::None,
                     acked_frag: None,
                     reassembly: None,
                 }),
@@ -230,6 +253,9 @@ impl ServerSide {
 
     /// Interrupt-level handling of an incoming call packet.
     pub fn handle_call_packet(&self, pkt: Packet, src: SocketAddr) {
+        // Stamp receipt first, before any protocol work, so the server
+        // account starts at the demux boundary (0 with tracing off).
+        let received_at = self.ctx.tracer.stamp_if_enabled();
         let stats = &self.ctx.stats;
         RpcStats::bump(&stats.calls_received);
         let rpc = pkt.rpc;
@@ -245,12 +271,12 @@ impl ServerSide {
         if rpc.call_seq == st.last_seq && st.last_seq != 0 {
             // Duplicate of the current call (a caller retransmission).
             RpcStats::bump(&stats.duplicate_calls);
-            if !st.retained.is_empty() {
+            if !st.retained.is_none() {
                 // "the last result packet … must be retained for possible
                 // retransmission": answer the duplicate from it.
-                for frame in &st.retained {
-                    let _ = self.ctx.transport.send(frame.bytes(), src);
-                }
+                st.retained.for_each_frame(|frame| {
+                    let _ = self.ctx.transport.send(frame, src);
+                });
                 RpcStats::bump(&stats.retransmissions);
             } else if st.in_progress && rpc.flags.please_ack {
                 // The call is executing; tell the caller to stop
@@ -312,6 +338,7 @@ impl ServerSide {
             self.enqueue(Work::Call {
                 call: Assembled::Multi { rpc, data },
                 src,
+                received_at,
             });
             return;
         }
@@ -321,6 +348,7 @@ impl ServerSide {
         self.enqueue(Work::Call {
             call: Assembled::Single(pkt),
             src,
+            received_at,
         });
     }
 
@@ -329,13 +357,11 @@ impl ServerSide {
     fn begin_call(&self, st: &mut ActState, seq: u32) {
         st.last_seq = seq;
         st.in_progress = true;
-        for frame in st.retained.drain(..) {
-            if let Retained::Pooled(buf) = frame {
-                // "the interrupt handler removes the buffer found in that
-                // call table entry and adds it to the … receive queue."
-                self.ctx.pool.recycle_to_receive_queue(buf);
-                RpcStats::bump(&self.ctx.stats.buffers_recycled);
-            }
+        if let Retained::Pooled(buf) = std::mem::replace(&mut st.retained, Retained::None) {
+            // "the interrupt handler removes the buffer found in that
+            // call table entry and adds it to the … receive queue."
+            self.ctx.pool.recycle_to_receive_queue(buf);
+            RpcStats::bump(&self.ctx.stats.buffers_recycled);
         }
     }
 
@@ -363,10 +389,10 @@ impl ServerSide {
         if st.last_seq != rpc.call_seq {
             return;
         }
-        if !st.retained.is_empty() {
-            for frame in &st.retained {
-                let _ = self.ctx.transport.send(frame.bytes(), src);
-            }
+        if !st.retained.is_none() {
+            st.retained.for_each_frame(|frame| {
+                let _ = self.ctx.transport.send(frame, src);
+            });
             RpcStats::bump(&self.ctx.stats.retransmissions);
             drop(st);
             RpcStats::bump(&self.ctx.stats.probes_answered);
@@ -399,11 +425,9 @@ impl ServerSide {
         st.acked_frag = Some((rpc.call_seq, rpc.fragment));
         if rpc.flags.last_fragment {
             // Explicit ack of the complete result: release retention.
-            for frame in st.retained.drain(..) {
-                if let Retained::Pooled(buf) = frame {
-                    self.ctx.pool.recycle_to_receive_queue(buf);
-                    RpcStats::bump(&self.ctx.stats.buffers_recycled);
-                }
+            if let Retained::Pooled(buf) = std::mem::replace(&mut st.retained, Retained::None) {
+                self.ctx.pool.recycle_to_receive_queue(buf);
+                RpcStats::bump(&self.ctx.stats.buffers_recycled);
             }
         }
         drop(st);
@@ -421,16 +445,26 @@ impl ServerSide {
             let work = self.work_rx.recv();
             self.idle_workers.fetch_sub(1, Ordering::Relaxed);
             match work {
-                Ok(Work::Call { call, src }) => self.dispatch(call, src),
+                Ok(Work::Call {
+                    call,
+                    src,
+                    received_at,
+                }) => self.dispatch(call, src, received_at),
                 Ok(Work::Shutdown) | Err(_) => return,
             }
         }
     }
 
     /// The Receiver: execute one call and transmit its result.
-    fn dispatch(&self, call: Assembled, src: SocketAddr) {
+    fn dispatch(&self, call: Assembled, src: SocketAddr, received_at: u64) {
         let rpc = *call.rpc();
-        let outcome = self.execute(&call, src);
+        // The server half of the latency account: `Received` carries the
+        // demux stamp, `Dispatched` is stamped here (the wakeup delta).
+        let mut span = self.ctx.tracer.server_span(rpc.procedure, received_at);
+        let outcome = self.execute(&call, src, &mut span);
+        if outcome.is_ok() && span.finish() {
+            RpcStats::bump(&self.ctx.stats.trace_records);
+        }
         let act = self.activity(rpc.activity);
         let mut st = act.state.lock();
         if st.last_seq != rpc.call_seq {
@@ -459,10 +493,7 @@ impl ServerSide {
                 let mut st = act.state.lock();
                 if st.last_seq == rpc.call_seq {
                     if let Ok(frame) = builder.build(data) {
-                        // lint:allow(no-alloc-on-fast-path): retains the
-                        // call-failed result for retransmission — this
-                        // is the failure path, not the steady state.
-                        st.retained = vec![Retained::Heap(frame.into_bytes())];
+                        st.retained = Retained::Heap(frame.into_bytes());
                     }
                 }
             }
@@ -471,7 +502,12 @@ impl ServerSide {
 
     /// Runs the stub + service and transmits the result packets; returns
     /// the frames to retain.
-    fn execute(&self, call: &Assembled, src: SocketAddr) -> Result<Vec<Retained>> {
+    fn execute(
+        &self,
+        call: &Assembled,
+        src: SocketAddr,
+        span: &mut crate::trace::Span<'_>,
+    ) -> Result<Retained> {
         let rpc = *call.rpc();
         // The authorization hook runs after duplicate filtering, before
         // any service code (§7's "structural hooks").
@@ -506,27 +542,25 @@ impl ServerSide {
         let written = writer.finish()?;
         drop(args);
         drop(services);
+        span.stamp(crate::trace::Stamp::StubDone);
 
         let result_header = RpcHeader::result_for(&rpc, written.len());
         match written {
             Written::InPlace { len } => {
                 // Single packet: headers in place around the data, send,
-                // retain the pool buffer.
+                // retain the pool buffer — no per-call list around it.
                 let total = self
                     .ctx
                     .builder_from(&result_header, src)
                     .encode_into(result_buf.raw_mut(), len)?;
                 result_buf.set_len(total);
                 self.ctx.transport.send(&result_buf, src)?;
-                // lint:allow(no-alloc-on-fast-path): one-element list of
-                // retained frames; the result data itself stays in the
-                // pooled buffer (zero-copy). Inlining the single-frame
-                // case into `Retained` is noted in ROADMAP.md.
-                Ok(vec![Retained::Pooled(result_buf)])
+                span.stamp(crate::trace::Stamp::ResultSent);
+                Ok(Retained::Pooled(result_buf))
             }
             Written::Spilled(data) => {
                 drop(result_buf);
-                self.send_multi_result(&rpc, &data, src)
+                self.send_multi_result(&rpc, &data, src, span)
             }
         }
     }
@@ -538,10 +572,11 @@ impl ServerSide {
         rpc: &RpcHeader,
         data: &[u8],
         src: SocketAddr,
-    ) -> Result<Vec<Retained>> {
+        span: &mut crate::trace::Span<'_>,
+    ) -> Result<Retained> {
         let count = crate::fragment::fragment_count(data.len())?;
         let act = self.activity(rpc.activity);
-        let mut retained = Vec::with_capacity(count as usize);
+        let mut retained: Vec<Vec<u8>> = Vec::with_capacity(count as usize);
         for (index, chunk) in crate::fragment::fragments(data) {
             let last = index + 1 == count;
             let header = RpcHeader {
@@ -592,8 +627,10 @@ impl ServerSide {
                     RpcStats::bump(&self.ctx.stats.retransmissions);
                 }
             }
-            retained.push(Retained::Heap(frame.into_bytes()));
+            retained.push(frame.into_bytes());
         }
-        Ok(retained)
+        // The account's boundary is the hand-off of the last fragment.
+        span.stamp(crate::trace::Stamp::ResultSent);
+        Ok(Retained::Frames(retained))
     }
 }

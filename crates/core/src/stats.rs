@@ -66,6 +66,9 @@ counters! {
     fragments_sent,
     /// Multi-packet fragments received.
     fragments_received,
+    /// Completed per-call trace records pushed into the trace ring.
+    /// Observability of the observability: stays 0 with tracing off.
+    trace_records,
 }
 
 impl RpcStats {

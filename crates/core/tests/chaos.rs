@@ -2,13 +2,24 @@
 //! combination of loss, duplication, corruption and delay.
 
 use firefly_idl::{parse_interface, Value};
-use firefly_propcheck::{check, prop_assert_eq};
+use firefly_propcheck::{check, prop_assert, prop_assert_eq};
 use firefly_rpc::transport::{FaultPlan, LoopbackNet};
 use firefly_rpc::{Config, Endpoint, ServiceBuilder};
 use std::time::Duration;
 
 fn echo_setup(
     net: &LoopbackNet,
+) -> (
+    std::sync::Arc<Endpoint>,
+    std::sync::Arc<Endpoint>,
+    firefly_rpc::Client,
+) {
+    echo_setup_with(net, false)
+}
+
+fn echo_setup_with(
+    net: &LoopbackNet,
+    trace: bool,
 ) -> (
     std::sync::Arc<Endpoint>,
     std::sync::Arc<Endpoint>,
@@ -37,6 +48,7 @@ fn echo_setup(
     let mut cfg = Config::fast_retry();
     cfg.max_transmissions = 40; // Chaos needs patience.
     cfg.retransmit_max = Duration::from_millis(50);
+    cfg.trace = trace;
     let server = Endpoint::new(net.station(1), cfg.clone()).unwrap();
     let caller = Endpoint::new(net.station(2), cfg).unwrap();
     server.export(service).unwrap();
@@ -89,6 +101,81 @@ fn fragments_survive_fault_mix() {
             .call("Blob", &[Value::Bytes(data.clone()), Value::Bytes(Vec::new())])
             .unwrap();
         prop_assert_eq!(r[0].as_bytes().unwrap(), &data[..]);
+        Ok(())
+    });
+}
+
+/// Tracing stays truthful under chaos: fragmented calls through loss and
+/// duplication still reassemble byte-exactly, and every trace record the
+/// run produces is internally sane — complete, no step going backwards,
+/// and genuinely positive marshal and wire times for multi-KB bodies.
+/// Retransmissions and duplicate deliveries re-walk the stamped code
+/// paths, so this is the first-write-wins discipline under real fire.
+#[test]
+fn traced_fragments_survive_fault_mix() {
+    use firefly_rpc::trace::{Role, CALLER_STEPS, SERVER_STEPS};
+    check("traced_fragments_survive_fault_mix", 6, |g| {
+        let seed = g.u64();
+        let loss = g.f64_unit() * 0.12;
+        let duplicate = g.f64_unit() * 0.3;
+        let size = g.usize_in(2000..9000);
+        let net = LoopbackNet::with_seed(seed);
+        let (server, caller, client) = echo_setup_with(&net, true);
+        net.set_faults(FaultPlan {
+            loss,
+            duplicate,
+            corrupt: 0.0,
+            delay: None,
+        });
+        const CALLS: usize = 3;
+        let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        for i in 0..CALLS {
+            let r = client
+                .call("Blob", &[Value::Bytes(data.clone()), Value::Bytes(Vec::new())])
+                .unwrap();
+            prop_assert_eq!(r[0].as_bytes().unwrap(), &data[..], "call {} garbled", i);
+        }
+        // One complete caller record per successful call, stamped in
+        // order despite retransmits and duplicate result deliveries.
+        let mut caller_records = Vec::new();
+        caller.tracer().drain(|r| caller_records.push(*r));
+        let complete: Vec<_> = caller_records
+            .iter()
+            .filter(|r| r.role == Role::Caller && r.is_complete())
+            .collect();
+        prop_assert_eq!(complete.len(), CALLS, "lost caller records");
+        for rec in complete {
+            for (name, from, to) in CALLER_STEPS {
+                let delta = rec.step_delta(from, to).unwrap();
+                prop_assert!(delta >= 0, "caller step `{}` negative: {} ns", name, delta);
+            }
+            // A multi-KB body cannot marshal or cross the wire in zero
+            // time; zero here would mean a stamp overwritten by a
+            // retransmission's second pass.
+            prop_assert!(rec.step_delta(1, 2).unwrap() > 0, "zero marshal time");
+            prop_assert!(rec.step_delta(3, 4).unwrap() > 0, "zero wire time");
+            prop_assert!(rec.span_nanos() > 0);
+        }
+        // Server records: duplicates are filtered before dispatch, so at
+        // most one record per unique call, each internally ordered.
+        for _ in 0..200 {
+            if server.tracer().recorded() >= CALLS as u64 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut server_records = Vec::new();
+        server.tracer().drain(|r| server_records.push(*r));
+        prop_assert!(!server_records.is_empty(), "no server records");
+        prop_assert!(server_records.len() <= CALLS, "duplicate dispatch traced");
+        for rec in &server_records {
+            prop_assert_eq!(rec.role, Role::Server);
+            prop_assert!(rec.is_complete(), "partial server record {:?}", rec.stamps);
+            for (name, from, to) in SERVER_STEPS {
+                let delta = rec.step_delta(from, to).unwrap();
+                prop_assert!(delta >= 0, "server step `{}` negative", name);
+            }
+        }
         Ok(())
     });
 }

@@ -56,6 +56,7 @@ impl Default for Config {
                 "crates/core/src/fragment.rs".into(),
                 "crates/core/src/calltable.rs".into(),
                 "crates/core/src/endpoint.rs".into(),
+                "crates/core/src/trace.rs".into(),
                 "crates/wire/src".into(),
             ],
             no_alloc_files: vec![
@@ -67,6 +68,7 @@ impl Default for Config {
                 "crates/core/src/fragment.rs".into(),
                 "crates/core/src/calltable.rs".into(),
                 "crates/core/src/endpoint.rs".into(),
+                "crates/core/src/trace.rs".into(),
                 "crates/wire/src".into(),
             ],
             error_markers: vec![
@@ -99,6 +101,10 @@ impl Default for Config {
                         "frames_sent".into(),
                         "frames_dropped".into(),
                     ],
+                },
+                LockClass {
+                    name: "trace".into(),
+                    receivers: vec!["ring".into()],
                 },
             ],
             lock_files: vec!["crates/core/src".into(), "crates/pool/src".into()],
@@ -249,8 +255,9 @@ mod tests {
             "crates/sim/src/engine.rs",
             &c.no_panic_files
         ));
-        assert_eq!(c.lock_order.len(), 3);
+        assert_eq!(c.lock_order.len(), 4);
         assert_eq!(c.lock_order[0].name, "calltable");
+        assert_eq!(c.lock_order[3].name, "trace");
     }
 
     #[test]

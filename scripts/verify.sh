@@ -23,6 +23,12 @@ cargo test -q --offline --workspace
 echo "==> firefly-lint (fast-path, lock-order, hermetic-deps rules)"
 cargo run --release --offline -q -p firefly-lint
 
+# The live latency account must produce a complete per-step table (the
+# ±10% accounted-vs-measured bound itself is asserted by
+# tests/latency_account.rs above; this proves the binary end to end).
+echo "==> latency_account --smoke"
+cargo run --release --offline -q -p firefly-bench --bin latency_account -- --smoke
+
 # Lint gates are opt-in: rustfmt/clippy components may be absent from a
 # minimal toolchain, and their absence must not fail the hermetic check.
 if [[ "${FIREFLY_VERIFY_LINT:-0}" == "1" ]]; then

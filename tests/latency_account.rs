@@ -1,0 +1,41 @@
+//! The paper's own acceptance criterion for its latency tables: "The sum
+//! of the [steps] … accounts for all but a few percent of the total"
+//! (§3, Tables VII–VIII). This test holds the live trace account to that
+//! standard: for both paper procedures the per-step means must sum to
+//! the stopwatch-measured end-to-end mean within ±10%, so the account
+//! cannot silently drift away from what the stack actually does.
+
+use firefly_bench::account::{paper_procedures, run_account};
+
+#[test]
+fn step_sums_explain_measured_latency_within_ten_percent() {
+    for (procedure, args) in paper_procedures() {
+        // A couple of attempts guard against a noisy-neighbour run on a
+        // shared machine; each attempt is a fresh endpoint pair.
+        let mut last = None;
+        let ok = (0..3).any(|_| {
+            let account = run_account(procedure, &args, 600, 60);
+            let coverage = account.coverage();
+            let verdict = (coverage - 1.0).abs() <= 0.10;
+            last = Some((account, coverage));
+            verdict
+        });
+        let (account, coverage) = last.expect("at least one attempt ran");
+        assert!(
+            ok,
+            "{procedure}: steps explain {:.1}% of measured latency \
+             (accounted {:.2} us vs measured {:.2} us) — outside ±10%",
+            coverage * 100.0,
+            account.accounted_mean_us,
+            account.measured_mean_us
+        );
+        // The account must be built from real volume: nearly every
+        // measured call paired with a complete trace record.
+        assert!(
+            account.kept >= 500,
+            "{procedure}: only {} of 600 calls paired",
+            account.kept
+        );
+        assert!(account.report.server.records > 0, "no server records");
+    }
+}

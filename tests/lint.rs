@@ -125,6 +125,78 @@ fn binary_flags_each_seeded_rule_violation() {
     }
 }
 
+/// The workspace `lint.toml` must keep the trace write path in scope —
+/// and stay identical to the compiled-in defaults, so the engine
+/// enforces the same invariants whether or not the file is found.
+#[test]
+fn workspace_config_covers_the_trace_module() {
+    let text = fs::read_to_string(workspace_root().join("lint.toml")).expect("read lint.toml");
+    let parsed = firefly_lint::config::Config::from_toml(&text);
+    let defaults = firefly_lint::config::Config::default();
+    for files in [&parsed.no_alloc_files, &parsed.no_panic_files] {
+        assert!(
+            firefly_lint::config::Config::path_matches("crates/core/src/trace.rs", files),
+            "trace.rs fell out of the fast-path scope"
+        );
+    }
+    let order: Vec<&str> = parsed.lock_order.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(order, ["calltable", "pool", "stats", "trace"]);
+    assert_eq!(parsed.lock_order[3].receivers, ["ring"]);
+    // Field-by-field equality with the defaults (the documented
+    // "kept identical" invariant in crates/lint/src/config.rs).
+    assert_eq!(parsed.no_panic_files, defaults.no_panic_files);
+    assert_eq!(parsed.no_alloc_files, defaults.no_alloc_files);
+    assert_eq!(parsed.error_markers, defaults.error_markers);
+    assert_eq!(parsed.lock_files, defaults.lock_files);
+    assert_eq!(parsed.banned_deps, defaults.banned_deps);
+    assert_eq!(parsed.lock_order.len(), defaults.lock_order.len());
+    for (p, d) in parsed.lock_order.iter().zip(&defaults.lock_order) {
+        assert_eq!(p.name, d.name);
+        assert_eq!(p.receivers, d.receivers);
+    }
+}
+
+/// A seeded violation inside a trace-module analog proves the scope is
+/// live: an allocation on the record push path and a lock inversion
+/// through the ring mutex must both be flagged.
+#[test]
+fn binary_flags_seeded_trace_module_violations() {
+    const TRACE_LINT_TOML: &str = r#"
+[no-alloc-on-fast-path]
+files = ["src/trace.rs"]
+
+[lock-order]
+order = ["calltable", "trace"]
+calltable = ["entries"]
+trace = ["ring"]
+files = ["src"]
+"#;
+    let (code, stderr) = run_binary_on(
+        "trace-scope",
+        &[
+            ("lint.toml", TRACE_LINT_TOML),
+            (
+                "src/trace.rs",
+                "pub fn push(d: &[u8], t: &T, c: &C) -> Vec<u8> {\n\
+                 let copy = d.to_vec();\n\
+                 let _g = t.ring.lock();\n\
+                 let _e = c.entries.lock();\n\
+                 copy\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert_eq!(code, 1, "seeded trace violations should exit 1:\n{stderr}");
+    assert!(
+        stderr.contains("no-alloc-on-fast-path"),
+        "allocation on the trace push path not flagged:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("lock-order"),
+        "lock inversion under the ring mutex not flagged:\n{stderr}"
+    );
+}
+
 #[test]
 fn binary_exits_zero_on_a_clean_tree() {
     let (code, stderr) = run_binary_on(
