@@ -14,7 +14,7 @@
 use firefly_idl::{test_interface, Value};
 use firefly_metrics::table::{fnum, Align, Table};
 use firefly_metrics::Stopwatch;
-use firefly_rpc::trace::{Role, TraceRecord, TraceReport};
+use firefly_rpc::trace::{Role, RoleReport, TraceRecord, TraceReport};
 use firefly_rpc::transport::LoopbackNet;
 use firefly_rpc::{Config, Endpoint, ServiceBuilder};
 
@@ -147,6 +147,79 @@ impl Account {
 /// `args` travel on every call; `warmup` untimed calls run first so the
 /// account describes the steady state (pools warm, activity registered,
 /// caches hot), matching the paper's measurement discipline.
+/// Renders one role's per-step histograms as a paper-style table.
+/// Shared by the `latency_account` binary and the RPC exerciser, which
+/// drains [`Endpoint::trace_report`](firefly_rpc::Endpoint) directly.
+pub fn role_table(title: &str, role: &RoleReport) -> Table {
+    let mut t = Table::new(&["Step", "Mean µs", "p50", "p95", "p99"])
+        .title(title)
+        .aligns(&[
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+    for (name, h) in &role.steps {
+        t.row_owned(vec![
+            name.to_string(),
+            fnum(h.mean(), 2),
+            fnum(h.percentile(50.0), 2),
+            fnum(h.percentile(95.0), 2),
+            fnum(h.percentile(99.0), 2),
+        ]);
+    }
+    t.row_owned(vec![
+        "TOTAL (step sum)".into(),
+        fnum(role.accounted_mean_us(), 2),
+        "".into(),
+        "".into(),
+        "".into(),
+    ]);
+    t
+}
+
+/// A flat "top offenders" profile: every caller- and server-side step
+/// of one report, ranked by total time spent in it. The cumulative
+/// column answers the profiler question — how many steps explain 90%
+/// of the latency — without reading two histogram tables side by side.
+pub fn profile_table(title: &str, report: &TraceReport) -> Table {
+    let mut rows: Vec<(String, f64, f64, u64)> = Vec::new();
+    for (prefix, role) in [("caller", &report.caller), ("server", &report.server)] {
+        for (name, h) in &role.steps {
+            if h.count() > 0 {
+                rows.push((format!("{prefix}: {name}"), h.sum(), h.mean(), h.count()));
+            }
+        }
+    }
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let grand: f64 = rows.iter().map(|r| r.1).sum();
+    let mut t = Table::new(&["#", "Step", "Total ms", "Mean µs", "Samples", "Cum %"])
+        .title(title)
+        .aligns(&[
+            Align::Right,
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+    let mut cum = 0.0;
+    for (i, (name, total, mean, count)) in rows.iter().enumerate() {
+        cum += total;
+        let share = if grand > 0.0 { cum / grand * 100.0 } else { 0.0 };
+        t.row_owned(vec![
+            (i + 1).to_string(),
+            name.clone(),
+            fnum(total / 1000.0, 2),
+            fnum(*mean, 2),
+            count.to_string(),
+            format!("{share:.1}%"),
+        ]);
+    }
+    t
+}
+
 pub fn run_account(procedure: &str, args: &[Value], calls: usize, warmup: usize) -> Account {
     // Ring sized so no record of the measured window is ever dropped.
     let config = Config {

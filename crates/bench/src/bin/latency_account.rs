@@ -10,13 +10,16 @@
 //!   --markdown   emit Markdown instead of aligned text (EXPERIMENTS.md)
 //!   --smoke      tiny run for scripts/verify.sh (no percentile value)
 //!   --calls N    measured calls per procedure (default 2000)
+//!   --profile    append a flat per-step "top offenders" profile, all
+//!                steps of both roles ranked by total time
 
-use firefly_bench::account::{paper_procedures, run_account};
+use firefly_bench::account::{paper_procedures, profile_table, run_account};
 use firefly_bench::{emit, mode_from_args};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let profile = args.iter().any(|a| a == "--profile");
     let calls = args
         .iter()
         .position(|a| a == "--calls")
@@ -30,6 +33,15 @@ fn main() {
         let account = run_account(procedure, &call_args, calls, warmup);
         emit(&account.caller_table(), mode);
         emit(&account.server_table(), mode);
+        if profile {
+            emit(
+                &profile_table(
+                    &format!("Profile: {procedure} (steps by total time)"),
+                    &account.report,
+                ),
+                mode,
+            );
+        }
         println!(
             "{procedure}: accounted {:.2} us vs measured {:.2} us ({:.1}% explained)",
             account.accounted_mean_us,

@@ -224,10 +224,15 @@ impl Endpoint {
     pub fn shutdown(&self) {
         self.shared.ctx.transport.shutdown();
         self.server.shutdown(self.shared.config.server_threads);
-        if let Some(h) = self.demux.lock().take() {
+        // Take the handles out under the guards, join after they drop:
+        // joining a thread that is itself draining the transport while
+        // holding these mutexes would deadlock against `Drop` callers.
+        let demux = self.demux.lock().take();
+        if let Some(h) = demux {
             let _ = h.join();
         }
-        for h in self.workers.lock().drain(..) {
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for h in workers {
             let _ = h.join();
         }
     }

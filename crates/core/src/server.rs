@@ -271,14 +271,21 @@ impl ServerSide {
         if rpc.call_seq == st.last_seq && st.last_seq != 0 {
             // Duplicate of the current call (a caller retransmission).
             RpcStats::bump(&stats.duplicate_calls);
-            if !st.retained.is_none() {
+            // Move the retained result out and release the guard before
+            // touching the wire — a transport send can block, and
+            // blocking under the activity lock stalls the demux.
+            let retained = std::mem::replace(&mut st.retained, Retained::None);
+            let ack_executing = retained.is_none() && st.in_progress && rpc.flags.please_ack;
+            drop(st);
+            if !retained.is_none() {
                 // "the last result packet … must be retained for possible
                 // retransmission": answer the duplicate from it.
-                st.retained.for_each_frame(|frame| {
+                retained.for_each_frame(|frame| {
                     let _ = self.ctx.transport.send(frame, src);
                 });
                 RpcStats::bump(&stats.retransmissions);
-            } else if st.in_progress && rpc.flags.please_ack {
+                self.restore_retained(&act, rpc.call_seq, retained);
+            } else if ack_executing {
                 // The call is executing; tell the caller to stop
                 // retransmitting.
                 let _ = self.ctx.send_ack(&RpcHeader::ack_for(&rpc), src);
@@ -316,11 +323,14 @@ impl ServerSide {
                 reass.received[idx] = Some(pkt.data().to_vec());
             }
             let complete = reass.received.iter().all(|f| f.is_some());
-            if !rpc.flags.last_fragment {
-                // Stop-and-wait: every non-final fragment is acked.
-                let _ = self.ctx.send_ack(&RpcHeader::ack_for(&rpc), src);
-            }
+            // Stop-and-wait: every non-final fragment is acked — after
+            // the activity guard drops, since the ack hits the wire.
+            let ack_fragment = !rpc.flags.last_fragment;
             if !complete {
+                drop(st);
+                if ack_fragment {
+                    let _ = self.ctx.send_ack(&RpcHeader::ack_for(&rpc), src);
+                }
                 self.recycle(pkt);
                 return;
             }
@@ -334,6 +344,9 @@ impl ServerSide {
             let data: Vec<u8> = parts.received.into_iter().flatten().flatten().collect();
             self.begin_call(&mut st, rpc.call_seq);
             drop(st);
+            if ack_fragment {
+                let _ = self.ctx.send_ack(&RpcHeader::ack_for(&rpc), src);
+            }
             self.recycle(pkt);
             self.enqueue(Work::Call {
                 call: Assembled::Multi { rpc, data },
@@ -385,21 +398,25 @@ impl ServerSide {
     /// expire.
     pub fn handle_probe(&self, rpc: &RpcHeader, src: SocketAddr) {
         let act = self.activity(rpc.activity);
-        let st = act.state.lock();
+        let mut st = act.state.lock();
         if st.last_seq != rpc.call_seq {
             return;
         }
-        if !st.retained.is_none() {
-            st.retained.for_each_frame(|frame| {
+        // As in the duplicate path: take the result out and drop the
+        // guard before retransmitting, so the wire is never touched
+        // under the activity lock.
+        let retained = std::mem::replace(&mut st.retained, Retained::None);
+        let executing = st.in_progress;
+        drop(st);
+        if !retained.is_none() {
+            retained.for_each_frame(|frame| {
                 let _ = self.ctx.transport.send(frame, src);
             });
             RpcStats::bump(&self.ctx.stats.retransmissions);
-            drop(st);
+            self.restore_retained(&act, rpc.call_seq, retained);
             RpcStats::bump(&self.ctx.stats.probes_answered);
             return;
         }
-        let executing = st.in_progress;
-        drop(st);
         if executing {
             let response = RpcHeader {
                 packet_type: PacketType::ProbeResponse,
@@ -437,6 +454,24 @@ impl ServerSide {
     fn recycle(&self, pkt: Packet) {
         self.ctx.pool.recycle_to_receive_queue(pkt.into_buf());
         RpcStats::bump(&self.ctx.stats.buffers_recycled);
+    }
+
+    /// Puts a retained result back after a guard-free retransmission.
+    /// Retransmitting takes the result *out* of the activity slot so no
+    /// transport send happens under the state lock; if a newer call
+    /// claimed the slot while the guard was released, the pooled buffer
+    /// goes back to the receive queue instead of the slot.
+    fn restore_retained(&self, act: &Activity, seq: u32, retained: Retained) {
+        let mut st = act.state.lock();
+        if st.last_seq == seq && st.retained.is_none() {
+            st.retained = retained;
+            return;
+        }
+        drop(st);
+        if let Retained::Pooled(buf) = retained {
+            self.ctx.pool.recycle_to_receive_queue(buf);
+            RpcStats::bump(&self.ctx.stats.buffers_recycled);
+        }
     }
 
     fn worker_loop(self: Arc<Self>) {

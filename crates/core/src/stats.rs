@@ -27,6 +27,8 @@ macro_rules! counters {
 
             /// Renders all counters for diagnostics.
             pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+                // lint:allow(no-alloc-on-fast-path): snapshot() is a
+                // reporting helper called after runs, never per packet.
                 vec![$((stringify!($name), self.$name()),)+]
             }
         }

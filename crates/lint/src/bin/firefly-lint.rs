@@ -1,14 +1,19 @@
-//! Workspace lint driver. Usage: `firefly-lint [workspace-root]`.
+//! Workspace lint driver. Usage: `firefly-lint [--json] [workspace-root]`.
 //!
-//! With no argument, walks upward from the current directory to the
-//! first `Cargo.toml` containing `[workspace]`. Exits 1 when any
+//! With no path argument, walks upward from the current directory to
+//! the first `Cargo.toml` containing `[workspace]`. Exits 1 when any
 //! diagnostic is emitted, 2 on I/O errors.
+//!
+//! `--json` prints a machine-readable report on stdout instead of the
+//! human format: diagnostics, the computed fast-path reachability set,
+//! and every lock-graph edge. Exit codes are unchanged, so tooling can
+//! both parse the report and gate on it.
 
 use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use firefly_lint::Engine;
+use firefly_lint::{Analysis, Engine};
 
 fn find_workspace_root() -> Option<PathBuf> {
     let mut dir = env::current_dir().ok()?;
@@ -25,9 +30,81 @@ fn find_workspace_root() -> Option<PathBuf> {
     }
 }
 
+/// Minimal JSON string escaping (std only): quotes, backslashes and
+/// control characters.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_json(analysis: &Analysis) {
+    let mut s = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in analysis.diagnostics.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            esc(d.rule),
+            esc(&d.path),
+            d.line,
+            esc(&d.message)
+        ));
+    }
+    s.push_str("\n  ],\n  \"fast_path\": {\n    \"files\": [");
+    for (i, f) in analysis.fast_path_files.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n      \"{}\"", esc(f)));
+    }
+    s.push_str("\n    ],\n    \"functions\": [");
+    for (i, (file, name)) in analysis.fast_path_functions.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n      \"{}::{}\"", esc(file), esc(name)));
+    }
+    s.push_str("\n    ]\n  },\n  \"lock_graph\": {\n    \"edges\": [");
+    for (i, e) in analysis.lock_edges.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n      {{\"from\": \"{}\", \"to\": \"{}\", \"path\": \"{}\", \"line\": {}}}",
+            esc(&e.from),
+            esc(&e.to),
+            esc(&e.path),
+            e.line
+        ));
+    }
+    s.push_str("\n    ]\n  }\n}");
+    println!("{s}");
+}
+
 fn main() -> ExitCode {
-    let root = match env::args().nth(1) {
-        Some(arg) => PathBuf::from(arg),
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else {
+            root_arg = Some(PathBuf::from(arg));
+        }
+    }
+    let root = match root_arg {
+        Some(root) => root,
         None => match find_workspace_root() {
             Some(root) => root,
             None => {
@@ -37,17 +114,23 @@ fn main() -> ExitCode {
         },
     };
     let engine = Engine::for_root(&root);
-    match engine.run(&root) {
-        Ok(diags) if diags.is_empty() => {
-            println!("firefly-lint: clean ({})", root.display());
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                eprintln!("{d}");
+    match engine.analyze(&root) {
+        Ok(analysis) => {
+            if json {
+                print_json(&analysis);
+            } else if analysis.diagnostics.is_empty() {
+                println!("firefly-lint: clean ({})", root.display());
+            } else {
+                for d in &analysis.diagnostics {
+                    eprintln!("{d}");
+                }
+                eprintln!("firefly-lint: {} violation(s)", analysis.diagnostics.len());
             }
-            eprintln!("firefly-lint: {} violation(s)", diags.len());
-            ExitCode::FAILURE
+            if analysis.diagnostics.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("firefly-lint: I/O error: {e}");

@@ -1,10 +1,11 @@
 //! Lint configuration: compiled-in defaults plus a `lint.toml` overlay.
 //!
 //! The checked-in `lint.toml` at the workspace root is the source of
-//! truth for which files are on the fast path, the global lock order,
-//! and the banned dependency list. The compiled-in defaults are kept
-//! identical so the engine still runs sensibly if the file is absent
-//! (e.g. when linting a fixture tree in tests).
+//! truth for the fast-path entry points and scope snapshot, the global
+//! lock order, the blocking-call list, and the banned dependency list.
+//! The compiled-in defaults are kept identical so the engine still runs
+//! sensibly if the file is absent (e.g. when linting a fixture tree in
+//! tests).
 //!
 //! Only the TOML subset the config needs is parsed: `[section]`
 //! headers, `key = "string"`, and `key = ["a", "b", ...]` arrays
@@ -27,19 +28,34 @@ pub struct LockClass {
 /// Full engine configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
-    /// Path prefixes (relative to the workspace root, `/`-separated)
-    /// where `no-panic-on-fast-path` applies.
-    pub no_panic_files: Vec<String>,
-    /// Path prefixes where `no-alloc-on-fast-path` applies.
-    pub no_alloc_files: Vec<String>,
+    /// Fast-path entry points as `path::fn` pairs — the roots of the
+    /// call-graph reachability walk (Starter, Transporter, demux,
+    /// Ender; see docs/LINTS.md).
+    pub fast_path_entry_points: Vec<String>,
+    /// Snapshot of the computed fast-path file set. `no-panic-on-fast-
+    /// path` and `no-alloc-on-fast-path` apply whole-file here; the
+    /// `stale-scope` rule flags any drift between this list and the
+    /// computed reachability set.
+    pub fast_path_files: Vec<String>,
+    /// Reachability boundary: calls into these paths are not followed
+    /// (the IDL marshalling engine allocates by design and is measured
+    /// as its own step in the latency account).
+    pub fast_path_stop_files: Vec<String>,
     /// Substrings marking a line as error construction — allocation
     /// there is exempt from `no-alloc-on-fast-path`, because error
     /// paths are off the fast path by definition.
     pub error_markers: Vec<String>,
     /// Lock classes in their global acquisition order.
     pub lock_order: Vec<LockClass>,
-    /// Path prefixes where `lock-order` applies.
+    /// Path prefixes where `lock-order` applies (and where lock-graph
+    /// edges are recorded).
     pub lock_files: Vec<String>,
+    /// Path prefixes where `no-blocking-under-lock` applies.
+    pub blocking_files: Vec<String>,
+    /// Called identifiers that can block the current thread. `send` is
+    /// special-cased in the rule (only `transport.send`/`socket.send`
+    /// block; channel sends are unbounded and never do).
+    pub blocking_calls: Vec<String>,
     /// Banned registry crates for `hermetic-deps`.
     pub banned_deps: Vec<String>,
 }
@@ -47,7 +63,22 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Config {
         Config {
-            no_panic_files: vec![
+            fast_path_entry_points: vec![
+                "crates/core/src/client.rs::call_inner".into(),
+                "crates/core/src/client.rs::transact_single".into(),
+                "crates/core/src/client.rs::transact_multi".into(),
+                "crates/core/src/endpoint.rs::demux_loop".into(),
+                "crates/core/src/calltable.rs::deliver".into(),
+                "crates/core/src/calltable.rs::wait".into(),
+                "crates/core/src/server.rs::handle_call_packet".into(),
+                "crates/core/src/server.rs::handle_probe".into(),
+                "crates/core/src/server.rs::handle_result_ack".into(),
+                "crates/core/src/server.rs::worker_loop".into(),
+                "crates/core/src/transport.rs::send".into(),
+                "crates/core/src/transport.rs::recv".into(),
+            ],
+            fast_path_files: vec![
+                "crates/core/src/auth.rs".into(),
                 "crates/core/src/client.rs".into(),
                 "crates/core/src/server.rs".into(),
                 "crates/core/src/transport.rs".into(),
@@ -57,20 +88,13 @@ impl Default for Config {
                 "crates/core/src/calltable.rs".into(),
                 "crates/core/src/endpoint.rs".into(),
                 "crates/core/src/trace.rs".into(),
+                "crates/core/src/stats.rs".into(),
+                "crates/pool/src/lib.rs".into(),
+                "crates/sync/src/lib.rs".into(),
+                "crates/rng/src/lib.rs".into(),
                 "crates/wire/src".into(),
             ],
-            no_alloc_files: vec![
-                "crates/core/src/client.rs".into(),
-                "crates/core/src/server.rs".into(),
-                "crates/core/src/transport.rs".into(),
-                "crates/core/src/send.rs".into(),
-                "crates/core/src/packet.rs".into(),
-                "crates/core/src/fragment.rs".into(),
-                "crates/core/src/calltable.rs".into(),
-                "crates/core/src/endpoint.rs".into(),
-                "crates/core/src/trace.rs".into(),
-                "crates/wire/src".into(),
-            ],
+            fast_path_stop_files: vec!["crates/idl/src".into()],
             error_markers: vec![
                 "Err(".into(),
                 "RpcError::".into(),
@@ -108,6 +132,20 @@ impl Default for Config {
                 },
             ],
             lock_files: vec!["crates/core/src".into(), "crates/pool/src".into()],
+            blocking_files: vec!["crates/core/src".into(), "crates/pool/src".into()],
+            blocking_calls: vec![
+                "recv".into(),
+                "recv_from".into(),
+                "wait".into(),
+                "wait_until".into(),
+                "wait_timeout".into(),
+                "park".into(),
+                "test_sleep".into(),
+                "send_to".into(),
+                "send_built".into(),
+                "send_ack".into(),
+                "join".into(),
+            ],
             banned_deps: vec![
                 "parking_lot".into(),
                 "crossbeam".into(),
@@ -127,15 +165,18 @@ impl Config {
     pub fn from_toml(text: &str) -> Config {
         let mut config = Config::default();
         let sections = parse_sections(text);
-        if let Some(s) = sections.get("no-panic-on-fast-path") {
+        if let Some(s) = sections.get("fast-path") {
+            if let Some(v) = s.get("entry_points") {
+                config.fast_path_entry_points = v.clone();
+            }
             if let Some(v) = s.get("files") {
-                config.no_panic_files = v.clone();
+                config.fast_path_files = v.clone();
+            }
+            if let Some(v) = s.get("stop_files") {
+                config.fast_path_stop_files = v.clone();
             }
         }
         if let Some(s) = sections.get("no-alloc-on-fast-path") {
-            if let Some(v) = s.get("files") {
-                config.no_alloc_files = v.clone();
-            }
             if let Some(v) = s.get("error_markers") {
                 config.error_markers = v.clone();
             }
@@ -152,6 +193,17 @@ impl Config {
             }
             if let Some(v) = s.get("files") {
                 config.lock_files = v.clone();
+                // The blocking rule rides the lock scope unless it
+                // declares its own.
+                config.blocking_files = v.clone();
+            }
+        }
+        if let Some(s) = sections.get("no-blocking-under-lock") {
+            if let Some(v) = s.get("files") {
+                config.blocking_files = v.clone();
+            }
+            if let Some(v) = s.get("blocking") {
+                config.blocking_calls = v.clone();
             }
         }
         if let Some(s) = sections.get("hermetic-deps") {
@@ -245,30 +297,40 @@ mod tests {
         let c = Config::default();
         assert!(Config::path_matches(
             "crates/core/src/calltable.rs",
-            &c.no_panic_files
+            &c.fast_path_files
         ));
         assert!(Config::path_matches(
             "crates/wire/src/frame.rs",
-            &c.no_panic_files
+            &c.fast_path_files
         ));
         assert!(!Config::path_matches(
             "crates/sim/src/engine.rs",
-            &c.no_panic_files
+            &c.fast_path_files
+        ));
+        // channel.rs is deliberately outside the fast path (the demux
+        // hand-off never blocks on an unbounded channel's send side,
+        // and its recv runs on worker threads).
+        assert!(!Config::path_matches(
+            "crates/sync/src/channel.rs",
+            &c.fast_path_files
         ));
         assert_eq!(c.lock_order.len(), 4);
         assert_eq!(c.lock_order[0].name, "calltable");
         assert_eq!(c.lock_order[3].name, "trace");
+        assert!(c.blocking_calls.iter().any(|b| b == "wait_until"));
     }
 
     #[test]
     fn toml_overlay_replaces_lists() {
         let toml = r#"
 # a comment
-[no-panic-on-fast-path]
+[fast-path]
+entry_points = ["a/b.rs::run"]
 files = [
     "a/b.rs",  # trailing comment
     "c",
 ]
+stop_files = ["d"]
 
 [lock-order]
 order = ["alpha", "beta"]
@@ -280,14 +342,27 @@ files = ["src"]
 banned = ["tokio"]
 "#;
         let c = Config::from_toml(toml);
-        assert_eq!(c.no_panic_files, vec!["a/b.rs", "c"]);
+        assert_eq!(c.fast_path_entry_points, vec!["a/b.rs::run"]);
+        assert_eq!(c.fast_path_files, vec!["a/b.rs", "c"]);
+        assert_eq!(c.fast_path_stop_files, vec!["d"]);
         assert_eq!(c.lock_order.len(), 2);
         assert_eq!(c.lock_order[1].name, "beta");
         assert_eq!(c.lock_order[1].receivers, vec!["y", "z"]);
         assert_eq!(c.lock_files, vec!["src"]);
+        // Without its own section the blocking scope follows lock-order.
+        assert_eq!(c.blocking_files, vec!["src"]);
         assert_eq!(c.banned_deps, vec!["tokio"]);
         // Untouched sections keep their defaults.
-        assert!(!c.no_alloc_files.is_empty());
+        assert!(!c.error_markers.is_empty());
+        assert!(!c.blocking_calls.is_empty());
+    }
+
+    #[test]
+    fn blocking_section_overrides_scope_and_calls() {
+        let toml = "[no-blocking-under-lock]\nfiles = [\"x\"]\nblocking = [\"recv\"]\n";
+        let c = Config::from_toml(toml);
+        assert_eq!(c.blocking_files, vec!["x"]);
+        assert_eq!(c.blocking_calls, vec!["recv"]);
     }
 
     #[test]
@@ -295,7 +370,7 @@ banned = ["tokio"]
         let toml = "[s]\nfiles = [\"a#b\"]\n";
         let c = Config::from_toml(toml);
         // Section `s` is unknown; just proving the parser didn't choke.
-        assert!(!c.no_panic_files.is_empty());
+        assert!(!c.fast_path_files.is_empty());
         let sections = parse_sections(toml);
         assert_eq!(sections["s"]["files"], vec!["a#b"]);
     }

@@ -8,9 +8,12 @@
 //! external parser, std only.
 //!
 //! Rules (see docs/LINTS.md for the full rationale):
-//! - `no-panic-on-fast-path`
-//! - `no-alloc-on-fast-path`
-//! - `lock-order`
+//! - `no-panic-on-fast-path` / `no-alloc-on-fast-path` — scoped by the
+//!   computed fast-path reachability set (see [`callgraph`])
+//! - `lock-order` — guard-lifetime aware (see [`scope`])
+//! - `lock-cycle` — cycles in the workspace lock graph ([`lockgraph`])
+//! - `no-blocking-under-lock`
+//! - `stale-scope` — lint.toml's fast-path snapshot vs the computed set
 //! - `no-sleep-in-lib`
 //! - `safety-comment`
 //! - `hermetic-deps`
@@ -22,8 +25,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod config;
+pub mod lockgraph;
 pub mod rules;
+pub mod scope;
 pub mod source;
 pub mod tokenizer;
 
@@ -32,7 +38,9 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+use callgraph::CallGraph;
 use config::Config;
+use lockgraph::{LockEdge, LockGraph};
 use source::SourceFile;
 
 /// One lint finding.
@@ -71,6 +79,29 @@ struct Allow {
     justified: bool,
 }
 
+/// Cross-file facts accumulated while walking the workspace, consumed
+/// by the workspace-level rules after every file has been seen.
+#[derive(Default)]
+pub struct Facts {
+    /// Observed nested lock acquisitions.
+    pub lock_graph: LockGraph,
+    /// Fn definitions and call sites.
+    pub call_graph: CallGraph,
+}
+
+/// The result of a full workspace analysis: diagnostics plus the
+/// computed fast-path reachability (for `--json` consumers and tests).
+pub struct Analysis {
+    /// All surviving diagnostics, sorted by (path, line).
+    pub diagnostics: Vec<Diagnostic>,
+    /// `(file, fn)` pairs reachable from the fast-path entry points.
+    pub fast_path_functions: Vec<(String, String)>,
+    /// Files containing at least one reachable function.
+    pub fast_path_files: Vec<String>,
+    /// Every recorded lock-graph edge.
+    pub lock_edges: Vec<LockEdge>,
+}
+
 /// The rule engine: configuration plus the workspace walker.
 pub struct Engine {
     pub config: Config,
@@ -93,10 +124,22 @@ impl Engine {
     }
 
     /// Lints one Rust source file given its workspace-relative path.
+    /// Workspace-level rules (`lock-cycle`, `stale-scope`) need the
+    /// whole tree and only run in [`Engine::analyze`].
     pub fn check_source_text(&self, rel_path: &str, text: &str) -> Vec<Diagnostic> {
+        let mut facts = Facts::default();
+        let (diags, _) = self.check_one(rel_path, text, &mut facts);
+        diags
+    }
+
+    /// Per-file pass: parse, run rules (feeding `facts`), apply
+    /// suppressions, report unjustified allows. Returns the surviving
+    /// diagnostics and the file's allows (the workspace pass applies
+    /// them to diagnostics it anchors in this file later).
+    fn check_one(&self, rel_path: &str, text: &str, facts: &mut Facts) -> (Vec<Diagnostic>, Vec<Allow>) {
         let file = SourceFile::new(rel_path, text);
         let allows = collect_allows(&file);
-        let mut out: Vec<Diagnostic> = rules::check_source(&file, &self.config)
+        let mut out: Vec<Diagnostic> = rules::check_source(&file, &self.config, facts)
             .into_iter()
             .filter(|d| !is_suppressed(d, &allows))
             .collect();
@@ -113,7 +156,7 @@ impl Engine {
                 ));
             }
         }
-        out
+        (out, allows)
     }
 
     /// Lints one `Cargo.toml` given its workspace-relative path.
@@ -123,9 +166,22 @@ impl Engine {
 
     /// Walks the workspace at `root` and lints every `.rs` file and
     /// every `Cargo.toml`. Skips `target/`, VCS metadata, and lint
-    /// test fixtures (which contain violations on purpose).
+    /// test fixtures (which contain violations on purpose). Returns
+    /// just the diagnostics; [`Engine::analyze`] also exposes the
+    /// computed fast-path set and lock graph.
     pub fn run(&self, root: &Path) -> io::Result<Vec<Diagnostic>> {
+        Ok(self.analyze(root)?.diagnostics)
+    }
+
+    /// Full two-pass analysis: the per-file rules (pass 1, which also
+    /// accumulates the call graph and lock graph), then the
+    /// workspace-level rules over the accumulated facts (pass 2).
+    pub fn analyze(&self, root: &Path) -> io::Result<Analysis> {
         let mut diags = Vec::new();
+        let mut facts = Facts::default();
+        // Allows per file, for suppressing workspace-pass diagnostics
+        // anchored in that file.
+        let mut allows_by_path: Vec<(String, Vec<Allow>)> = Vec::new();
         let mut stack = vec![root.to_path_buf()];
         while let Some(dir) = stack.pop() {
             let mut entries: Vec<_> = fs::read_dir(&dir)?
@@ -153,12 +209,92 @@ impl Engine {
                     diags.extend(self.check_manifest_text(&rel, &text));
                 } else if file_name.ends_with(".rs") {
                     let text = fs::read_to_string(&path)?;
-                    diags.extend(self.check_source_text(&rel, &text));
+                    let (file_diags, allows) = self.check_one(&rel, &text, &mut facts);
+                    diags.extend(file_diags);
+                    allows_by_path.push((rel, allows));
                 }
             }
         }
+        let suppressed = |d: &Diagnostic| {
+            allows_by_path
+                .iter()
+                .find(|(p, _)| *p == d.path)
+                .is_some_and(|(_, allows)| is_suppressed(d, allows))
+        };
+
+        // Workspace rule: lock-cycle.
+        for cycle in facts.lock_graph.cycles() {
+            let d = Diagnostic {
+                rule: rules::name::LOCK_CYCLE,
+                path: cycle.at.path.clone(),
+                line: cycle.at.line,
+                message: format!(
+                    "lock acquisition cycle {} — two threads interleaving these \
+                     paths can deadlock; pick one order and declare it in \
+                     lint.toml [lock-order]",
+                    cycle.nodes.join(" → ")
+                ),
+            };
+            if !suppressed(&d) {
+                diags.push(d);
+            }
+        }
+
+        // Workspace rule: stale-scope (skipped when no entry point
+        // resolves, e.g. on fixture trees that configure none).
+        let reachable = facts.call_graph.reachable(
+            &self.config.fast_path_entry_points,
+            &self.config.fast_path_stop_files,
+        );
+        let computed_files = CallGraph::reachable_files(&reachable);
+        if facts.call_graph.has_entry(&self.config.fast_path_entry_points) {
+            for file in &computed_files {
+                if !Config::path_matches(file, &self.config.fast_path_files) {
+                    let d = Diagnostic {
+                        rule: rules::name::STALE_SCOPE,
+                        path: file.clone(),
+                        line: 1,
+                        message: format!(
+                            "`{file}` is reachable from the fast-path entry points \
+                             but missing from lint.toml [fast-path].files; add it \
+                             (or add a stop_files boundary)"
+                        ),
+                    };
+                    if !suppressed(&d) {
+                        diags.push(d);
+                    }
+                }
+            }
+            let mut listed_not_reachable: Vec<&String> = self
+                .config
+                .fast_path_files
+                .iter()
+                .filter(|p| !computed_files.iter().any(|f| Config::path_matches(f, &[(*p).clone()])))
+                .collect();
+            listed_not_reachable.sort();
+            for p in listed_not_reachable {
+                diags.push(Diagnostic {
+                    rule: rules::name::STALE_SCOPE,
+                    path: "lint.toml".to_string(),
+                    line: 1,
+                    message: format!(
+                        "`{p}` is listed in [fast-path].files but no function in it \
+                         is reachable from the entry points; remove it or fix the \
+                         entry-point list"
+                    ),
+                });
+            }
+        }
+
         diags.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
-        Ok(diags)
+        let mut lock_edges: Vec<LockEdge> = facts.lock_graph.edges().cloned().collect();
+        lock_edges.sort();
+        Ok(Analysis {
+            diagnostics: diags,
+            fast_path_functions: reachable.into_iter().collect(),
+            fast_path_files: computed_files.into_iter().collect(),
+            lock_edges,
+        })
     }
 }
 

@@ -1,0 +1,228 @@
+//! Workspace lock graph: every observed "guard A held while acquiring
+//! B" pair, and cycle detection over it.
+//!
+//! `lock-order` checks nested acquisitions against the declared global
+//! order, but only for receivers `lint.toml` classifies. The lock graph
+//! is broader: *every* nested pair is an edge, including unclassified
+//! receivers, and any cycle in the resulting directed graph is real
+//! deadlock potential (two threads can interleave the two paths) even
+//! if no single function inverts a declared order. That is the
+//! `lock-cycle` diagnostic.
+//!
+//! Node identity: classified receivers map to their global class name
+//! (`calltable`, `pool`, ...) because the class *is* the lock's
+//! identity across files. Unclassified receivers are namespaced by file
+//! (`crates/core/src/transport.rs::rng`) so two unrelated private locks
+//! that happen to share a field name never alias. Self-edges are
+//! ignored: nesting two locks of one class (the call-table's
+//! `activities → state` hierarchy) is ordered by the data structure,
+//! not the global order.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One observed nested acquisition.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Node held (class name or `file::receiver`).
+    pub from: String,
+    /// Node acquired while `from` was held.
+    pub to: String,
+    /// File recording the edge.
+    pub path: String,
+    /// 1-based line of the inner acquisition.
+    pub line: usize,
+}
+
+/// The workspace-wide graph.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    edges: BTreeSet<LockEdge>,
+}
+
+/// One detected cycle: the node sequence (first node repeated last) and
+/// the edge chosen to anchor the diagnostic.
+#[derive(Debug)]
+pub struct Cycle {
+    pub nodes: Vec<String>,
+    pub at: LockEdge,
+}
+
+impl LockGraph {
+    /// Records one nested pair. Self-edges are dropped (see module doc).
+    pub fn record(&mut self, from: String, to: String, path: &str, line: usize) {
+        if from == to {
+            return;
+        }
+        self.edges.insert(LockEdge {
+            from,
+            to,
+            path: path.to_string(),
+            line,
+        });
+    }
+
+    /// All recorded edges, deterministically ordered.
+    pub fn edges(&self) -> impl Iterator<Item = &LockEdge> {
+        self.edges.iter()
+    }
+
+    /// Finds every elementary cycle's node set via strongly connected
+    /// components (a component of more than one node necessarily
+    /// contains a cycle; self-edges were never recorded). One cycle is
+    /// reported per component, anchored at its lexicographically first
+    /// edge so the diagnostic is stable.
+    pub fn cycles(&self) -> Vec<Cycle> {
+        let nodes: BTreeSet<&str> = self
+            .edges
+            .iter()
+            .flat_map(|e| [e.from.as_str(), e.to.as_str()])
+            .collect();
+        let index: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let names: Vec<&str> = nodes.into_iter().collect();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+        for e in &self.edges {
+            adj[index[e.from.as_str()]].push(index[e.to.as_str()]);
+        }
+        let sccs = tarjan(&adj);
+        let mut out = Vec::new();
+        for scc in sccs {
+            if scc.len() < 2 {
+                continue;
+            }
+            let members: BTreeSet<usize> = scc.iter().copied().collect();
+            let at = self
+                .edges
+                .iter()
+                .find(|e| {
+                    members.contains(&index[e.from.as_str()])
+                        && members.contains(&index[e.to.as_str()])
+                })
+                .cloned();
+            let Some(at) = at else { continue };
+            // Reconstruct one concrete cycle starting from the anchor
+            // edge: follow in-component edges until we return.
+            let mut path = vec![at.from.clone(), at.to.clone()];
+            let mut cur = index[at.to.as_str()];
+            let start = index[at.from.as_str()];
+            let mut hops = 0;
+            while cur != start && hops <= members.len() {
+                let next = adj[cur]
+                    .iter()
+                    .copied()
+                    .find(|n| members.contains(n))
+                    .unwrap_or(start);
+                path.push(names[next].to_string());
+                cur = next;
+                hops += 1;
+            }
+            if path.last().map(String::as_str) != Some(names[start]) {
+                path.push(names[start].to_string());
+            }
+            out.push(Cycle { nodes: path, at });
+        }
+        out
+    }
+}
+
+/// Tarjan's strongly-connected-components algorithm, iterative so deep
+/// graphs cannot overflow the stack.
+fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_declared_order_has_no_cycles() {
+        let mut g = LockGraph::default();
+        g.record("calltable".into(), "pool".into(), "a.rs", 1);
+        g.record("pool".into(), "stats".into(), "b.rs", 2);
+        g.record("stats".into(), "trace".into(), "c.rs", 3);
+        assert!(g.cycles().is_empty());
+    }
+
+    #[test]
+    fn two_node_cycle_is_detected_once() {
+        let mut g = LockGraph::default();
+        g.record("a.rs::x".into(), "a.rs::y".into(), "a.rs", 3);
+        g.record("a.rs::y".into(), "a.rs::x".into(), "a.rs", 9);
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].nodes.first(), cycles[0].nodes.last());
+        assert_eq!(cycles[0].nodes.len(), 3);
+    }
+
+    #[test]
+    fn self_edges_are_ignored() {
+        let mut g = LockGraph::default();
+        g.record("calltable".into(), "calltable".into(), "a.rs", 1);
+        assert_eq!(g.edges().count(), 0);
+        assert!(g.cycles().is_empty());
+    }
+
+    #[test]
+    fn three_node_cycle_via_distinct_files() {
+        let mut g = LockGraph::default();
+        g.record("a".into(), "b".into(), "x.rs", 1);
+        g.record("b".into(), "c".into(), "y.rs", 2);
+        g.record("c".into(), "a".into(), "z.rs", 3);
+        g.record("a".into(), "d".into(), "x.rs", 4); // dangling non-cycle edge
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].nodes.len(), 4);
+    }
+}

@@ -3,8 +3,10 @@
 //! in the engine, not here.
 
 use crate::config::Config;
+use crate::scope::{functions, walk_guards, GuardEvent, LiveGuard};
 use crate::source::SourceFile;
 use crate::Diagnostic;
+use crate::Facts;
 use crate::tokenizer::TokenKind;
 
 /// Rule name constants, shared by rules, suppressions and tests.
@@ -13,8 +15,15 @@ pub mod name {
     pub const NO_PANIC: &str = "no-panic-on-fast-path";
     /// Heap allocation on the fast path.
     pub const NO_ALLOC: &str = "no-alloc-on-fast-path";
-    /// Nested lock acquisitions violating the global order.
+    /// Overlapping guards acquired against the global order.
     pub const LOCK_ORDER: &str = "lock-order";
+    /// A cycle in the workspace lock graph (deadlock potential).
+    pub const LOCK_CYCLE: &str = "lock-cycle";
+    /// A call that can block while a lock guard is live.
+    pub const NO_BLOCKING: &str = "no-blocking-under-lock";
+    /// lint.toml's fast-path snapshot disagrees with the computed
+    /// reachability set.
+    pub const STALE_SCOPE: &str = "stale-scope";
     /// `thread::sleep` in library code.
     pub const NO_SLEEP: &str = "no-sleep-in-lib";
     /// `unsafe` without a `// SAFETY:` comment.
@@ -36,21 +45,19 @@ fn is_test_path(rel_path: &str) -> bool {
         || rel_path.contains("/examples/")
 }
 
-/// Runs every source-level rule over one file.
-pub fn check_source(file: &SourceFile, config: &Config) -> Vec<Diagnostic> {
+/// Runs every source-level rule over one file, contributing call-graph
+/// and lock-graph facts to `facts` for the workspace-level rules.
+pub fn check_source(file: &SourceFile, config: &Config, facts: &mut Facts) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     if is_test_path(&file.rel_path) {
         return out;
     }
-    if Config::path_matches(&file.rel_path, &config.no_panic_files) {
+    facts.call_graph.add_file(file);
+    if Config::path_matches(&file.rel_path, &config.fast_path_files) {
         no_panic(file, &mut out);
-    }
-    if Config::path_matches(&file.rel_path, &config.no_alloc_files) {
         no_alloc(file, config, &mut out);
     }
-    if Config::path_matches(&file.rel_path, &config.lock_files) {
-        lock_order(file, config, &mut out);
-    }
+    guard_rules(file, config, facts, &mut out);
     no_sleep(file, &mut out);
     safety_comment(file, &mut out);
     out
@@ -139,17 +146,31 @@ fn no_alloc(file: &SourceFile, config: &Config, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Lock acquisitions within one function must follow the declared
-/// global order. The check is conservative: any acquisition of an
-/// earlier-ranked class after a later-ranked one in the same function
-/// body is flagged, whether or not the first guard is provably still
-/// held.
+/// The flow-aware guard rules, one shared walk per function body:
+///
+/// * `lock-order` — fires only when a guard of a later-ranked class is
+///   provably **live** while an earlier-ranked class is acquired.
+///   Sequential (drop-then-relock) acquisitions no longer fire.
+/// * lock-graph edges — every live-guard→new-acquisition pair feeds the
+///   workspace lock graph, whose cycles become `lock-cycle`
+///   diagnostics in the engine's workspace pass.
+/// * `no-blocking-under-lock` — no call that can block the thread
+///   (`recv`, `wait`, `park`, `test_sleep`, transport sends, `join`)
+///   while any guard is live. Condvar waits are exempt for the guard
+///   they atomically release (its name appears in the argument list)
+///   but still fire for any *other* live guard.
 ///
 /// Paper rationale: the §3.1.3 interrupt routine takes the call-table
 /// lock and the buffer-pool lock back to back on every packet; an
 /// inversion anywhere else in the runtime deadlocks the demultiplexer,
-/// which is single-threaded by design (one wakeup per packet).
-fn lock_order(file: &SourceFile, config: &Config, out: &mut Vec<Diagnostic>) {
+/// and blocking while holding protocol state stalls every call on the
+/// endpoint (the paper's demux runs in the receive interrupt).
+fn guard_rules(file: &SourceFile, config: &Config, facts: &mut Facts, out: &mut Vec<Diagnostic>) {
+    let in_lock_scope = Config::path_matches(&file.rel_path, &config.lock_files);
+    let in_blocking_scope = Config::path_matches(&file.rel_path, &config.blocking_files);
+    if !in_lock_scope && !in_blocking_scope {
+        return;
+    }
     let toks = &file.tokens.tokens;
     let rank_of = |ident: &str| -> Option<(usize, &str)> {
         config
@@ -159,66 +180,110 @@ fn lock_order(file: &SourceFile, config: &Config, out: &mut Vec<Diagnostic>) {
             .find(|(_, class)| class.receivers.iter().any(|r| r == ident))
             .map(|(rank, class)| (rank, class.name.as_str()))
     };
-    let mut i = 0;
-    while i < toks.len() {
-        if toks[i].kind == TokenKind::Ident && toks[i].text == "fn" {
-            // Find the body braces of this fn.
-            let Some(open) = (i..toks.len()).find(|&j| {
-                matches!(toks[j].text.as_str(), "{" | ";")
-            }) else {
-                break;
-            };
-            if toks[open].text == ";" {
-                i = open + 1;
-                continue;
-            }
-            let close = crate::source::match_brace(toks, open);
-            // Collect classed acquisitions in token order.
-            let mut seen: Vec<(usize, &str, usize)> = Vec::new(); // (rank, class, line)
-            for j in open..close {
-                let t = &toks[j];
-                if t.kind != TokenKind::Ident
-                    || !matches!(t.text.as_str(), "lock" | "read" | "write")
-                    || j < 2
-                    || toks[j - 1].text != "."
-                    || !toks.get(j + 1).is_some_and(|n| n.text == "(")
-                    || file.is_test_line(t.line)
-                {
-                    continue;
-                }
-                let receiver = &toks[j - 2];
-                if receiver.kind != TokenKind::Ident {
-                    continue;
-                }
-                let Some((rank, class)) = rank_of(&receiver.text) else {
-                    continue;
-                };
-                if let Some(&(prev_rank, prev_class, _)) =
-                    seen.iter().filter(|(r, ..)| *r > rank).next_back()
-                {
-                    let _ = prev_rank;
-                    let order: Vec<&str> = config
-                        .lock_order
-                        .iter()
-                        .map(|c| c.name.as_str())
-                        .collect();
-                    out.push(file.diagnostic(
-                        name::LOCK_ORDER,
-                        t.line,
-                        format!(
-                            "`{class}` lock acquired after `{prev_class}` in the same \
-                             function; the global order is {}",
-                            order.join(" → ")
-                        ),
-                    ));
-                }
-                seen.push((rank, class, t.line));
-            }
-            i = close + 1;
-        } else {
-            i += 1;
+    // Lock-graph node: the global class name for classified receivers,
+    // file-namespaced otherwise so unrelated private locks never alias.
+    let node_of = |receiver: &str| -> String {
+        match rank_of(receiver) {
+            Some((_, class)) => class.to_string(),
+            None => format!("{}::{receiver}", file.rel_path),
         }
+    };
+    let is_blocking = |callee: &str, receiver: Option<&str>| -> bool {
+        if callee == "send" {
+            // Only transport/socket sends block; channel sends are
+            // unbounded by design and never do.
+            return matches!(receiver, Some("transport" | "socket"));
+        }
+        config.blocking_calls.iter().any(|b| b == callee)
+    };
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for f in functions(toks) {
+        walk_guards(
+            toks,
+            f.open,
+            f.close,
+            &|line| file.is_test_line(line),
+            &is_blocking,
+            &mut |ev| match ev {
+                GuardEvent::Acquire { guard, live } => {
+                    if !in_lock_scope {
+                        return;
+                    }
+                    let new_node = node_of(&guard.receiver);
+                    for held in live {
+                        facts.lock_graph.record(
+                            node_of(&held.receiver),
+                            new_node.clone(),
+                            &file.rel_path,
+                            guard.line,
+                        );
+                    }
+                    let Some((rank, class)) = rank_of(&guard.receiver) else {
+                        return;
+                    };
+                    if let Some((held, held_class)) = live
+                        .iter()
+                        .filter_map(|g| rank_of(&g.receiver).map(|(r, c)| (g, (r, c))))
+                        .filter(|(_, (r, _))| *r > rank)
+                        .map(|(g, (_, c))| (g, c))
+                        .next_back()
+                    {
+                        let order: Vec<&str> =
+                            config.lock_order.iter().map(|c| c.name.as_str()).collect();
+                        diags.push(file.diagnostic(
+                            name::LOCK_ORDER,
+                            guard.line,
+                            format!(
+                                "`{class}` lock acquired while a `{held_class}` guard \
+                                 (line {}) is still held; the global order is {}",
+                                held.line,
+                                order.join(" → ")
+                            ),
+                        ));
+                    }
+                }
+                GuardEvent::Blocking {
+                    callee,
+                    line,
+                    args,
+                    live,
+                } => {
+                    if !in_blocking_scope || live.is_empty() {
+                        return;
+                    }
+                    // A condvar wait atomically releases the guard it is
+                    // handed; find that guard among the argument tokens.
+                    let released: Option<&LiveGuard> =
+                        if matches!(callee, "wait" | "wait_until" | "wait_timeout") {
+                            toks[args.0..args.1.min(toks.len())]
+                                .iter()
+                                .filter(|t| t.kind == TokenKind::Ident)
+                                .find_map(|t| {
+                                    live.iter().find(|g| g.name.as_deref() == Some(&t.text))
+                                })
+                        } else {
+                            None
+                        };
+                    let still_held: Vec<&LiveGuard> = live
+                        .iter()
+                        .filter(|g| !released.is_some_and(|r| std::ptr::eq(*g, r)))
+                        .collect();
+                    if let Some(held) = still_held.first() {
+                        diags.push(file.diagnostic(
+                            name::NO_BLOCKING,
+                            line,
+                            format!(
+                                "`{callee}` can block while the `{}` guard (line {}) is \
+                                 held; drop the guard before blocking",
+                                held.receiver, held.line
+                            ),
+                        ));
+                    }
+                }
+            },
+        );
     }
+    out.append(&mut diags);
 }
 
 /// `thread::sleep` is banned in library code (tests exempt). Timing

@@ -159,7 +159,14 @@ pub fn tokenize(source: &str) -> Tokenized {
                             j += 1;
                         }
                     }
-                    let end = (j + 1).min(n);
+                    // An unterminated literal stops *before* the newline
+                    // so the main loop still counts it — otherwise every
+                    // diagnostic line number after it would drift by one.
+                    let end = if j < n && chars[j] == '\'' {
+                        j + 1
+                    } else {
+                        j.min(n)
+                    };
                     out.tokens.push(Token {
                         kind: TokenKind::Literal,
                         text: chars[i..end.min(n)].iter().collect(),
@@ -176,6 +183,25 @@ pub fn tokenize(source: &str) -> Tokenized {
                     line,
                 });
                 line += lines;
+                i = j;
+            }
+            'r' if i + 2 < n
+                && chars[i + 1] == '#'
+                && (chars[i + 2].is_alphabetic() || chars[i + 2] == '_') =>
+            {
+                // Raw identifier `r#type`, `r#fn`: one Ident token whose
+                // text is the part after `r#`. Tokenizing it as `r`, `#`,
+                // `fn` would inject a phantom keyword into the stream and
+                // poison fn-definition extraction.
+                let mut j = i + 3;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: chars[i + 2..j].iter().collect(),
+                    line,
+                });
                 i = j;
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -295,7 +321,12 @@ fn scan_prefixed_literal(chars: &[char], i: usize) -> (usize, usize) {
                 k += 1;
             }
         }
-        return ((k + 1).min(n), 0);
+        // Stop before an unterminated literal's newline so the caller's
+        // line counter stays honest (same rule as plain char literals).
+        if k < n && chars[k] == '\'' {
+            return (k + 1, 0);
+        }
+        return (k.min(n), 0);
     }
     if j < n && chars[j] == 'r' {
         j += 1;
@@ -442,6 +473,30 @@ mod tests {
         for src in ["\"abc", "/* never closed", "r#\"raw", "'x", "b\"bytes", "r###"] {
             let _ = tokenize(src);
         }
+    }
+
+    #[test]
+    fn unterminated_char_literal_does_not_drift_line_numbers() {
+        // The stray `'x` never closes; the newline after it must still
+        // count so `after` lands on line 2.
+        let t = tokenize("let bad = 'x\nafter");
+        let after = t.tokens.last().expect("token after");
+        assert_eq!(after.text, "after");
+        assert_eq!(after.line, 2);
+        let t = tokenize("let bad = b'x\nafter");
+        let after = t.tokens.last().expect("token after");
+        assert_eq!(after.text, "after");
+        assert_eq!(after.line, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_idents() {
+        let t = tokenize("let r#fn = r#type.r#match();");
+        let ids = idents("let r#fn = r#type.r#match();");
+        assert_eq!(ids, vec!["let", "fn", "type", "match"]);
+        // No stray `r` ident and no `#` punct from the raw-ident prefix.
+        assert!(!t.tokens.iter().any(|tok| tok.text == "r"));
+        assert!(!t.tokens.iter().any(|tok| tok.text == "#"));
     }
 
     #[test]

@@ -1,0 +1,13 @@
+pub fn drop_then_relock(pool: &Pool, table: &Table) {
+    let buf = pool.free.lock();
+    consume(&buf);
+    drop(buf);
+    let _entry = table.entries.lock();
+}
+
+pub fn scope_then_relock(pool: &Pool, table: &Table) {
+    {
+        let _buf = pool.free.lock();
+    }
+    let _entry = table.entries.lock();
+}

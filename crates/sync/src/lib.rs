@@ -69,12 +69,17 @@ impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
 
     fn deref(&self) -> &T {
+        // lint:allow(no-panic-on-fast-path): the Option is None only
+        // inside wait_until, which holds the sole &mut — no Deref can
+        // run concurrently, so this expect is statically unreachable.
         self.inner.as_ref().expect("guard present outside wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
+        // lint:allow(no-panic-on-fast-path): same invariant as Deref —
+        // the Option is None only inside wait_until's exclusive borrow.
         self.inner.as_mut().expect("guard present outside wait")
     }
 }
@@ -127,7 +132,13 @@ impl Condvar {
         guard: &mut MutexGuard<'_, T>,
         deadline: Instant,
     ) -> WaitTimeoutResult {
-        let inner = guard.inner.take().expect("guard present outside wait");
+        // Defensive take: the Option is always Some here (only this
+        // function empties it, under an exclusive borrow), but a wait
+        // on an impossible empty guard reports a timeout rather than
+        // panicking the demux thread.
+        let Some(inner) = guard.inner.take() else {
+            return WaitTimeoutResult(true);
+        };
         let timeout = deadline.saturating_duration_since(Instant::now());
         let (inner, result) = self
             .0

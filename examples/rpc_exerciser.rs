@@ -9,8 +9,10 @@
 
 use firefly::idl::{test_interface, Value};
 use firefly::metrics::{megabits_per_sec, rpcs_per_sec, Stopwatch, Table};
+use firefly::rpc::trace::TraceReport;
 use firefly::rpc::transport::UdpTransport;
 use firefly::rpc::{Client, Config, Endpoint, ServiceBuilder};
+use firefly_bench::account::role_table;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -51,8 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(10_000);
 
-    let server = Endpoint::new(UdpTransport::localhost()?, Config::default())?;
-    let caller = Endpoint::new(UdpTransport::localhost()?, Config::default())?;
+    // Tracing on: the exerciser doubles as the paper's instrumented
+    // run, so each procedure also gets a per-step histogram table.
+    let server = Endpoint::new(UdpTransport::localhost()?, Config::traced())?;
+    let caller = Endpoint::new(UdpTransport::localhost()?, Config::traced())?;
     let service = ServiceBuilder::new(test_interface())
         .on_call("Null", |_a, _w| Ok(()))
         .on_call("MaxResult", |_a, w| {
@@ -76,9 +80,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])
     .title(format!("Time for {total} RPCs over real UDP (this machine)").as_str());
 
+    // Per-procedure traces, merged across all thread counts. Draining
+    // between procedures keeps Null and MaxResult records separate —
+    // their step latencies differ by the 1440-byte result transfer.
+    let mut null_report = TraceReport::empty();
+    let mut max_report = TraceReport::empty();
+    let drain_into = |report: &mut TraceReport| {
+        report.merge(&caller.trace_report());
+        report.merge(&server.trace_report());
+    };
     for threads in 1..=8usize {
         let null_secs = run_threads(&client, threads, total, "Null");
+        drain_into(&mut null_report);
         let max_secs = run_threads(&client, threads, total, "MaxResult");
+        drain_into(&mut max_report);
         t.row_owned(vec![
             threads.to_string(),
             format!("{null_secs:.2}"),
@@ -88,6 +103,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     println!("{t}");
+    for (name, report) in [("Null", &null_report), ("MaxResult", &max_report)] {
+        println!(
+            "{}",
+            role_table(
+                &format!("{name}: caller steps ({} records)", report.caller.records),
+                &report.caller
+            )
+        );
+        println!(
+            "{}",
+            role_table(
+                &format!("{name}: server steps ({} records)", report.server.records),
+                &report.server
+            )
+        );
+    }
     println!(
         "retransmissions: {}, slow-path queueing: {}",
         caller.stats().retransmissions(),

@@ -19,9 +19,29 @@ echo "==> cargo test -q --offline (workspace)"
 cargo test -q --offline --workspace
 
 # Always-on static analysis: the in-tree linter needs no extra
-# components, so unlike fmt/clippy below it is not opt-in.
-echo "==> firefly-lint (fast-path, lock-order, hermetic-deps rules)"
-cargo run --release --offline -q -p firefly-lint
+# components, so unlike fmt/clippy below it is not opt-in. The JSON
+# report must parse (python3 ships in the image) and the analysis —
+# tokenizing the workspace, building the call graph, walking
+# reachability — must stay interactive: under 5 seconds.
+echo "==> firefly-lint --json (flow-aware rules + machine report)"
+lint_started=$(date +%s%N)
+cargo run --release --offline -q -p firefly-lint -- --json > target/lint-report.json
+lint_elapsed_ms=$(( ($(date +%s%N) - lint_started) / 1000000 ))
+python3 -c '
+import json, sys
+with open("target/lint-report.json") as f:
+    report = json.load(f)
+for key in ("diagnostics", "fast_path", "lock_graph"):
+    if key not in report:
+        sys.exit(f"lint JSON missing {key!r}")
+if not report["fast_path"]["files"]:
+    sys.exit("lint JSON reports an empty fast-path file set")
+'
+echo "    lint runtime: ${lint_elapsed_ms} ms ($(python3 -c 'import json; print(len(json.load(open("target/lint-report.json"))["fast_path"]["functions"]))') fast-path fns)"
+if (( lint_elapsed_ms >= 5000 )); then
+    echo "verify: FAIL — firefly-lint took ${lint_elapsed_ms} ms (budget 5000 ms)" >&2
+    exit 1
+fi
 
 # The live latency account must produce a complete per-step table (the
 # ±10% accounted-vs-measured bound itself is asserted by

@@ -29,6 +29,42 @@ fn workspace_is_lint_clean() {
     );
 }
 
+/// The call-graph reachability walk must cover (at least) every module
+/// the hand-maintained scope listed before it was computed: losing one
+/// of these from the fast path would silently shrink what
+/// `no-panic`/`no-alloc` protect.
+#[test]
+fn computed_reachability_covers_the_historical_scope() {
+    let root = workspace_root();
+    let engine = Engine::for_root(&root);
+    let analysis = engine.analyze(&root).expect("walk workspace");
+    for file in [
+        "crates/core/src/client.rs",
+        "crates/core/src/server.rs",
+        "crates/core/src/transport.rs",
+        "crates/core/src/send.rs",
+        "crates/core/src/packet.rs",
+        "crates/core/src/fragment.rs",
+        "crates/core/src/calltable.rs",
+        "crates/core/src/endpoint.rs",
+        "crates/core/src/trace.rs",
+    ] {
+        assert!(
+            analysis.fast_path_files.iter().any(|f| f == file),
+            "`{file}` is no longer reachable from the fast-path entry points; \
+             computed set: {:?}",
+            analysis.fast_path_files
+        );
+    }
+    assert!(
+        analysis
+            .fast_path_files
+            .iter()
+            .any(|f| f.starts_with("crates/wire/src")),
+        "no crates/wire module is reachable from the fast-path entry points"
+    );
+}
+
 /// Runs the built binary against a throwaway tree containing `files`
 /// and returns (exit_code, stderr).
 fn run_binary_on(tag: &str, files: &[(&str, &str)]) -> (i32, String) {
@@ -56,12 +92,12 @@ fn run_binary_on(tag: &str, files: &[(&str, &str)]) -> (i32, String) {
     )
 }
 
-/// Scope every path-scoped rule onto the fixture's `src/` tree.
+/// Scope every path-scoped rule onto the fixture's `src/` tree. No
+/// entry points are configured, so `stale-scope` stays quiet and the
+/// `files` snapshot is taken at face value.
 const FIXTURE_LINT_TOML: &str = r#"
-[no-panic-on-fast-path]
-files = ["src"]
-
-[no-alloc-on-fast-path]
+[fast-path]
+entry_points = []
 files = ["src"]
 
 [lock-order]
@@ -69,6 +105,10 @@ order = ["calltable", "pool"]
 calltable = ["entries"]
 pool = ["free"]
 files = ["src"]
+
+[no-blocking-under-lock]
+files = ["src"]
+blocking = ["recv", "wait", "wait_until", "park", "test_sleep", "join"]
 "#;
 
 #[test]
@@ -88,6 +128,11 @@ fn binary_flags_each_seeded_rule_violation() {
             "lock-order",
             "src/lib.rs",
             "pub fn f(p: &P, t: &T) { let _a = p.free.lock(); let _b = t.entries.lock(); }\n",
+        ),
+        (
+            "no-blocking-under-lock",
+            "src/lib.rs",
+            "pub fn f(p: &P, rx: &R) { let _g = p.free.lock(); let _m = rx.chan.recv(); }\n",
         ),
         (
             "no-sleep-in-lib",
@@ -125,6 +170,130 @@ fn binary_flags_each_seeded_rule_violation() {
     }
 }
 
+/// Two functions acquiring the same two (unclassed) locks in opposite
+/// orders form a cycle in the workspace lock graph.
+#[test]
+fn binary_flags_a_seeded_lock_cycle() {
+    let (code, stderr) = run_binary_on(
+        "lock-cycle",
+        &[
+            ("lint.toml", FIXTURE_LINT_TOML),
+            (
+                "src/lib.rs",
+                "pub fn f(x: &S) { let a = x.alpha.lock(); let b = x.beta.lock(); drop(b); drop(a); }\n\
+                 pub fn g(x: &S) { let b = x.beta.lock(); let a = x.alpha.lock(); drop(a); drop(b); }\n",
+            ),
+        ],
+    );
+    assert_eq!(code, 1, "seeded lock cycle should exit 1:\n{stderr}");
+    assert!(
+        stderr.contains("lock-cycle"),
+        "stderr should name `lock-cycle`:\n{stderr}"
+    );
+}
+
+/// An entry point reaching a helper in a file outside the snapshot is a
+/// `stale-scope` error: the lint.toml list must be updated explicitly.
+#[test]
+fn binary_flags_a_stale_fast_path_snapshot() {
+    const STALE_LINT_TOML: &str = r#"
+[fast-path]
+entry_points = ["src/lib.rs::entry"]
+files = ["src/lib.rs"]
+"#;
+    let (code, stderr) = run_binary_on(
+        "stale-scope",
+        &[
+            ("lint.toml", STALE_LINT_TOML),
+            ("src/lib.rs", "pub fn entry() { helper(); }\n"),
+            ("src/other.rs", "pub fn helper() {}\n"),
+        ],
+    );
+    assert_eq!(code, 1, "stale snapshot should exit 1:\n{stderr}");
+    assert!(
+        stderr.contains("stale-scope"),
+        "stderr should name `stale-scope`:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("src/other.rs"),
+        "stderr should point at the unlisted reachable file:\n{stderr}"
+    );
+}
+
+/// Dropping the lower-ranked guard before acquiring the higher-ranked
+/// lock is legal — the guard-lifetime analysis must not need an allow.
+#[test]
+fn binary_accepts_drop_then_relock_without_suppression() {
+    let (code, stderr) = run_binary_on(
+        "drop-relock",
+        &[
+            ("lint.toml", FIXTURE_LINT_TOML),
+            (
+                "src/lib.rs",
+                "pub fn f(p: &P, t: &T) {\n\
+                 let a = p.free.lock();\n\
+                 drop(a);\n\
+                 let b = t.entries.lock();\n\
+                 drop(b);\n\
+                 }\n\
+                 pub fn g(p: &P, t: &T) {\n\
+                 { let _a = p.free.lock(); }\n\
+                 let _b = t.entries.lock();\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert_eq!(
+        code, 0,
+        "drop-then-relock must pass without suppression; stderr:\n{stderr}"
+    );
+}
+
+/// Condvar waits atomically release the guard they are passed, so a
+/// wait under exactly that guard is fine — but a wait while a *second*
+/// guard is live still blocks and must be flagged.
+#[test]
+fn binary_exempts_condvar_wait_for_the_released_guard_only() {
+    let (code, stderr) = run_binary_on(
+        "condvar-ok",
+        &[
+            ("lint.toml", FIXTURE_LINT_TOML),
+            (
+                "src/lib.rs",
+                "pub fn f(p: &P) { let mut g = p.free.lock(); p.cond.wait_until(&mut g, deadline()); }\n",
+            ),
+        ],
+    );
+    assert_eq!(
+        code, 0,
+        "condvar wait on its own guard must pass; stderr:\n{stderr}"
+    );
+    let (code, stderr) = run_binary_on(
+        "condvar-second-guard",
+        &[
+            ("lint.toml", FIXTURE_LINT_TOML),
+            (
+                "src/lib.rs",
+                "pub fn f(p: &P, t: &T) {\n\
+                 let e = t.entries.lock();\n\
+                 let mut g = p.free.lock();\n\
+                 p.cond.wait_until(&mut g, deadline());\n\
+                 drop(g);\n\
+                 drop(e);\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert_eq!(
+        code, 1,
+        "condvar wait with a second live guard must fail:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("no-blocking-under-lock"),
+        "stderr should name `no-blocking-under-lock`:\n{stderr}"
+    );
+}
+
 /// The workspace `lint.toml` must keep the trace write path in scope —
 /// and stay identical to the compiled-in defaults, so the engine
 /// enforces the same invariants whether or not the file is found.
@@ -133,21 +302,28 @@ fn workspace_config_covers_the_trace_module() {
     let text = fs::read_to_string(workspace_root().join("lint.toml")).expect("read lint.toml");
     let parsed = firefly_lint::config::Config::from_toml(&text);
     let defaults = firefly_lint::config::Config::default();
-    for files in [&parsed.no_alloc_files, &parsed.no_panic_files] {
-        assert!(
-            firefly_lint::config::Config::path_matches("crates/core/src/trace.rs", files),
-            "trace.rs fell out of the fast-path scope"
-        );
-    }
+    assert!(
+        firefly_lint::config::Config::path_matches(
+            "crates/core/src/trace.rs",
+            &parsed.fast_path_files
+        ),
+        "trace.rs fell out of the fast-path scope"
+    );
     let order: Vec<&str> = parsed.lock_order.iter().map(|c| c.name.as_str()).collect();
     assert_eq!(order, ["calltable", "pool", "stats", "trace"]);
     assert_eq!(parsed.lock_order[3].receivers, ["ring"]);
     // Field-by-field equality with the defaults (the documented
     // "kept identical" invariant in crates/lint/src/config.rs).
-    assert_eq!(parsed.no_panic_files, defaults.no_panic_files);
-    assert_eq!(parsed.no_alloc_files, defaults.no_alloc_files);
+    assert_eq!(
+        parsed.fast_path_entry_points,
+        defaults.fast_path_entry_points
+    );
+    assert_eq!(parsed.fast_path_files, defaults.fast_path_files);
+    assert_eq!(parsed.fast_path_stop_files, defaults.fast_path_stop_files);
     assert_eq!(parsed.error_markers, defaults.error_markers);
     assert_eq!(parsed.lock_files, defaults.lock_files);
+    assert_eq!(parsed.blocking_files, defaults.blocking_files);
+    assert_eq!(parsed.blocking_calls, defaults.blocking_calls);
     assert_eq!(parsed.banned_deps, defaults.banned_deps);
     assert_eq!(parsed.lock_order.len(), defaults.lock_order.len());
     for (p, d) in parsed.lock_order.iter().zip(&defaults.lock_order) {
@@ -162,7 +338,8 @@ fn workspace_config_covers_the_trace_module() {
 #[test]
 fn binary_flags_seeded_trace_module_violations() {
     const TRACE_LINT_TOML: &str = r#"
-[no-alloc-on-fast-path]
+[fast-path]
+entry_points = []
 files = ["src/trace.rs"]
 
 [lock-order]
@@ -179,8 +356,10 @@ files = ["src"]
                 "src/trace.rs",
                 "pub fn push(d: &[u8], t: &T, c: &C) -> Vec<u8> {\n\
                  let copy = d.to_vec();\n\
-                 let _g = t.ring.lock();\n\
-                 let _e = c.entries.lock();\n\
+                 let g = t.ring.lock();\n\
+                 let e = c.entries.lock();\n\
+                 drop(e);\n\
+                 drop(g);\n\
                  copy\n\
                  }\n",
             ),
