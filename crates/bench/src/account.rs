@@ -220,6 +220,30 @@ pub fn profile_table(title: &str, report: &TraceReport) -> Table {
     t
 }
 
+/// Renders one report as folded stacks — the `flamegraph.pl` input
+/// format, one `frame;frame;frame weight` line per stack, weight in
+/// integer microseconds of total time spent in that step. The stack is
+/// `procedure;role;step`, so a flamegraph groups by procedure, splits
+/// caller vs server, and sizes each step by its histogram sum:
+///
+/// ```text
+/// Null;caller;Wire + server + wakeup 104212
+/// ```
+pub fn folded_stacks(procedure: &str, report: &TraceReport) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (role_name, role) in [("caller", &report.caller), ("server", &report.server)] {
+        for (name, h) in &role.steps {
+            if h.count() > 0 {
+                lines.push(format!(
+                    "{procedure};{role_name};{name} {}",
+                    h.sum().round() as u64
+                ));
+            }
+        }
+    }
+    lines
+}
+
 pub fn run_account(procedure: &str, args: &[Value], calls: usize, warmup: usize) -> Account {
     // Ring sized so no record of the measured window is ever dropped.
     let config = Config {

@@ -12,14 +12,17 @@
 //!   --calls N    measured calls per procedure (default 2000)
 //!   --profile    append a flat per-step "top offenders" profile, all
 //!                steps of both roles ranked by total time
+//!   --flame      emit folded stacks (flamegraph.pl input) on stdout
+//!                instead of tables: `proc;role;step total-us`
 
-use firefly_bench::account::{paper_procedures, profile_table, run_account};
+use firefly_bench::account::{folded_stacks, paper_procedures, profile_table, run_account};
 use firefly_bench::{emit, mode_from_args};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let profile = args.iter().any(|a| a == "--profile");
+    let flame = args.iter().any(|a| a == "--flame");
     let calls = args
         .iter()
         .position(|a| a == "--calls")
@@ -31,6 +34,14 @@ fn main() {
 
     for (procedure, call_args) in paper_procedures() {
         let account = run_account(procedure, &call_args, calls, warmup);
+        if flame {
+            // Folded stacks only: the output pipes straight into
+            // `flamegraph.pl` (or any folded-stack consumer).
+            for line in folded_stacks(procedure, &account.report) {
+                println!("{line}");
+            }
+            continue;
+        }
         emit(&account.caller_table(), mode);
         emit(&account.server_table(), mode);
         if profile {

@@ -1,0 +1,290 @@
+//! `firefly-check` driver.
+//!
+//! Default run (and `--smoke`, a tighter bound for CI): explores every
+//! structure model with DFS plus seeded random sampling — all must pass
+//! — then every seeded-bug model, which all must *fail* with a
+//! replayable schedule. Exit 0 only when both halves hold.
+//!
+//! `--json-edges PATH` writes the union of observed class-level lock
+//! edges from passing structure schedules; scripts/verify.sh diffs that
+//! against the static lock graph from `firefly-lint --json`.
+//!
+//! Single-model runs for debugging:
+//!   firefly-check --model pool --schedules 5000
+//!   firefly-check --model pool --seed 0xdecafbad --schedules 500
+//!   firefly-check --model bug-abba --replay 0,1,1 --verbose
+
+use firefly_check::{models, render_failure, Explorer, Mode, Outcome};
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+struct Args {
+    list: bool,
+    smoke: bool,
+    bugs_only: bool,
+    verbose: bool,
+    model: Option<String>,
+    seed: Option<u64>,
+    schedules: Option<usize>,
+    replay: Option<Vec<usize>>,
+    json_edges: Option<String>,
+    budget: Option<usize>,
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        list: false,
+        smoke: false,
+        bugs_only: false,
+        verbose: false,
+        model: None,
+        seed: None,
+        schedules: None,
+        replay: None,
+        json_edges: None,
+        budget: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--list" => args.list = true,
+            "--smoke" => args.smoke = true,
+            "--bugs" => args.bugs_only = true,
+            "--verbose" => args.verbose = true,
+            "--model" => args.model = Some(value("--model")?),
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed = Some(parse_u64(&v).ok_or(format!("bad seed {v}"))?);
+            }
+            "--schedules" => {
+                let v = value("--schedules")?;
+                args.schedules = Some(v.parse().map_err(|_| format!("bad count {v}"))?);
+            }
+            "--budget" => {
+                let v = value("--budget")?;
+                args.budget = Some(v.parse().map_err(|_| format!("bad budget {v}"))?);
+            }
+            "--json-edges" => args.json_edges = Some(value("--json-edges")?),
+            "--replay" => {
+                let v = value("--replay")?;
+                let decisions = if v == "-" {
+                    Vec::new()
+                } else {
+                    v.split(',')
+                        .map(|d| d.trim().parse())
+                        .collect::<Result<Vec<usize>, _>>()
+                        .map_err(|_| format!("bad decision list {v}"))?
+                };
+                args.replay = Some(decisions);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn summarize(outcome: &Outcome, expect_failure: bool, verbose: bool) -> bool {
+    let ok = match (&outcome.failure, expect_failure) {
+        (None, false) => {
+            println!(
+                "  pass  {:<18} {} schedule(s){}, digest {:#018x}",
+                outcome.model,
+                outcome.schedules,
+                if outcome.exhausted { " (exhausted)" } else { "" },
+                outcome.digest,
+            );
+            true
+        }
+        (Some(report), true) => {
+            println!(
+                "  caught {:<17} {} at schedule {} (replay --model {} --replay {})",
+                outcome.model,
+                report.failure,
+                report.schedule,
+                outcome.model,
+                if report.decisions.is_empty() {
+                    "-".to_string()
+                } else {
+                    report
+                        .decisions
+                        .iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                },
+            );
+            true
+        }
+        (Some(report), false) => {
+            print!("FAIL\n{}", render_failure(outcome.model, report, true));
+            false
+        }
+        (None, true) => {
+            println!(
+                "FAIL  {:<18} seeded bug NOT detected in {} schedule(s)",
+                outcome.model, outcome.schedules
+            );
+            false
+        }
+    };
+    if ok && verbose {
+        if let Some(report) = &outcome.failure {
+            print!("{}", render_failure(outcome.model, report, true));
+        }
+    }
+    ok
+}
+
+fn write_edges_json(path: &str, edges: &BTreeSet<(String, String)>) -> std::io::Result<()> {
+    let mut s = String::from("{\n  \"edges\": [");
+    for (i, (from, to)) in edges.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    {{\"from\": \"{from}\", \"to\": \"{to}\"}}"));
+    }
+    s.push_str("\n  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+/// Re-runs a caught bug from its recorded decision list and checks the
+/// same failure kind reproduces — the replay contract the failure
+/// report advertises.
+fn replay_reproduces(explorer: &Explorer, model: &firefly_check::Model, outcome: &Outcome) -> bool {
+    let Some(report) = &outcome.failure else {
+        return false;
+    };
+    let replayed = explorer.explore(
+        model,
+        &Mode::Replay {
+            decisions: report.decisions.clone(),
+        },
+    );
+    match &replayed.failure {
+        Some(r) => {
+            let same = std::mem::discriminant(&r.failure)
+                == std::mem::discriminant(&report.failure);
+            if !same {
+                println!(
+                    "FAIL  {:<18} replay produced {} instead of {}",
+                    model.name, r.failure, report.failure
+                );
+            }
+            same
+        }
+        None => {
+            println!("FAIL  {:<18} replay did not reproduce the failure", model.name);
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("firefly-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        println!("structure models (must pass):");
+        for m in models::structure_models() {
+            println!("  {:<18} {}", m.name, m.about);
+        }
+        println!("bug models (must be caught):");
+        for m in models::bug_models() {
+            println!("  {:<18} {}", m.name, m.about);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut explorer = Explorer::new();
+    if let Some(budget) = args.budget {
+        explorer.step_budget = budget;
+    }
+
+    if let Some(name) = &args.model {
+        let Some(model) = models::find(name) else {
+            eprintln!("firefly-check: unknown model {name} (try --list)");
+            return ExitCode::from(2);
+        };
+        let mode = if let Some(decisions) = args.replay.clone() {
+            Mode::Replay { decisions }
+        } else if let Some(seed) = args.seed {
+            Mode::Random {
+                seed,
+                schedules: args.schedules.unwrap_or(1000),
+            }
+        } else {
+            Mode::Dfs {
+                max_schedules: args.schedules.unwrap_or(5000),
+            }
+        };
+        let outcome = explorer.explore(&model, &mode);
+        let expect_failure = name.starts_with("bug-");
+        let ok = summarize(&outcome, expect_failure, args.verbose);
+        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    let (dfs_cap, rand_schedules) = if args.smoke { (400, 150) } else { (4000, 1000) };
+    let seed = args.seed.unwrap_or(0x00c0_ffee);
+    let mut all_ok = true;
+    let mut edges: BTreeSet<(String, String)> = BTreeSet::new();
+
+    if !args.bugs_only {
+        println!(
+            "firefly-check: structure models (dfs cap {dfs_cap}, {rand_schedules} random schedules, seed {seed:#x})"
+        );
+        for model in models::structure_models() {
+            let dfs = explorer.explore(&model, &Mode::Dfs { max_schedules: dfs_cap });
+            all_ok &= summarize(&dfs, false, args.verbose);
+            edges.extend(dfs.edges);
+            let rand = explorer.explore(
+                &model,
+                &Mode::Random {
+                    seed,
+                    schedules: rand_schedules,
+                },
+            );
+            all_ok &= summarize(&rand, false, args.verbose);
+            edges.extend(rand.edges);
+        }
+    }
+
+    println!("firefly-check: seeded-bug models (each must be caught and replay)");
+    for model in models::bug_models() {
+        let outcome = explorer.explore(&model, &Mode::Dfs { max_schedules: 500 });
+        let caught = summarize(&outcome, true, args.verbose);
+        all_ok &= caught;
+        if caught {
+            all_ok &= replay_reproduces(&explorer, &model, &outcome);
+        }
+    }
+
+    if let Some(path) = &args.json_edges {
+        if let Err(e) = write_edges_json(path, &edges) {
+            eprintln!("firefly-check: writing {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("firefly-check: {} observed lock edge(s) -> {path}", edges.len());
+    }
+
+    if all_ok {
+        println!("firefly-check: OK");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,353 @@
+//! `firefly-check`: a deterministic, seedable, schedule-exploring
+//! concurrency checker (mini-loom) for the in-tree sync layer.
+//!
+//! The paper's fast path works only because its concurrency discipline
+//! holds: a shared packet-buffer pool recycled on the fly (§3.2), a
+//! shared call table with slot reuse, and a demultiplexer that wakes
+//! exactly one waiting thread. `firefly-lint` checks that discipline
+//! *statically*; this crate checks it *dynamically* by running small
+//! models of those structures under a cooperative scheduler
+//! ([`sched::Sched`], installed through `firefly_sync::hook`) and
+//! exploring bounded interleavings:
+//!
+//! * **DFS mode** enumerates schedules exhaustively by backtracking
+//!   over the decision list (capped by `max_schedules`).
+//! * **Random mode** samples schedules from a seed; each schedule's
+//!   RNG seed derives from the base seed via `splitmix64`, so one `u64`
+//!   reproduces the whole run.
+//! * **Replay mode** re-executes one schedule from an explicit
+//!   decision list — the failure report prints exactly this list.
+//!
+//! Failures (deadlock, lost wakeup, lock-order inversion, invariant
+//! panic, step budget) come with the decision list and deterministic
+//! event trace of the failing schedule. Passing schedules contribute
+//! their observed class-level lock edges, which the `firefly-check`
+//! binary exports as JSON for the static-vs-dynamic diff against
+//! `firefly-lint --json` (see scripts/verify.sh and tests/check.rs).
+
+#![forbid(unsafe_code)]
+
+pub mod models;
+pub mod sched;
+
+use sched::{AbortSignal, Failure, Sched};
+use std::cell::Cell;
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// One checkable model: a fresh set of shared structures and thread
+/// bodies per schedule.
+pub struct ModelRun {
+    /// Runs once per schedule with the hook installed (before any
+    /// thread spawns) to attach lock-class labels via `check_label`.
+    pub label: Box<dyn FnOnce() + Send>,
+    /// The model's threads; index order is thread id order.
+    pub threads: Vec<Box<dyn FnOnce() + Send>>,
+    /// Runs after all threads joined, *without* the hook: asserts the
+    /// quiescent-state invariants (leak/double-release detection).
+    pub finale: Box<dyn FnOnce() + Send>,
+}
+
+/// A named model in the registry.
+pub struct Model {
+    /// Registry name (`--model` argument).
+    pub name: &'static str,
+    /// One-line description for `--list`.
+    pub about: &'static str,
+    /// Builds a fresh run; called once per schedule.
+    pub make: fn() -> ModelRun,
+}
+
+/// How to drive the decision points.
+#[derive(Debug, Clone)]
+pub enum Mode {
+    /// Exhaustive depth-first enumeration, capped at `max_schedules`.
+    Dfs {
+        /// Cap on explored schedules (exhaustion may hit first).
+        max_schedules: usize,
+    },
+    /// Seeded random sampling of `schedules` schedules.
+    Random {
+        /// Base seed; per-schedule seeds derive via splitmix64.
+        seed: u64,
+        /// Number of schedules to sample.
+        schedules: usize,
+    },
+    /// Replay exactly one schedule from a recorded decision list.
+    Replay {
+        /// The `chosen` values from a failure report.
+        decisions: Vec<usize>,
+    },
+}
+
+/// A failing schedule, with everything needed to reproduce it.
+#[derive(Debug)]
+pub struct FailureReport {
+    /// What went wrong.
+    pub failure: Failure,
+    /// The decision list to feed `Mode::Replay`.
+    pub decisions: Vec<usize>,
+    /// 1-based index of the failing schedule within the run.
+    pub schedule: usize,
+    /// The failing schedule's RNG seed (random mode only).
+    pub seed: Option<u64>,
+    /// Deterministic event log of the failing schedule.
+    pub trace: Vec<String>,
+}
+
+/// The result of exploring one model.
+pub struct Outcome {
+    /// Model name.
+    pub model: &'static str,
+    /// Schedules actually executed.
+    pub schedules: usize,
+    /// True when DFS enumerated the full tree within its cap.
+    pub exhausted: bool,
+    /// The first failure, if any (exploration stops there).
+    pub failure: Option<FailureReport>,
+    /// Class-level lock edges observed across all passing schedules.
+    pub edges: BTreeSet<(String, String)>,
+    /// FNV-1a digest over every passing schedule's event log: two runs
+    /// with the same mode and seed must produce identical digests.
+    pub digest: u64,
+}
+
+thread_local! {
+    static SILENCED: Cell<bool> = const { Cell::new(false) };
+}
+
+static PANIC_HOOK: Once = Once::new();
+
+/// Routes panics from model threads away from stderr: seeded-bug
+/// fixtures panic on purpose (AbortSignal unwinds, finale asserts),
+/// and the default hook would spam every test run with backtraces.
+fn install_panic_silencer() {
+    PANIC_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if SILENCED.try_with(Cell::get).unwrap_or(false) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut digest: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        digest ^= b as u64;
+        digest = digest.wrapping_mul(FNV_PRIME);
+    }
+    digest
+}
+
+/// Drives one model through many schedules.
+///
+/// Each `Explorer` leaks one [`Sched`] (the hook needs `'static`);
+/// explorers are created per test/binary invocation, so the leak is
+/// bounded and intentional.
+pub struct Explorer {
+    sched: &'static Sched,
+    /// Per-schedule step budget (livelock guard). Default 20 000.
+    pub step_budget: usize,
+}
+
+impl Explorer {
+    /// A fresh explorer with its own scheduler.
+    pub fn new() -> Explorer {
+        install_panic_silencer();
+        Explorer {
+            sched: Box::leak(Box::new(Sched::new())),
+            step_budget: 20_000,
+        }
+    }
+
+    /// Explores `model` under `mode`; stops at the first failure.
+    pub fn explore(&self, model: &Model, mode: &Mode) -> Outcome {
+        let mut outcome = Outcome {
+            model: model.name,
+            schedules: 0,
+            exhausted: false,
+            failure: None,
+            edges: BTreeSet::new(),
+            digest: FNV_OFFSET,
+        };
+        let mut prefix: Vec<usize> = match mode {
+            Mode::Replay { decisions } => decisions.clone(),
+            _ => Vec::new(),
+        };
+        let mut seed_state = match mode {
+            Mode::Random { seed, .. } => *seed,
+            _ => 0,
+        };
+        loop {
+            outcome.schedules += 1;
+            let schedule_seed = match mode {
+                Mode::Random { .. } => Some(firefly_rng::splitmix64(&mut seed_state)),
+                _ => None,
+            };
+            let (result, finale_err) =
+                self.run_one(model, prefix.clone(), schedule_seed.map(firefly_rng::Rng::new));
+            let failure = result.failure.or_else(|| {
+                finale_err.map(|message| Failure::Invariant { message })
+            });
+            if let Some(failure) = failure {
+                outcome.failure = Some(FailureReport {
+                    failure,
+                    decisions: result.decisions.iter().map(|&(c, _)| c).collect(),
+                    schedule: outcome.schedules,
+                    seed: schedule_seed,
+                    trace: result.trace,
+                });
+                return outcome;
+            }
+            for edge in result.named_edges {
+                outcome.edges.insert(edge);
+            }
+            for line in &result.trace {
+                outcome.digest = fnv_fold(outcome.digest, line.as_bytes());
+                outcome.digest = fnv_fold(outcome.digest, b"\n");
+            }
+            match mode {
+                Mode::Replay { .. } => return outcome,
+                Mode::Random { schedules, .. } => {
+                    if outcome.schedules >= *schedules {
+                        return outcome;
+                    }
+                }
+                Mode::Dfs { max_schedules } => {
+                    let mut d = result.decisions;
+                    while matches!(d.last(), Some(&(c, o)) if c + 1 >= o) {
+                        d.pop();
+                    }
+                    match d.last_mut() {
+                        None => {
+                            outcome.exhausted = true;
+                            return outcome;
+                        }
+                        Some(last) => last.0 += 1,
+                    }
+                    prefix = d.iter().map(|&(c, _)| c).collect();
+                    if outcome.schedules >= *max_schedules {
+                        return outcome;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs exactly one schedule; returns the schedule result and any
+    /// finale panic message.
+    fn run_one(
+        &self,
+        model: &Model,
+        prefix: Vec<usize>,
+        rng: Option<firefly_rng::Rng>,
+    ) -> (sched::ScheduleResult, Option<String>) {
+        let run = (model.make)();
+        let n = run.threads.len();
+        self.sched.reset(n, prefix, rng, self.step_budget);
+
+        // Label phase: on this thread, hook installed, before any model
+        // thread exists — on_label is non-blocking and needs no tid.
+        firefly_sync::hook::install(self.sched);
+        (run.label)();
+        firefly_sync::hook::uninstall();
+
+        let sched = self.sched;
+        let handles: Vec<_> = run
+            .threads
+            .into_iter()
+            .enumerate()
+            .map(|(tid, body)| {
+                std::thread::Builder::new()
+                    .name(format!("check-t{tid}"))
+                    .spawn(move || {
+                        let _ = SILENCED.try_with(|c| c.set(true));
+                        sched::set_tid(Some(tid));
+                        firefly_sync::hook::install(sched);
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            sched.arrive(tid);
+                            body();
+                        }));
+                        let err = match result {
+                            Ok(()) => None,
+                            Err(payload) => {
+                                if payload.is::<AbortSignal>() {
+                                    None
+                                } else {
+                                    Some(panic_message(payload.as_ref()))
+                                }
+                            }
+                        };
+                        sched.finish(tid, err);
+                        firefly_sync::hook::uninstall();
+                        sched::set_tid(None);
+                    })
+                    .expect("spawn model thread")
+            })
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        let result = self.sched.take_result();
+
+        // Finale: quiescent single-threaded asserts, no hook installed.
+        let finale_err = if result.failure.is_none() {
+            let _ = SILENCED.try_with(|c| c.set(true));
+            let r = catch_unwind(AssertUnwindSafe(run.finale));
+            let _ = SILENCED.try_with(|c| c.set(false));
+            r.err().map(|p| panic_message(p.as_ref()))
+        } else {
+            None
+        };
+        (result, finale_err)
+    }
+}
+
+impl Default for Explorer {
+    fn default() -> Explorer {
+        Explorer::new()
+    }
+}
+
+/// Formats a failure report the way the binary prints it, including
+/// the replay command hint.
+pub fn render_failure(model: &str, report: &FailureReport, verbose: bool) -> String {
+    let decisions = report
+        .decisions
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut out = format!(
+        "model {model}: {} at schedule {}\n  decisions: [{decisions}]\n  replay: firefly-check --model {model} --replay {}\n",
+        report.failure,
+        report.schedule,
+        if decisions.is_empty() { "-" } else { &decisions },
+    );
+    if let Some(seed) = report.seed {
+        out.push_str(&format!("  schedule seed: {seed:#x}\n"));
+    }
+    if verbose {
+        out.push_str("  failing schedule:\n");
+        for line in &report.trace {
+            out.push_str(&format!("    {line}\n"));
+        }
+    }
+    out
+}

@@ -1,0 +1,445 @@
+//! The model registry: small, closed concurrent programs over the real
+//! production types, explored by the [`crate::Explorer`].
+//!
+//! Structure models exercise the paper's mechanisms with their actual
+//! implementations — call-table slot reuse (§3.1.3), pool recycling
+//! through the controller receive queue (§3.2), the trace ring, and the
+//! MPMC channel — and must pass every schedule. Bug models seed one
+//! classic concurrency defect each (ABBA deadlock, notify-before-wait
+//! lost wakeup, check-then-act double release) and must *fail*; they
+//! prove the checker actually detects what it claims to.
+//!
+//! Determinism note: every lock/condvar a model registers with the
+//! scheduler stays alive until the schedule ends (the call-table model
+//! keeps completed entries in a scratch vector). Freed-and-reallocated
+//! addresses could otherwise inherit a previous object's registration
+//! index, making event names depend on allocator reuse.
+
+use crate::{Model, ModelRun};
+use firefly_pool::BufferPool;
+use firefly_rpc::calltable::{CallTable, Deliver, Wait};
+use firefly_rpc::packet::Packet;
+use firefly_rpc::trace::{TraceRecord, Tracer};
+use firefly_sync::{channel, Condvar, Mutex};
+use firefly_wire::{ActivityId, FrameBuilder, PacketType};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Far-future deadline: timeouts are ignored under the checker (a
+/// timeout firing would mask the lost-wakeup detection), but the model
+/// must also terminate when run unhooked by accident.
+fn far_deadline() -> Instant {
+    Instant::now() + Duration::from_secs(3600)
+}
+
+fn activity() -> ActivityId {
+    ActivityId::new(7, 1, 1)
+}
+
+/// Builds a single-fragment Result packet backed by `pool`.
+fn result_packet(pool: &BufferPool, seq: u32, data: &[u8]) -> Packet {
+    let frame = FrameBuilder::new(PacketType::Result)
+        .activity(activity())
+        .call_seq(seq)
+        .fragment(0, 1)
+        .build(data)
+        .expect("frame build");
+    let mut buf = pool.alloc().expect("model pool alloc");
+    buf.fill_from(frame.bytes());
+    Packet::from_buf(buf).expect("packet parse")
+}
+
+/// Call-table slot reuse: one caller runs two back-to-back calls under
+/// the same activity (the slot is reassigned), a demux thread delivers
+/// each result, and a late duplicate of the first call's result must be
+/// classified as an orphan — never delivered into the reused slot.
+fn make_calltable() -> ModelRun {
+    let table = Arc::new(CallTable::new());
+    let pool = BufferPool::new(4);
+    let pkt0 = result_packet(&pool, 0, &[0]);
+    let pkt1 = result_packet(&pool, 1, &[1]);
+    let dup = result_packet(&pool, 0, &[9]);
+    let (tx, rx) = channel::unbounded::<u32>();
+
+    let label = {
+        let table = Arc::clone(&table);
+        let pool = pool.clone();
+        Box::new(move || {
+            table.check_labels();
+            pool.check_labels();
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let caller = {
+        let table = Arc::clone(&table);
+        Box::new(move || {
+            let mut keep = Vec::with_capacity(2);
+            for seq in 0..2u32 {
+                let entry = table.register(activity(), seq);
+                entry.check_labels();
+                keep.push(Arc::clone(&entry));
+                tx.send(seq).expect("demux alive");
+                match entry.wait(far_deadline()) {
+                    Wait::Complete(a) => assert_eq!(a.data(), &[seq as u8]),
+                    other => panic!("round {seq}: unexpected wait outcome {other:?}"),
+                }
+                table.unregister(activity());
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let demux = {
+        let table = Arc::clone(&table);
+        Box::new(move || {
+            let mut pkts = [Some(pkt0), Some(pkt1)];
+            for _ in 0..2 {
+                let seq = rx.recv().expect("caller alive") as usize;
+                let pkt = pkts[seq].take().expect("each seq sent once");
+                assert!(
+                    matches!(table.deliver(pkt), Deliver::Accepted),
+                    "round {seq}: result not accepted"
+                );
+            }
+            // The duplicate arrives only after the slot was reassigned
+            // to call 1 (and possibly already torn down): it must never
+            // complete the reused slot.
+            assert!(
+                matches!(table.deliver(dup), Deliver::Orphan(_)),
+                "late duplicate delivered into a reused slot"
+            );
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let finale = Box::new(move || {
+        assert_eq!(table.outstanding(), 0, "call table entry leaked");
+        assert_eq!(pool.stats().outstanding(), 0, "packet buffer leaked");
+    }) as Box<dyn FnOnce() + Send>;
+    ModelRun {
+        label,
+        threads: vec![caller, demux],
+        finale,
+    }
+}
+
+/// Pool acquire/release/recycle: three threads contend for two buffers;
+/// one recycles straight onto the controller receive queue (§3.2), one
+/// reclaims from it. The finale proves conservation — every slab is back
+/// on the free list or the receive queue, and the outstanding counter
+/// agrees.
+fn make_pool() -> ModelRun {
+    let pool = BufferPool::new(2);
+    const HOUR: Duration = Duration::from_secs(3600);
+
+    let label = {
+        let pool = pool.clone();
+        Box::new(move || pool.check_labels()) as Box<dyn FnOnce() + Send>
+    };
+    let t0 = {
+        let pool = pool.clone();
+        Box::new(move || {
+            let buf = pool.alloc_timeout(HOUR).expect("t0 alloc");
+            drop(buf);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let t1 = {
+        let pool = pool.clone();
+        Box::new(move || {
+            let buf = pool.alloc_timeout(HOUR).expect("t1 alloc");
+            pool.recycle_to_receive_queue(buf);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let t2 = {
+        let pool = pool.clone();
+        Box::new(move || {
+            let buf = pool.alloc_timeout(HOUR).expect("t2 alloc");
+            drop(buf);
+            // Reclaim from the receive queue if the recycler beat us.
+            if let Ok(buf2) = pool.take_receive_buffer() {
+                drop(buf2);
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let finale = Box::new(move || {
+        assert_eq!(
+            pool.free_count() + pool.receive_queue_len(),
+            2,
+            "slab leaked or double-released"
+        );
+        assert_eq!(pool.stats().outstanding(), 0, "outstanding counter drifted");
+    }) as Box<dyn FnOnce() + Send>;
+    ModelRun {
+        label,
+        threads: vec![t0, t1, t2],
+        finale,
+    }
+}
+
+/// Trace ring under contention: two producers push completed records
+/// into a ring of capacity 2 while a consumer drains. The conservation
+/// law `drained + dropped == recorded` must hold in every schedule.
+fn make_trace_ring() -> ModelRun {
+    let tracer = Arc::new(Tracer::new(2));
+    let drained = Arc::new(AtomicU64::new(0));
+
+    let label = {
+        let tracer = Arc::clone(&tracer);
+        Box::new(move || tracer.check_labels()) as Box<dyn FnOnce() + Send>
+    };
+    let t0 = {
+        let tracer = Arc::clone(&tracer);
+        Box::new(move || {
+            tracer.push(TraceRecord::empty());
+            tracer.push(TraceRecord::empty());
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let t1 = {
+        let tracer = Arc::clone(&tracer);
+        Box::new(move || tracer.push(TraceRecord::empty())) as Box<dyn FnOnce() + Send>
+    };
+    let t2 = {
+        let tracer = Arc::clone(&tracer);
+        let drained = Arc::clone(&drained);
+        Box::new(move || {
+            let mut seen = 0;
+            tracer.drain(|_| seen += 1);
+            drained.fetch_add(seen, Ordering::Relaxed);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let finale = Box::new(move || {
+        let mut rest = 0u64;
+        let dropped = tracer.drain(|_| rest += 1);
+        let seen = drained.load(Ordering::Relaxed) + rest;
+        assert_eq!(tracer.recorded(), 3, "record lost before the ring");
+        assert_eq!(seen + dropped, 3, "ring leaked or duplicated a record");
+    }) as Box<dyn FnOnce() + Send>;
+    ModelRun {
+        label,
+        threads: vec![t0, t1, t2],
+        finale,
+    }
+}
+
+/// MPMC channel: two senders, two receivers, three messages. Receivers
+/// drain until disconnect; every message is received exactly once and
+/// both receivers terminate (single-wakeup discipline must not strand a
+/// receiver after the last sender hangs up).
+fn make_channel() -> ModelRun {
+    let (tx0, rx0) = channel::unbounded::<u32>();
+    let tx1 = tx0.clone();
+    let rx1 = rx0.clone();
+    let received = Arc::new(AtomicU64::new(0));
+
+    let label = Box::new(|| {}) as Box<dyn FnOnce() + Send>;
+    let s0 = Box::new(move || {
+        tx0.send(1).expect("receivers alive");
+        tx0.send(2).expect("receivers alive");
+    }) as Box<dyn FnOnce() + Send>;
+    let s1 = Box::new(move || {
+        tx1.send(3).expect("receivers alive");
+    }) as Box<dyn FnOnce() + Send>;
+    let r0 = {
+        let received = Arc::clone(&received);
+        Box::new(move || {
+            while let Ok(v) = rx0.recv() {
+                received.fetch_add(u64::from(v), Ordering::Relaxed);
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let r1 = {
+        let received = Arc::clone(&received);
+        Box::new(move || {
+            while let Ok(v) = rx1.recv() {
+                received.fetch_add(u64::from(v), Ordering::Relaxed);
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let finale = Box::new(move || {
+        assert_eq!(
+            received.load(Ordering::Relaxed),
+            6,
+            "message lost or duplicated"
+        );
+    }) as Box<dyn FnOnce() + Send>;
+    ModelRun {
+        label,
+        threads: vec![s0, s1, r0, r1],
+        finale,
+    }
+}
+
+/// Seeded bug: classic ABBA lock-order inversion. Must be reported as
+/// `LockInversion` (the static linter's lock-cycle rule, caught
+/// dynamically).
+fn make_bug_abba() -> ModelRun {
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+
+    let label = {
+        let a = Arc::clone(&a);
+        let b = Arc::clone(&b);
+        Box::new(move || {
+            a.check_label("A");
+            b.check_label("B");
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let t0 = {
+        let a = Arc::clone(&a);
+        let b = Arc::clone(&b);
+        Box::new(move || {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let t1 = {
+        let a = Arc::clone(&a);
+        let b = Arc::clone(&b);
+        Box::new(move || {
+            let gb = b.lock();
+            let ga = a.lock();
+            drop(ga);
+            drop(gb);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    ModelRun {
+        label,
+        threads: vec![t0, t1],
+        finale: Box::new(|| {}),
+    }
+}
+
+/// Seeded bug: notify-before-wait lost wakeup. The signaller fires its
+/// condition before the waiter has parked and the waiter waits
+/// unconditionally (no predicate re-check), so schedules where the
+/// signaller runs first strand the waiter forever. Must be reported as
+/// `LostWakeup`.
+fn make_bug_lost_wakeup() -> ModelRun {
+    let flag = Arc::new(Mutex::new(false));
+    let cond = Arc::new(Condvar::new());
+
+    let label = {
+        let flag = Arc::clone(&flag);
+        Box::new(move || flag.check_label("flag")) as Box<dyn FnOnce() + Send>
+    };
+    let signaller = {
+        let flag = Arc::clone(&flag);
+        let cond = Arc::clone(&cond);
+        Box::new(move || {
+            let mut g = flag.lock();
+            *g = true;
+            drop(g);
+            cond.notify_one();
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let waiter = {
+        let flag = Arc::clone(&flag);
+        let cond = Arc::clone(&cond);
+        Box::new(move || {
+            let mut g = flag.lock();
+            // BUG: no `while !*g` predicate loop — if the notify already
+            // fired, this parks forever.
+            let _ = cond.wait_until(&mut g, far_deadline());
+            assert!(*g);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    ModelRun {
+        label,
+        threads: vec![signaller, waiter],
+        finale: Box::new(|| {}),
+    }
+}
+
+/// Seeded bug: check-then-act double release. Two threads each release
+/// a frame unless a shared `freed` flag says it already happened — but
+/// the check and the act are separate critical sections, so an
+/// interleaving releases twice. Must be reported as an `Invariant`
+/// failure from the finale.
+fn make_bug_double_release() -> ModelRun {
+    let freed = Arc::new(Mutex::new(false));
+    let releases = Arc::new(Mutex::new(0u32));
+
+    let label = {
+        let freed = Arc::clone(&freed);
+        let releases = Arc::clone(&releases);
+        Box::new(move || {
+            freed.check_label("freed");
+            releases.check_label("releases");
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let release = |freed: Arc<Mutex<bool>>, releases: Arc<Mutex<u32>>| {
+        Box::new(move || {
+            // BUG: the flag check and the release are not atomic.
+            let was = *freed.lock();
+            if !was {
+                *releases.lock() += 1;
+                *freed.lock() = true;
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let t0 = release(Arc::clone(&freed), Arc::clone(&releases));
+    let t1 = release(Arc::clone(&freed), Arc::clone(&releases));
+    let finale = Box::new(move || {
+        assert_eq!(*releases.lock(), 1, "frame released twice");
+    }) as Box<dyn FnOnce() + Send>;
+    ModelRun {
+        label,
+        threads: vec![t0, t1],
+        finale,
+    }
+}
+
+/// The clean models: every schedule must pass; their observed lock
+/// edges feed the static-vs-dynamic diff.
+pub fn structure_models() -> Vec<Model> {
+    vec![
+        Model {
+            name: "calltable",
+            about: "call-table slot reuse + late-duplicate orphaning (paper §3.1.3)",
+            make: make_calltable,
+        },
+        Model {
+            name: "pool",
+            about: "buffer pool acquire/release/recycle via receive queue (paper §3.2)",
+            make: make_pool,
+        },
+        Model {
+            name: "trace-ring",
+            about: "trace ring conservation under producer/consumer contention",
+            make: make_trace_ring,
+        },
+        Model {
+            name: "channel",
+            about: "MPMC channel: no lost messages, receivers terminate on disconnect",
+            make: make_channel,
+        },
+    ]
+}
+
+/// The seeded-bug fixtures: each must be caught with a replayable
+/// failing schedule.
+pub fn bug_models() -> Vec<Model> {
+    vec![
+        Model {
+            name: "bug-abba",
+            about: "seeded ABBA lock-order inversion (expected: LockInversion)",
+            make: make_bug_abba,
+        },
+        Model {
+            name: "bug-lost-wakeup",
+            about: "seeded notify-before-wait lost wakeup (expected: LostWakeup)",
+            make: make_bug_lost_wakeup,
+        },
+        Model {
+            name: "bug-double-release",
+            about: "seeded check-then-act double release (expected: Invariant)",
+            make: make_bug_double_release,
+        },
+    ]
+}
+
+/// Looks a model up by name across both registries.
+pub fn find(name: &str) -> Option<Model> {
+    structure_models()
+        .into_iter()
+        .chain(bug_models())
+        .find(|m| m.name == name)
+}

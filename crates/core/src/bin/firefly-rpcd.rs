@@ -15,10 +15,14 @@
 
 use firefly_idl::ast::{Mode, TypeExpr};
 use firefly_idl::{parse_interface, InterfaceDef, Value};
+use firefly_metrics::table::{fnum, Align, Table};
+use firefly_rpc::trace::{RoleReport, TraceReport};
 use firefly_rpc::transport::UdpTransport;
 use firefly_rpc::{Config, Endpoint, ServiceBuilder};
 use std::net::SocketAddr;
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
@@ -189,14 +193,25 @@ fn cmd_serve(interface: InterfaceDef, addr: SocketAddr, trace: bool) {
         if trace { " [tracing]" } else { "" }
     );
     if trace {
-        // Periodically drain the trace ring and print the per-step
-        // account (the live Table VII of this server's calls).
+        // Stop on stdin EOF (pipe closed) or a lone "q" line, then
+        // print the merged per-step histogram table for the whole
+        // serve lifetime — the server's own Table VII.
+        let stop = Arc::new(AtomicBool::new(false));
+        spawn_stdin_watcher(Arc::clone(&stop));
+        let mut total = TraceReport::empty();
         loop {
             std::thread::park_timeout(std::time::Duration::from_secs(10));
+            // Drain before checking the flag so records that landed
+            // just ahead of shutdown make the final table.
             let report = endpoint.trace_report();
+            total.merge(&report);
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
             if report.server.records == 0 {
                 continue;
             }
+            // Periodic view: this drain interval only, raw means.
             println!("--- trace: {} server calls ---", report.server.records);
             for (name, h) in &report.server.steps {
                 println!(
@@ -210,12 +225,96 @@ fn cmd_serve(interface: InterfaceDef, addr: SocketAddr, trace: bool) {
                 println!("  ({} records dropped by the ring)", report.dropped);
             }
         }
+        print_final_report(&total);
+        return;
     }
     loop {
         // Serving happens on the endpoint's own threads; this thread
         // only has to stay alive. `park` needs no wakeup schedule
         // (spurious unparks just loop) and burns nothing while waiting.
         std::thread::park();
+    }
+}
+
+/// Watches stdin from a helper thread; EOF or a lone `q` sets `stop`
+/// and unparks the serve loop.
+fn spawn_stdin_watcher(stop: Arc<AtomicBool>) {
+    let serve_thread = std::thread::current();
+    std::thread::spawn(move || {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::stdin().read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) if line.trim() == "q" => break,
+                Ok(_) => {}
+            }
+        }
+        stop.store(true, Ordering::Release);
+        serve_thread.unpark();
+    });
+}
+
+fn role_rows(t: &mut Table, role: &RoleReport) {
+    for (name, h) in &role.steps {
+        t.row_owned(vec![
+            name.to_string(),
+            fnum(h.mean(), 2),
+            fnum(h.percentile(50.0), 2),
+            fnum(h.percentile(95.0), 2),
+            fnum(h.percentile(99.0), 2),
+        ]);
+    }
+    t.row_owned(vec![
+        "TOTAL (step sum)".into(),
+        fnum(role.accounted_mean_us(), 2),
+        "".into(),
+        "".into(),
+        "".into(),
+    ]);
+}
+
+/// The shutdown report: every step's latency histogram, merged over
+/// the entire serve lifetime.
+fn print_final_report(total: &TraceReport) {
+    if total.server.records == 0 && total.caller.records == 0 {
+        println!("shutting down: no traced calls");
+        return;
+    }
+    if total.server.records > 0 {
+        let mut t = Table::new(&["Step", "Mean µs", "p50", "p95", "p99"])
+            .title(&format!(
+                "Shutdown trace report: {} server calls",
+                total.server.records
+            ))
+            .aligns(&[
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+            ]);
+        role_rows(&mut t, &total.server);
+        print!("{t}");
+    }
+    if total.caller.records > 0 {
+        let mut t = Table::new(&["Step", "Mean µs", "p50", "p95", "p99"])
+            .title(&format!(
+                "Shutdown trace report: {} caller records",
+                total.caller.records
+            ))
+            .aligns(&[
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+            ]);
+        role_rows(&mut t, &total.caller);
+        print!("{t}");
+    }
+    if total.dropped > 0 {
+        println!("({} records dropped by the ring)", total.dropped);
     }
 }
 

@@ -82,6 +82,12 @@ pub struct CallEntry {
 }
 
 impl CallEntry {
+    /// Labels this entry's state lock for `firefly-check` with its lint
+    /// lock-order class ("calltable"). No-op outside a checked schedule.
+    pub fn check_labels(&self) {
+        self.state.check_label("calltable");
+    }
+
     /// Blocks until the result arrives, the server acks, or the deadline
     /// passes.
     pub fn wait(&self, deadline: Instant) -> Wait {
@@ -119,6 +125,12 @@ impl CallTable {
     /// Creates an empty table.
     pub fn new() -> CallTable {
         CallTable::default()
+    }
+
+    /// Labels the table lock for `firefly-check` with its lint
+    /// lock-order class ("calltable"). No-op outside a checked schedule.
+    pub fn check_labels(&self) {
+        self.entries.check_label("calltable");
     }
 
     /// Registers an outstanding call; at most one per activity.

@@ -289,6 +289,12 @@ impl Tracer {
         self.ring.lock().records.len()
     }
 
+    /// Labels the ring lock for `firefly-check` with its lint
+    /// lock-order class ("trace"). No-op outside a checked schedule.
+    pub fn check_labels(&self) {
+        self.ring.check_label("trace");
+    }
+
     /// Completed records pushed since creation (including any later
     /// overwritten).
     pub fn recorded(&self) -> u64 {

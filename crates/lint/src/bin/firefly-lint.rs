@@ -48,7 +48,7 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn print_json(analysis: &Analysis) {
+fn print_json(analysis: &Analysis, classes: &[String]) {
     let mut s = String::from("{\n  \"diagnostics\": [");
     for (i, d) in analysis.diagnostics.iter().enumerate() {
         if i > 0 {
@@ -76,7 +76,17 @@ fn print_json(analysis: &Analysis) {
         }
         s.push_str(&format!("\n      \"{}::{}\"", esc(file), esc(name)));
     }
-    s.push_str("\n    ]\n  },\n  \"lock_graph\": {\n    \"edges\": [");
+    // The configured class names in rank order, so consumers (the
+    // firefly-check static-vs-dynamic differ) can tell classified edge
+    // endpoints from raw `path::receiver` ones and validate rank order.
+    s.push_str("\n    ]\n  },\n  \"lock_graph\": {\n    \"classes\": [");
+    for (i, c) in classes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n      \"{}\"", esc(c)));
+    }
+    s.push_str("\n    ],\n    \"edges\": [");
     for (i, e) in analysis.lock_edges.iter().enumerate() {
         if i > 0 {
             s.push(',');
@@ -117,7 +127,13 @@ fn main() -> ExitCode {
     match engine.analyze(&root) {
         Ok(analysis) => {
             if json {
-                print_json(&analysis);
+                let classes: Vec<String> = engine
+                    .config
+                    .lock_order
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect();
+                print_json(&analysis, &classes);
             } else if analysis.diagnostics.is_empty() {
                 println!("firefly-lint: clean ({})", root.display());
             } else {

@@ -91,10 +91,11 @@ impl Default for Config {
                 "crates/core/src/stats.rs".into(),
                 "crates/pool/src/lib.rs".into(),
                 "crates/sync/src/lib.rs".into(),
+                "crates/sync/src/hook.rs".into(),
                 "crates/rng/src/lib.rs".into(),
                 "crates/wire/src".into(),
             ],
-            fast_path_stop_files: vec!["crates/idl/src".into()],
+            fast_path_stop_files: vec!["crates/idl/src".into(), "crates/check/src".into()],
             error_markers: vec![
                 "Err(".into(),
                 "RpcError::".into(),

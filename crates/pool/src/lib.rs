@@ -192,6 +192,13 @@ impl BufferPool {
         &self.inner.stats
     }
 
+    /// Labels this pool's locks for `firefly-check` with their lint
+    /// lock-order class ("pool"). No-op outside a checked schedule.
+    pub fn check_labels(&self) {
+        self.inner.free.check_label("pool");
+        self.inner.receive_queue.check_label("pool");
+    }
+
     /// Allocates a buffer, failing immediately if the pool is exhausted.
     ///
     /// This is the `Starter` path: "obtain a packet buffer for the call".

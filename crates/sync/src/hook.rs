@@ -1,0 +1,151 @@
+//! Optional cooperative-scheduler instrumentation for the sync layer.
+//!
+//! `firefly-check` (the deterministic concurrency checker) needs to see
+//! and control every synchronization event — lock acquisitions,
+//! releases, condition waits and notifies — of the threads running one
+//! of its models. This module is that seam: the primitives in this
+//! crate consult [`current`] at each event and report to the installed
+//! [`Scheduler`], which may block the calling thread until the model
+//! schedule grants it a turn.
+//!
+//! The design constraints, in order:
+//!
+//! * **Zero cost when disabled.** Production code never installs a
+//!   scheduler, so [`current`] must cost one relaxed atomic load on the
+//!   fast path — the thread-local is only consulted when at least one
+//!   thread in the process has a scheduler installed. This file is in
+//!   the lint fast-path scope (`lint.toml`), so the no-panic and
+//!   no-alloc rules apply to every function here.
+//! * **Per-thread installation.** Model threads and ordinary threads
+//!   coexist in one test process; only threads that called [`install`]
+//!   are scheduled. Everyone else sees `None` and takes the plain
+//!   `std::sync` path.
+//! * **`'static` scheduler.** The thread-local holds a plain reference,
+//!   so installing requires a leaked (or truly static) scheduler; the
+//!   checker leaks one per explorer, which is bounded by test count.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The cooperative scheduler a checked thread reports to.
+///
+/// Addresses identify locks and condvars: they are the referent's
+/// memory address, stable for the life of the object and unique among
+/// simultaneously live objects — exactly the window a schedule cares
+/// about. All methods may block the calling thread (that is the point);
+/// implementations must not call back into instrumented primitives.
+pub trait Scheduler: Sync {
+    /// Attaches a stable label (e.g. a lock-order class name) to a lock.
+    fn on_label(&self, lock: usize, label: &'static str);
+    /// The thread is about to acquire `lock`; returns once the schedule
+    /// grants the acquisition. `shared` is true for read locks.
+    fn before_lock(&self, lock: usize, shared: bool);
+    /// The thread released `lock` (the real lock is already free).
+    fn after_unlock(&self, lock: usize);
+    /// The thread atomically released `lock` and waits on `cond`;
+    /// returns once notified and re-granted the lock at the model
+    /// level. The caller then reacquires the real lock.
+    fn cond_wait(&self, cond: usize, lock: usize);
+    /// `cond` was notified (`all` distinguishes notify_all).
+    fn notify(&self, cond: usize, all: bool);
+}
+
+/// Number of threads process-wide with a scheduler installed. The fast
+/// path is `load == 0`; the thread-local is only touched past that.
+static INSTALLED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static CURRENT: Cell<Option<&'static dyn Scheduler>> = const { Cell::new(None) };
+}
+
+/// The scheduler governing the current thread, if any.
+///
+/// `try_with` (not `with`) keeps this callable during thread teardown,
+/// when the thread-local may already be destroyed — it degrades to
+/// `None`, i.e. the uninstrumented path.
+#[inline]
+pub fn current() -> Option<&'static dyn Scheduler> {
+    if INSTALLED.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    CURRENT.try_with(Cell::get).ok().flatten()
+}
+
+/// Installs `sched` as the current thread's scheduler.
+pub fn install(sched: &'static dyn Scheduler) {
+    let was_installed = CURRENT.try_with(|c| {
+        let had = c.get().is_some();
+        c.set(Some(sched));
+        had
+    });
+    if let Ok(false) = was_installed {
+        INSTALLED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Removes the current thread's scheduler, restoring the plain path.
+pub fn uninstall() {
+    let was_installed = CURRENT.try_with(|c| {
+        let had = c.get().is_some();
+        c.set(None);
+        had
+    });
+    if let Ok(true) = was_installed {
+        INSTALLED.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    struct Counter(AtomicU64);
+
+    impl Scheduler for Counter {
+        fn on_label(&self, _lock: usize, _label: &'static str) {}
+        fn before_lock(&self, _lock: usize, _shared: bool) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+        fn after_unlock(&self, _lock: usize) {}
+        fn cond_wait(&self, _cond: usize, _lock: usize) {}
+        fn notify(&self, _cond: usize, _all: bool) {}
+    }
+
+    #[test]
+    fn disabled_by_default_and_scoped_to_the_installing_thread() {
+        assert!(current().is_none());
+        let sched: &'static Counter = Box::leak(Box::new(Counter(AtomicU64::new(0))));
+        install(sched);
+        assert!(current().is_some());
+        // Another thread stays uninstrumented.
+        std::thread::spawn(|| assert!(current().is_none()))
+            .join()
+            .unwrap();
+        uninstall();
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn installed_scheduler_sees_lock_events() {
+        let sched: &'static Counter = Box::leak(Box::new(Counter(AtomicU64::new(0))));
+        install(sched);
+        let m = crate::Mutex::new(0u32);
+        *m.lock() += 1;
+        uninstall();
+        assert_eq!(sched.0.load(Ordering::Relaxed), 1);
+        // After uninstall the same mutex no longer reports.
+        *m.lock() += 1;
+        assert_eq!(sched.0.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn double_install_and_double_uninstall_balance_the_gate() {
+        let sched: &'static Counter = Box::leak(Box::new(Counter(AtomicU64::new(0))));
+        install(sched);
+        install(sched);
+        uninstall();
+        uninstall();
+        assert!(current().is_none());
+    }
+}

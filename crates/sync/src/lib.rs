@@ -18,6 +18,25 @@
 //! * [`channel`] is a small unbounded MPMC channel (both ends cloneable,
 //!   `recv` by `&self`), the surface of `crossbeam::channel` the runtime
 //!   uses for demux→worker hand-off and loopback frame delivery.
+//! * Every primitive reports its events to an optional per-thread
+//!   cooperative scheduler ([`hook`]) so `firefly-check` can explore
+//!   interleavings deterministically. With no scheduler installed the
+//!   hook is one relaxed atomic load — the production path is unchanged.
+//!
+//! ## Hook ordering invariants (load-bearing for `firefly-check`)
+//!
+//! * `before_lock` fires **before** the real acquisition, so the
+//!   scheduler can park the thread while the OS lock is still free.
+//! * `after_unlock` fires **after** the real release (guard `Drop`
+//!   drops the inner `std` guard first). The reverse order would let
+//!   the scheduler hand the lock to another thread that then blocks on
+//!   the still-held OS lock while the releaser is parked — a real
+//!   deadlock manufactured by the instrumentation itself.
+//! * A checked `wait_until` releases the real lock, parks in
+//!   `cond_wait` (the scheduler models the atomic release-and-wait),
+//!   and reacquires via [`Mutex::relock`] — no second schedule point,
+//!   because the scheduler already granted the lock to the waker's
+//!   notify target.
 
 // No unsafe anywhere in this crate — see DESIGN.md ("Unsafe policy").
 #![forbid(unsafe_code)]
@@ -28,6 +47,13 @@ use std::sync::PoisonError;
 use std::time::Instant;
 
 pub mod channel;
+pub mod hook;
+
+/// Stable identity for a lock or condvar: its memory address. Works for
+/// unsized referents by discarding the fat-pointer metadata.
+fn hook_addr<T: ?Sized>(x: &T) -> usize {
+    (x as *const T).cast::<()>() as usize
+}
 
 /// A mutual-exclusion lock whose `lock()` returns the guard directly,
 /// ignoring poisoning.
@@ -44,8 +70,27 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking the current thread until it is free.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some(h) = hook::current() {
+            h.before_lock(hook_addr(self), false);
+        }
         MutexGuard {
+            lock: self,
             inner: Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Reacquires the real lock with **no** schedule point: used after a
+    /// checked `cond_wait`, where the scheduler has already granted this
+    /// thread the lock at the model level.
+    fn relock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Names this lock for the concurrency checker (e.g. with its
+    /// lint lock-order class). No-op without an installed scheduler.
+    pub fn check_label(&self, label: &'static str) {
+        if let Some(h) = hook::current() {
+            h.on_label(hook_addr(self), label);
         }
     }
 }
@@ -62,6 +107,7 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 /// the `std` guard out and back while keeping a `&mut` interface; it is
 /// `Some` at every other moment of the guard's life.
 pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
     inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
@@ -81,6 +127,21 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
         // lint:allow(no-panic-on-fast-path): same invariant as Deref —
         // the Option is None only inside wait_until's exclusive borrow.
         self.inner.as_mut().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock *before* reporting: see the module-level
+        // ordering invariants.
+        let inner = self.inner.take();
+        let was_held = inner.is_some();
+        drop(inner);
+        if was_held {
+            if let Some(h) = hook::current() {
+                h.after_unlock(hook_addr(self.lock));
+            }
+        }
     }
 }
 
@@ -115,11 +176,17 @@ impl Condvar {
     /// Wakes one waiting thread.
     pub fn notify_one(&self) {
         self.0.notify_one();
+        if let Some(h) = hook::current() {
+            h.notify(hook_addr(self), false);
+        }
     }
 
     /// Wakes all waiting threads.
     pub fn notify_all(&self) {
         self.0.notify_all();
+        if let Some(h) = hook::current() {
+            h.notify(hook_addr(self), true);
+        }
     }
 
     /// Atomically releases the lock and waits until notified or the
@@ -127,6 +194,12 @@ impl Condvar {
     ///
     /// Spurious wakeups are possible, as with every condition variable:
     /// callers loop on their predicate.
+    ///
+    /// Under a `firefly-check` scheduler the deadline is ignored: a
+    /// checked wait either gets notified by the model or the schedule
+    /// ends with every thread blocked — which the checker reports as a
+    /// lost wakeup or deadlock. Timeouts would mask exactly the bugs
+    /// the exploration exists to find.
     pub fn wait_until<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
@@ -139,6 +212,15 @@ impl Condvar {
         let Some(inner) = guard.inner.take() else {
             return WaitTimeoutResult(true);
         };
+        if let Some(h) = hook::current() {
+            // Only one checked thread runs at a time, so dropping the
+            // real lock and then parking models an atomic
+            // release-and-wait exactly.
+            drop(inner);
+            h.cond_wait(hook_addr(self), hook_addr(guard.lock));
+            guard.inner = Some(guard.lock.relock());
+            return WaitTimeoutResult(false);
+        }
         let timeout = deadline.saturating_duration_since(Instant::now());
         let (inner, result) = self
             .0
@@ -169,19 +251,117 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
-    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if let Some(h) = hook::current() {
+            h.before_lock(hook_addr(self), true);
+        }
+        RwLockReadGuard {
+            lock: self,
+            inner: Some(self.0.read().unwrap_or_else(PoisonError::into_inner)),
+        }
     }
 
     /// Acquires exclusive write access.
-    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if let Some(h) = hook::current() {
+            h.before_lock(hook_addr(self), false);
+        }
+        RwLockWriteGuard {
+            lock: self,
+            inner: Some(self.0.write().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Names this lock for the concurrency checker, like
+    /// [`Mutex::check_label`].
+    pub fn check_label(&self, label: &'static str) {
+        if let Some(h) = hook::current() {
+            h.on_label(hook_addr(self), label);
+        }
     }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         self.0.fmt(f)
+    }
+}
+
+/// RAII shared-access guard for [`RwLock`]. The `Option` exists only so
+/// `Drop` can release the real lock before reporting to the scheduler.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // lint:allow(no-panic-on-fast-path): the Option is Some for the
+        // guard's whole life; only Drop takes it.
+        self.inner.as_ref().expect("read guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        let inner = self.inner.take();
+        let was_held = inner.is_some();
+        drop(inner);
+        if was_held {
+            if let Some(h) = hook::current() {
+                h.after_unlock(hook_addr(self.lock));
+            }
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// RAII exclusive-access guard for [`RwLock`]; see [`RwLockReadGuard`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // lint:allow(no-panic-on-fast-path): the Option is Some for the
+        // guard's whole life; only Drop takes it.
+        self.inner.as_ref().expect("write guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // lint:allow(no-panic-on-fast-path): same invariant as Deref.
+        self.inner.as_mut().expect("write guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        let inner = self.inner.take();
+        let was_held = inner.is_some();
+        drop(inner);
+        if was_held {
+            if let Some(h) = hook::current() {
+                h.after_unlock(hook_addr(self.lock));
+            }
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
     }
 }
 

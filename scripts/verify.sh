@@ -43,6 +43,54 @@ if (( lint_elapsed_ms >= 5000 )); then
     exit 1
 fi
 
+# Dynamic concurrency checking: bounded schedule exploration of the
+# call-table / pool / trace-ring / channel models, plus the seeded-bug
+# fixtures (each must be caught with a replayable schedule). Exploration
+# is deterministic, so the budget is generous headroom, not slack.
+echo "==> firefly-check --smoke (schedule exploration + seeded bugs)"
+check_started=$(date +%s%N)
+cargo run --release --offline -q -p firefly-check -- --smoke --json-edges target/check-edges.json
+check_elapsed_ms=$(( ($(date +%s%N) - check_started) / 1000000 ))
+echo "    firefly-check runtime: ${check_elapsed_ms} ms"
+if (( check_elapsed_ms >= 10000 )); then
+    echo "verify: FAIL — firefly-check took ${check_elapsed_ms} ms (budget 10000 ms)" >&2
+    exit 1
+fi
+
+# Cross-validation: every class-level lock edge observed dynamically by
+# firefly-check must already be in firefly-lint's static lock graph and
+# must respect the configured rank order. A dynamic edge the static
+# graph lacks means the linter's receiver map went stale.
+echo "==> static-vs-dynamic lock-edge diff"
+python3 -c '
+import json, sys
+static = json.load(open("target/lint-report.json"))["lock_graph"]
+dynamic = json.load(open("target/check-edges.json"))["edges"]
+classes = static["classes"]
+rank = {name: i for i, name in enumerate(classes)}
+static_classified = {
+    (e["from"], e["to"])
+    for e in static["edges"]
+    if e["from"] in rank and e["to"] in rank and e["from"] != e["to"]
+}
+problems = []
+for e in dynamic:
+    f, t = e["from"], e["to"]
+    if f not in rank or t not in rank:
+        continue  # unclassified endpoint: outside the static model
+    if rank[f] > rank[t]:
+        problems.append(f"dynamic edge {f} -> {t} violates rank order {classes}")
+    elif f != t and (f, t) not in static_classified:
+        problems.append(f"dynamic edge {f} -> {t} missing from the static lock graph")
+if problems:
+    sys.exit("\n".join(problems))
+observed = {(e["from"], e["to"]) for e in dynamic}
+for f, t in sorted(static_classified):
+    mark = "observed" if (f, t) in observed else "not observed dynamically"
+    print(f"    static edge {f} -> {t}: {mark}")
+print(f"    {len(dynamic)} observed edge(s), all consistent with the static graph")
+'
+
 # The live latency account must produce a complete per-step table (the
 # ±10% accounted-vs-measured bound itself is asserted by
 # tests/latency_account.rs above; this proves the binary end to end).

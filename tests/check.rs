@@ -1,0 +1,229 @@
+//! Tier-1 gate for `firefly-check`, the deterministic concurrency
+//! checker: the seeded-bug fixtures must be caught with replayable
+//! schedules, the clean structure models must pass, exploration must be
+//! deterministic under a fixed seed, and every lock edge observed
+//! dynamically must be consistent with the static lock graph computed
+//! by `firefly-lint` (the cross-validation this PR exists for).
+
+use std::collections::BTreeSet;
+use std::mem::discriminant;
+use std::path::PathBuf;
+
+use firefly_check::sched::Failure;
+use firefly_check::{models, Explorer, Mode};
+use firefly_lint::Engine;
+use firefly_propcheck::check;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Every seeded bug is detected within a bounded DFS, and re-running
+/// the printed decision list reproduces the same failure kind — the
+/// replay contract the failure report advertises.
+#[test]
+fn seeded_bugs_are_caught_and_replayable() {
+    let explorer = Explorer::new();
+    for model in models::bug_models() {
+        let outcome = explorer.explore(&model, &Mode::Dfs { max_schedules: 500 });
+        let report = outcome
+            .failure
+            .unwrap_or_else(|| panic!("{}: seeded bug not detected", model.name));
+        let expected_kind = match model.name {
+            "bug-abba" => discriminant(&Failure::LockInversion {
+                earlier: String::new(),
+                later: String::new(),
+            }),
+            "bug-lost-wakeup" => discriminant(&Failure::LostWakeup),
+            "bug-double-release" => discriminant(&Failure::Invariant {
+                message: String::new(),
+            }),
+            other => panic!("unknown bug model {other}"),
+        };
+        assert_eq!(
+            discriminant(&report.failure),
+            expected_kind,
+            "{}: wrong failure kind: {}",
+            model.name,
+            report.failure
+        );
+        assert!(
+            !report.trace.is_empty(),
+            "{}: failing schedule has no event trace",
+            model.name
+        );
+
+        let replayed = explorer.explore(
+            &model,
+            &Mode::Replay {
+                decisions: report.decisions.clone(),
+            },
+        );
+        let replayed_failure = replayed
+            .failure
+            .unwrap_or_else(|| panic!("{}: replay did not reproduce", model.name));
+        assert_eq!(
+            discriminant(&replayed_failure.failure),
+            discriminant(&report.failure),
+            "{}: replay produced {} instead of {}",
+            model.name,
+            replayed_failure.failure,
+            report.failure
+        );
+        assert_eq!(
+            replayed_failure.trace, report.trace,
+            "{}: replayed schedule diverged from the recorded one",
+            model.name
+        );
+    }
+}
+
+/// The clean models — call-table slot reuse, pool recycling, trace
+/// ring, MPMC channel — pass every explored schedule, DFS and random.
+#[test]
+fn structure_models_pass_every_schedule() {
+    let explorer = Explorer::new();
+    for model in models::structure_models() {
+        let dfs = explorer.explore(&model, &Mode::Dfs { max_schedules: 300 });
+        assert!(
+            dfs.failure.is_none(),
+            "{} (dfs): {}",
+            model.name,
+            dfs.failure.map(|f| f.failure.to_string()).unwrap_or_default()
+        );
+        let rand = explorer.explore(
+            &model,
+            &Mode::Random {
+                seed: 7,
+                schedules: 100,
+            },
+        );
+        assert!(
+            rand.failure.is_none(),
+            "{} (random): {}",
+            model.name,
+            rand.failure.map(|f| f.failure.to_string()).unwrap_or_default()
+        );
+    }
+}
+
+/// Determinism: the same seed and model produce byte-identical schedule
+/// traces (compared via the FNV digest over every event line), the same
+/// schedule count, and the same observed edge set — across two
+/// independent explorers.
+#[test]
+fn same_seed_produces_identical_exploration() {
+    check("same seed, same schedules", 6, |g| {
+        let seed = g.rng().next_u64();
+        for model in models::structure_models() {
+            let mode = Mode::Random { seed, schedules: 25 };
+            let a = Explorer::new().explore(&model, &mode);
+            let b = Explorer::new().explore(&model, &mode);
+            if a.digest != b.digest {
+                return Err(format!(
+                    "{}: digests diverged under seed {seed:#x}: {:#x} vs {:#x}",
+                    model.name, a.digest, b.digest
+                ));
+            }
+            if a.schedules != b.schedules || a.edges != b.edges {
+                return Err(format!(
+                    "{}: schedule count or edge set diverged under seed {seed:#x}",
+                    model.name
+                ));
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Cross-validation against the static lock graph: every class-level
+/// edge the checker observes dynamically must already be present in
+/// `firefly-lint`'s static graph (same classified endpoints), and must
+/// respect the configured rank order. A dynamic edge missing from the
+/// static graph means the linter's view of the locking structure is
+/// incomplete — exactly the drift this gate exists to catch.
+#[test]
+fn observed_edges_are_a_subset_of_the_static_lock_graph() {
+    let explorer = Explorer::new();
+    let mut observed: BTreeSet<(String, String)> = BTreeSet::new();
+    for model in models::structure_models() {
+        let dfs = explorer.explore(&model, &Mode::Dfs { max_schedules: 400 });
+        assert!(dfs.failure.is_none(), "{}: unexpected failure", model.name);
+        observed.extend(dfs.edges);
+    }
+
+    let root = workspace_root();
+    let engine = Engine::for_root(&root);
+    let analysis = engine.analyze(&root).expect("walk workspace");
+    let classes: Vec<String> = engine
+        .config
+        .lock_order
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    let rank = |name: &str| classes.iter().position(|c| c == name);
+    let static_classified: BTreeSet<(String, String)> = analysis
+        .lock_edges
+        .iter()
+        .filter(|e| rank(&e.from).is_some() && rank(&e.to).is_some() && e.from != e.to)
+        .map(|e| (e.from.clone(), e.to.clone()))
+        .collect();
+
+    for (from, to) in &observed {
+        let (Some(rf), Some(rt)) = (rank(from), rank(to)) else {
+            continue; // unclassified endpoint: outside the static model
+        };
+        assert!(
+            rf <= rt,
+            "dynamic edge {from} -> {to} violates the configured rank order"
+        );
+        if from != to {
+            assert!(
+                static_classified.contains(&(from.clone(), to.clone())),
+                "dynamic edge {from} -> {to} observed by firefly-check is missing \
+                 from the static lock graph — firefly-lint's receiver map is stale"
+            );
+        }
+    }
+}
+
+/// Stress the instrumented MPMC channel beyond what schedule
+/// exploration covers: many messages through repeated empty/refill
+/// cycles on real OS threads (no scheduler hook), so the queue
+/// wraps through its empty state many times.
+#[test]
+fn channel_stress_many_messages_real_threads() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const SENDERS: usize = 4;
+    const PER_SENDER: u64 = 250;
+
+    let (tx, rx) = firefly_sync::channel::unbounded::<u64>();
+    let sum = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for s in 0..SENDERS {
+        let tx = tx.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PER_SENDER {
+                tx.send(s as u64 * PER_SENDER + i).expect("receivers alive");
+            }
+        }));
+    }
+    drop(tx);
+    for _ in 0..3 {
+        let rx = rx.clone();
+        let sum = Arc::clone(&sum);
+        handles.push(std::thread::spawn(move || {
+            while let Ok(v) = rx.recv() {
+                sum.fetch_add(v, Ordering::Relaxed);
+            }
+        }));
+    }
+    drop(rx);
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    let total = SENDERS as u64 * PER_SENDER;
+    assert_eq!(sum.load(Ordering::Relaxed), total * (total - 1) / 2);
+}

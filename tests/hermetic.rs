@@ -152,6 +152,41 @@ fn replaced_crates_never_come_back() {
 }
 
 #[test]
+fn check_crate_is_hermetic_and_forbids_unsafe() {
+    // The concurrency checker runs production sync primitives under its
+    // own scheduler; it must not smuggle in registry deps or unsafe
+    // code that the rest of the workspace has banned.
+    let entry = dependency_entries(&workspace_root().join("Cargo.toml"))
+        .into_iter()
+        .filter(|d| d.section == "workspace.dependencies")
+        .find(|d| d.name == "firefly-check")
+        .expect("firefly-check is declared in [workspace.dependencies]");
+    assert!(
+        is_path_only(&entry.spec) && entry.spec.contains("crates/check"),
+        "firefly-check must be a path dependency into crates/check: {}",
+        entry.spec
+    );
+
+    let check_manifest = workspace_root().join("crates/check/Cargo.toml");
+    for dep in dependency_entries(&check_manifest) {
+        assert!(
+            dep.spec.contains("workspace = true") || is_path_only(&dep.spec),
+            "crates/check dependency `{}` is not path-only: {}",
+            dep.name,
+            dep.spec
+        );
+    }
+
+    let lib = fs::read_to_string(workspace_root().join("crates/check/src/lib.rs"))
+        .expect("crates/check/src/lib.rs");
+    assert!(
+        lib.contains("#![forbid(unsafe_code)]"),
+        "crates/check must forbid unsafe code: the checker's soundness \
+         argument assumes all shared state is behind the instrumented locks"
+    );
+}
+
+#[test]
 fn no_lockfile_entry_references_the_registry() {
     let lock = workspace_root().join("Cargo.lock");
     if !lock.is_file() {
