@@ -1,0 +1,73 @@
+//! Captures one `BENCH_NNNN.json` performance snapshot of the real RPC
+//! stack over loopback UDP. See `docs/BENCH.md` for the schema and
+//! `scripts/bench_gate.sh` for the ±10% trajectory gate that consumes
+//! these files.
+//!
+//! ```text
+//! bench_snapshot            # full run, writes BENCH_NNNN.json in the cwd
+//! bench_snapshot --smoke    # CI-sized run (seconds, marked mode=smoke)
+//! bench_snapshot --out P    # write to P instead of auto-numbering
+//! ```
+
+use firefly_bench::snapshot::{next_snapshot_path, run_snapshot, write_atomic, SnapshotSpec};
+use std::path::PathBuf;
+
+fn main() {
+    let mut spec = SnapshotSpec::full();
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => spec = SnapshotSpec::smoke(),
+            "--out" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("bench_snapshot: --out needs a path");
+                    std::process::exit(2);
+                });
+                out = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_snapshot [--smoke] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("bench_snapshot: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let doc = run_snapshot(&spec);
+    if doc.contains_null() {
+        // Json::num renders non-finite values as null; a null anywhere
+        // means a measurement produced inf/NaN and the snapshot is unfit
+        // to join the trajectory.
+        eprintln!("bench_snapshot: snapshot contains a non-finite measurement; not writing");
+        std::process::exit(1);
+    }
+
+    let path = out.unwrap_or_else(|| next_snapshot_path(&PathBuf::from(".")));
+    write_atomic(&path, &doc.to_pretty()).unwrap_or_else(|e| {
+        eprintln!("bench_snapshot: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+
+    let mode = doc.get("mode").and_then(|m| m.as_str()).unwrap_or("?");
+    println!("wrote {} (mode: {mode})", path.display());
+    for section in ["latency_us", "throughput"] {
+        if let Some(obj) = doc.get(section).and_then(|s| s.as_object()) {
+            for (name, value) in obj {
+                match value {
+                    v if v.as_f64().is_some() => {
+                        println!("  {section}.{name} = {:.1}", v.as_f64().unwrap());
+                    }
+                    v => {
+                        if let Some(p50) = v.at(&["p50"]).and_then(|p| p.as_f64()) {
+                            println!("  {section}.{name}.p50 = {p50:.1} us");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

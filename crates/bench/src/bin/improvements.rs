@@ -2,7 +2,7 @@
 //! paper's own arithmetic over the cost model, and by actually running
 //! the simulator with the modified parameters.
 
-use firefly_bench::{emit, mode_from_args, IMPROVEMENTS};
+use firefly_bench::{emit, mode_from_args, paper_num, IMPROVEMENTS};
 use firefly_metrics::Table;
 use firefly_sim::workload::{run, Procedure, WorkloadSpec};
 use firefly_sim::{CostModel, Improvement};
@@ -53,12 +53,14 @@ fn main() {
         let max_saved = base_max - simulate(cost, Procedure::MaxResult);
         let null_pct = null_saved / base_null * 100.0;
         let max_pct = max_saved / base_max * 100.0;
+        // paper_num renders unstated (NAN-marked) published values as
+        // "n/s" instead of the literal "NaN".
         t.row_owned(vec![
             name.into(),
-            format!("{null_saved:.0} ({p_null_us:.0})"),
-            format!("{null_pct:.0} ({p_null_pct:.0})"),
-            format!("{max_saved:.0} ({p_max_us:.0})"),
-            format!("{max_pct:.0} ({p_max_pct:.0})"),
+            format!("{null_saved:.0} ({})", paper_num(p_null_us, 0)),
+            format!("{null_pct:.0} ({})", paper_num(p_null_pct, 0)),
+            format!("{max_saved:.0} ({})", paper_num(p_max_us, 0)),
+            format!("{max_pct:.0} ({})", paper_num(p_max_pct, 0)),
         ]);
     }
     emit(&t, mode);

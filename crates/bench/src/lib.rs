@@ -11,6 +11,7 @@
 use firefly_metrics::Table;
 
 pub mod account;
+pub mod snapshot;
 
 /// Output mode selected by the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,12 +40,28 @@ pub fn emit(table: &Table, mode: Mode) {
 }
 
 /// Formats a measured-vs-paper pair with a relative delta.
+///
+/// When the paper does not state a value (`f64::NAN` in the published
+/// tables, e.g. [`IMPROVEMENTS`]) or states zero, there is no meaningful
+/// delta, so only the bare measured value is emitted — the delta used to
+/// render as the literal string `NaN%`.
 pub fn vs(ours: f64, paper: f64, digits: usize) -> String {
-    if paper == 0.0 {
+    if paper == 0.0 || !paper.is_finite() {
         return format!("{ours:.*}", digits);
     }
     let delta = (ours - paper) / paper * 100.0;
     format!("{ours:.*} ({delta:+.0}%)", digits)
+}
+
+/// Formats a published value for table output: `f64::NAN` (the marker
+/// for numbers the paper does not state) renders as `n/s` — "not
+/// stated" — instead of the literal `NaN`.
+pub fn paper_num(paper: f64, digits: usize) -> String {
+    if paper.is_finite() {
+        format!("{paper:.*}", digits)
+    } else {
+        "n/s".to_string()
+    }
 }
 
 /// Published cross-system results for Table XII (machine, processor,
@@ -129,6 +146,24 @@ mod tests {
     }
 
     #[test]
+    fn vs_with_unstated_paper_value_emits_bare_measurement() {
+        // Regression: a NAN paper value (the IMPROVEMENTS marker for
+        // numbers the paper does not state) rendered as "123 (NaN%)".
+        assert_eq!(vs(123.0, f64::NAN, 0), "123");
+        assert_eq!(vs(123.4, f64::NAN, 1), "123.4");
+        assert_eq!(vs(123.0, f64::INFINITY, 0), "123");
+        // Zero already took the bare-value path; keep it that way.
+        assert_eq!(vs(7.0, 0.0, 0), "7");
+    }
+
+    #[test]
+    fn paper_num_marks_unstated_values() {
+        assert_eq!(paper_num(440.0, 0), "440");
+        assert_eq!(paper_num(4.65, 2), "4.65");
+        assert_eq!(paper_num(f64::NAN, 0), "n/s");
+    }
+
+    #[test]
     fn table_constants_are_consistent() {
         assert_eq!(TABLE_I.len(), 8);
         assert_eq!(TABLE_X.len(), 9);
@@ -136,6 +171,14 @@ mod tests {
         // Table I's own arithmetic: RPCs/s ≈ 10000 / seconds.
         for (_, secs, rps, _, _) in TABLE_I {
             assert!((10_000.0 / secs - rps).abs() < 6.0);
+        }
+        // Every IMPROVEMENTS cell must render NaN-free through the
+        // table helpers, whether the paper states it or marks it NAN.
+        for &(name, a, b, c, d) in IMPROVEMENTS {
+            for v in [a, b, c, d] {
+                assert!(!vs(100.0, v, 0).contains("NaN"), "{name}");
+                assert!(!paper_num(v, 0).contains("NaN"), "{name}");
+            }
         }
     }
 }

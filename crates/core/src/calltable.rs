@@ -88,6 +88,41 @@ impl CallEntry {
         self.state.check_label("calltable");
     }
 
+    /// Non-blocking check: consumes an already-delivered outcome or
+    /// pending ack if one is attached; never parks. The polling half of
+    /// the §4.2.7 busy-wait ablation.
+    pub fn poll(&self) -> Option<Wait> {
+        let mut st = self.state.lock();
+        if let Some(outcome) = st.outcome.take() {
+            return Some(Wait::Complete(outcome));
+        }
+        if let Some((fragment, last)) = st.acked.take() {
+            return Some(Wait::Acked { fragment, last });
+        }
+        None
+    }
+
+    /// Spin-then-park wait — the §4.2.7 busy-wait ablation, measured
+    /// live. Polls the entry in a spin loop for up to `spin`, then falls
+    /// back to the ordinary condvar [`CallEntry::wait`]. Spinning trades
+    /// caller CPU for the direct-wakeup scheduling latency the paper
+    /// estimates at 440 µs; the park fallback keeps the semantics (and
+    /// the timeout/retransmission machinery above it) identical.
+    pub fn wait_spinning(&self, deadline: Instant, spin: std::time::Duration) -> Wait {
+        let spin_until = Instant::now() + spin;
+        loop {
+            if let Some(w) = self.poll() {
+                return w;
+            }
+            let now = Instant::now();
+            if now >= spin_until || now >= deadline {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        self.wait(deadline)
+    }
+
     /// Blocks until the result arrives, the server acks, or the deadline
     /// passes.
     pub fn wait(&self, deadline: Instant) -> Wait {

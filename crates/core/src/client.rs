@@ -281,6 +281,17 @@ impl Client {
         Ok(values?)
     }
 
+    /// Waits on a call entry, honoring the configured §4.2.7 busy-wait
+    /// spin budget before parking (zero budget: plain condvar wait).
+    fn wait_on(&self, entry: &crate::calltable::CallEntry, deadline: Instant) -> Wait {
+        let spin = self.inner.shared.config.busy_wait_spin;
+        if spin.is_zero() {
+            entry.wait(deadline)
+        } else {
+            entry.wait_spinning(deadline, spin)
+        }
+    }
+
     /// Sends a single-packet call and waits for the result.
     fn transact_single(
         &self,
@@ -320,7 +331,7 @@ impl Client {
                 }
                 wake_at = wake_at.min(d);
             }
-            match entry.wait(wake_at) {
+            match self.wait_on(entry, wake_at) {
                 Wait::Complete(a) => {
                     span.stamp(crate::trace::Stamp::ResultReceived);
                     return Ok(a);
@@ -399,6 +410,9 @@ impl Client {
         let cfg = &shared.config;
         let count = crate::fragment::fragment_count(data.len())?;
         let chunks: Vec<(u16, &[u8])> = crate::fragment::fragments(data).collect();
+        if cfg.fragment_blast && chunks.len() > 1 {
+            return self.transact_blast(header, &chunks, count, entry, deadline, span);
+        }
         // Send every fragment but the last stop-and-wait.
         for &(index, chunk) in &chunks[..chunks.len() - 1] {
             let frag_header = RpcHeader {
@@ -424,7 +438,8 @@ impl Client {
                         return Err(RpcError::DeadlineExceeded);
                     }
                 }
-                match entry.wait(
+                match self.wait_on(
+                    entry,
                     Instant::now()
                         + cfg
                             .retransmit_initial
@@ -467,6 +482,120 @@ impl Client {
             .build(chunk)?;
         crate::stats::RpcStats::bump(&shared.ctx.stats.fragments_sent);
         self.transact_single(&final_header, frame.bytes(), entry, deadline, span)
+    }
+
+    /// Sends a multi-packet call as one back-to-back fragment blast —
+    /// the batching ablation ([`Config::fragment_blast`]).
+    ///
+    /// The whole window goes out at once and the caller waits only for
+    /// the result. Timeout recovery re-blasts the entire window (with
+    /// please-ack on the final fragment so progress is observable);
+    /// server-side reassembly is idempotent, so duplicates are harmless.
+    /// The ack/probe state machine mirrors [`Client::transact_single`]:
+    /// only an acknowledgement covering the final fragment proves the
+    /// server holds the complete call and switches us to probing.
+    fn transact_blast(
+        &self,
+        header: &RpcHeader,
+        chunks: &[(u16, &[u8])],
+        count: u16,
+        entry: &crate::calltable::CallEntry,
+        deadline: Option<Instant>,
+        span: &mut crate::trace::Span<'_>,
+    ) -> Result<Assembled> {
+        let shared = &self.inner.shared;
+        let cfg = &shared.config;
+        let final_index = match chunks.last() {
+            Some(&(index, _)) => index,
+            None => {
+                return Err(RpcError::Internal {
+                    context: "fragmented transfer produced zero fragments",
+                })
+            }
+        };
+        let send_window = |please_ack_final: bool| -> Result<()> {
+            for &(index, chunk) in chunks {
+                let frag_header = RpcHeader {
+                    fragment: index,
+                    fragment_count: count,
+                    data_len: chunk.len() as u16,
+                    ..*header
+                };
+                let builder = shared
+                    .ctx
+                    .builder_from(&frag_header, self.inner.remote)
+                    .fragment(index, count)
+                    .please_ack(please_ack_final && index == final_index);
+                shared.ctx.send_built(&builder, chunk, self.inner.remote)?;
+                crate::stats::RpcStats::bump(&shared.ctx.stats.fragments_sent);
+            }
+            Ok(())
+        };
+        send_window(false)?;
+        span.stamp(crate::trace::Stamp::Sent);
+        crate::stats::RpcStats::bump(&shared.ctx.stats.calls_sent);
+
+        let final_header = RpcHeader {
+            fragment: final_index,
+            fragment_count: count,
+            ..*header
+        };
+        let mut timeout = cfg.retransmit_initial;
+        let mut transmissions = 1u32;
+        let mut acked = false;
+        let mut probes = 0u32;
+        loop {
+            let mut wake_at = Instant::now() + timeout;
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Err(RpcError::DeadlineExceeded);
+                }
+                wake_at = wake_at.min(d);
+            }
+            match self.wait_on(entry, wake_at) {
+                Wait::Complete(a) => {
+                    span.stamp(crate::trace::Stamp::ResultReceived);
+                    return Ok(a);
+                }
+                Wait::Acked { fragment, .. } => {
+                    // The server acks every non-final fragment it
+                    // buffers; only an ack covering the final fragment
+                    // proves it holds the complete call.
+                    if fragment >= final_index {
+                        acked = true;
+                        probes = 0;
+                        timeout = cfg.retransmit_max;
+                    }
+                }
+                Wait::TimedOut => {
+                    if acked {
+                        // The server is executing; probe, don't re-blast.
+                        probes += 1;
+                        if probes > 120 {
+                            return Err(RpcError::CallFailed { transmissions });
+                        }
+                        let probe = RpcHeader {
+                            packet_type: PacketType::Probe,
+                            data_len: 0,
+                            ..final_header
+                        };
+                        shared.ctx.send_built(
+                            &shared.ctx.builder_from(&probe, self.inner.remote),
+                            &[],
+                            self.inner.remote,
+                        )?;
+                    } else {
+                        if transmissions >= cfg.max_transmissions {
+                            return Err(RpcError::CallFailed { transmissions });
+                        }
+                        send_window(true)?;
+                        transmissions += 1;
+                        crate::stats::RpcStats::bump(&shared.ctx.stats.retransmissions);
+                        timeout = (timeout * 2).min(cfg.retransmit_max);
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -50,6 +50,30 @@ pub struct Config {
     /// Capacity (in records) of the per-endpoint completed-trace ring
     /// buffer, preallocated at endpoint creation.
     pub trace_capacity: usize,
+    /// Caller-side busy-wait budget — the §4.2.7 ablation, measured
+    /// live instead of estimated.
+    ///
+    /// When nonzero, a caller thread awaiting a result spins (polling
+    /// the call-table entry) for up to this long before parking on the
+    /// entry's condition variable, trading caller CPU for the
+    /// wakeup/scheduling latency the paper estimates at 440 µs. Zero
+    /// (the default) is the paper's shipped behavior: park immediately
+    /// and rely on the demultiplexer's direct wakeup. Server-side
+    /// threads are unaffected (they park in the work-queue hand-off).
+    pub busy_wait_spin: Duration,
+    /// Send multi-packet call bodies as one back-to-back blast instead
+    /// of Birrell–Nelson stop-and-wait — the batching ablation.
+    ///
+    /// Off (the default), every non-final fragment waits for its
+    /// explicit acknowledgement before the next is sent, exactly as the
+    /// paper does; large transfers pay one round trip per fragment. On,
+    /// the whole fragment window is transmitted at once and the caller
+    /// waits only for the result, re-blasting the entire window on
+    /// timeout (server-side reassembly is idempotent, so duplicated
+    /// fragments are harmless). This is the §4.2.5 "redesign the RPC
+    /// protocol" direction: fewer round trips in exchange for
+    /// retransmitting a whole window when any fragment is lost.
+    pub fragment_blast: bool,
 }
 
 impl Default for Config {
@@ -67,6 +91,8 @@ impl Default for Config {
             rng_seed: 0x5eed_f1ef_0001,
             trace: false,
             trace_capacity: crate::trace::DEFAULT_RING_CAPACITY,
+            busy_wait_spin: Duration::ZERO,
+            fragment_blast: false,
         }
     }
 }
@@ -96,6 +122,25 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// Convenience: the §4.2.7 busy-wait ablation — spin up to 200 µs
+    /// (comfortably past the paper's 440 µs wakeup estimate scaled to a
+    /// modern loopback RTT) before parking.
+    pub fn busy_wait() -> Self {
+        Config {
+            busy_wait_spin: Duration::from_micros(200),
+            ..Config::default()
+        }
+    }
+
+    /// Convenience: the fragment-batching ablation — blast multi-packet
+    /// call bodies instead of stop-and-wait.
+    pub fn batched_fragments() -> Self {
+        Config {
+            fragment_blast: true,
+            ..Config::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -118,5 +163,10 @@ mod tests {
         assert!(!Config::default().trace);
         assert!(Config::traced().trace);
         assert!(Config::traced().trace_capacity > 0);
+        // The ablation toggles must default to the paper's behavior.
+        assert!(Config::default().busy_wait_spin.is_zero());
+        assert!(!Config::default().fragment_blast);
+        assert!(!Config::busy_wait().busy_wait_spin.is_zero());
+        assert!(Config::batched_fragments().fragment_blast);
     }
 }

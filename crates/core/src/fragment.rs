@@ -6,7 +6,9 @@
 //! every fragment except the last is sent stop-and-wait: it carries the
 //! please-ack flag and the sender waits for the explicit acknowledgement
 //! before sending the next, so no more than one packet per call is ever
-//! outstanding without an ack.
+//! outstanding without an ack. (The batching ablation,
+//! `Config::fragment_blast`, replaces the caller's stop-and-wait with a
+//! back-to-back window blast; see `Client::transact_blast`.)
 
 use firefly_wire::MAX_SINGLE_PACKET_DATA;
 

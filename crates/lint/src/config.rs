@@ -67,9 +67,11 @@ impl Default for Config {
                 "crates/core/src/client.rs::call_inner".into(),
                 "crates/core/src/client.rs::transact_single".into(),
                 "crates/core/src/client.rs::transact_multi".into(),
+                "crates/core/src/client.rs::transact_blast".into(),
                 "crates/core/src/endpoint.rs::demux_loop".into(),
                 "crates/core/src/calltable.rs::deliver".into(),
                 "crates/core/src/calltable.rs::wait".into(),
+                "crates/core/src/calltable.rs::wait_spinning".into(),
                 "crates/core/src/server.rs::handle_call_packet".into(),
                 "crates/core/src/server.rs::handle_probe".into(),
                 "crates/core/src/server.rs::handle_result_ack".into(),

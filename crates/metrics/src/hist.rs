@@ -2,10 +2,13 @@
 
 /// A latency histogram over microseconds with logarithmic buckets.
 ///
-/// Buckets grow geometrically (~4.6% per bucket, 128 buckets per factor of
-/// e²) so percentiles are accurate to a few percent across the full range
-/// from 1 µs to tens of seconds — wide enough to span both the paper's
-/// 2.66 ms RPCs and the 600 ms retransmission penalty of §5.
+/// Buckets grow geometrically (`GROWTH = 1.022`: ~2.2% per bucket, ~92
+/// buckets per factor of e²; 1024 buckets in total) so percentiles are
+/// accurate to about one bucket width (~±1.1% at the reported midpoint)
+/// across the covered range from 1 µs to `GROWTH`¹⁰²⁴ ≈ 4.8·10⁹ µs
+/// (~80 minutes) — wide enough to span both the paper's 2.66 ms RPCs and
+/// the 600 ms retransmission penalty of §5 with orders of magnitude to
+/// spare. Values past the top bucket clamp into it.
 ///
 /// # Examples
 ///
@@ -16,7 +19,8 @@
 ///     h.record(v);
 /// }
 /// assert_eq!(h.count(), 4);
-/// assert!(h.percentile(50.0) >= 200.0 && h.percentile(50.0) <= 310.0);
+/// // p50 is the bucket midpoint nearest the 2nd of 4 values (200 µs).
+/// assert!((h.percentile(50.0) - 200.0).abs() / 200.0 < 0.025);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Histogram {
@@ -57,8 +61,16 @@ impl Histogram {
         (idx as usize).min(BUCKETS - 1)
     }
 
+    /// The representative value reported for a bucket: its midpoint.
+    ///
+    /// Bucket `i` covers `[GROWTH^i, GROWTH^(i+1))`; reporting the upper
+    /// edge (as this function once did) biased every percentile high by
+    /// one bucket width before the min/max clamp. The midpoint is
+    /// unbiased to within half a bucket width either way.
     fn bucket_value(index: usize) -> f64 {
-        GROWTH.powi(index as i32 + 1)
+        let lower = GROWTH.powi(index as i32);
+        let upper = GROWTH.powi(index as i32 + 1);
+        (lower + upper) / 2.0
     }
 
     /// Records one latency observation in microseconds.
@@ -85,14 +97,27 @@ impl Histogram {
         }
     }
 
-    /// Smallest recorded value.
+    /// Smallest recorded value, or 0 for an empty histogram.
+    ///
+    /// The empty case once leaked the internal `+∞` sentinel, which
+    /// serializes as invalid JSON (`inf`) and poisoned any snapshot or
+    /// merged-then-empty shard that touched it.
     pub fn min(&self) -> f64 {
-        self.min
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
     }
 
-    /// Largest recorded value.
+    /// Largest recorded value, or 0 for an empty histogram (the internal
+    /// `-∞` sentinel never escapes; see [`Histogram::min`]).
     pub fn max(&self) -> f64 {
-        self.max
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
     }
 
     /// Sum of all recorded values.
@@ -101,7 +126,9 @@ impl Histogram {
     }
 
     /// The value at or below which `p` percent of observations fall,
-    /// accurate to the bucket width (~2%).
+    /// reported as the midpoint of the selected bucket (unbiased to
+    /// within half a bucket width, ~±1.1%) and clamped into
+    /// `[min, max]` so it never strays outside the observed data.
     ///
     /// Returns 0 for an empty histogram.
     pub fn percentile(&self, p: f64) -> f64 {
@@ -134,6 +161,58 @@ impl Histogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// A serialization-safe summary of this histogram: every field is
+    /// finite (an empty histogram summarizes to all zeros), so the
+    /// result can be embedded in a `BENCH_*.json` snapshot without ever
+    /// producing the invalid JSON tokens `inf`/`NaN`.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.percentile(50.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+        }
+    }
+}
+
+/// The fixed percentile summary the perf trajectory records per metric.
+///
+/// Produced by [`Histogram::summary`]; all fields are guaranteed finite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean, µs.
+    pub mean: f64,
+    /// Smallest observation, µs (0 when empty).
+    pub min: f64,
+    /// Largest observation, µs (0 when empty).
+    pub max: f64,
+    /// Median, µs.
+    pub p50: f64,
+    /// 95th percentile, µs.
+    pub p95: f64,
+    /// 99th percentile, µs.
+    pub p99: f64,
+}
+
+impl HistSummary {
+    /// Renders as a JSON object in stable field order.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj()
+            .set("count", Json::num(self.count as f64))
+            .set("mean", Json::num(self.mean))
+            .set("min", Json::num(self.min))
+            .set("max", Json::num(self.max))
+            .set("p50", Json::num(self.p50))
+            .set("p95", Json::num(self.p95))
+            .set("p99", Json::num(self.p99))
+    }
 }
 
 #[cfg(test)]
@@ -149,13 +228,52 @@ mod tests {
     }
 
     #[test]
+    fn empty_min_max_are_finite_zero() {
+        // Regression: these returned the ±∞ sentinels, which serialize
+        // as invalid JSON and poisoned empty shards in merged reports.
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert!(h.min().is_finite() && h.max().is_finite());
+    }
+
+    #[test]
+    fn merge_with_empty_keeps_real_extremes() {
+        // Regression: merging an empty histogram must not let the ±∞
+        // sentinels clobber (or be reported from) the populated side.
+        let mut a = Histogram::new();
+        a.record(100.0);
+        a.record(300.0);
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 100.0);
+        assert_eq!(a.max(), 300.0);
+
+        // Empty ← populated direction too.
+        let mut e = Histogram::new();
+        e.merge(&a);
+        assert_eq!(e.min(), 100.0);
+        assert_eq!(e.max(), 300.0);
+
+        // Empty ← empty stays finite.
+        let mut both = Histogram::new();
+        both.merge(&Histogram::new());
+        assert_eq!(both.min(), 0.0);
+        assert_eq!(both.max(), 0.0);
+    }
+
+    #[test]
     fn single_value() {
         let mut h = Histogram::new();
         h.record(2660.0); // The paper's Null() latency.
         assert_eq!(h.count(), 1);
         assert_eq!(h.mean(), 2660.0);
-        let p50 = h.percentile(50.0);
-        assert!((p50 - 2660.0).abs() / 2660.0 < 0.03, "p50 = {p50}");
+        // The min/max clamp pins every percentile of a single-value
+        // histogram to exactly that value now that the midpoint (not the
+        // upper bucket edge) is the starting point.
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 2660.0, "p{p}");
+        }
     }
 
     #[test]
@@ -170,9 +288,11 @@ mod tests {
             assert!(v >= last, "p{p} = {v} < {last}");
             last = v;
         }
-        // Median of 10..10000 uniform should be near 5000.
+        // Median of 10..10000 uniform should be near 5000. The midpoint
+        // fix removed the one-bucket-high bias, so the tolerance is a
+        // little over one bucket width (~2.2%) rather than the old 5%.
         let p50 = h.percentile(50.0);
-        assert!((p50 - 5000.0).abs() / 5000.0 < 0.05, "p50 = {p50}");
+        assert!((p50 - 5000.0).abs() / 5000.0 < 0.03, "p50 = {p50}");
     }
 
     #[test]

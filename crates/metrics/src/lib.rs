@@ -13,17 +13,22 @@
 //! * [`UtilizationTracker`] — busy-time accounting that reproduces the
 //!   paper's "about 1.2 CPUs being used on the caller machine" figures,
 //! * [`Table`] — fixed-width text tables shaped like the paper's
-//!   Tables I–XII, with optional Markdown output for EXPERIMENTS.md.
+//!   Tables I–XII, with optional Markdown output for EXPERIMENTS.md,
+//! * [`Json`] — a dependency-free, round-trip-stable JSON value (with
+//!   [`HistSummary`], the serialization-safe percentile summary) used by
+//!   the `BENCH_*.json` perf trajectory and its regression gate.
 
 // No unsafe anywhere in this crate — see DESIGN.md ("Unsafe policy").
 #![forbid(unsafe_code)]
 
 pub mod hist;
+pub mod json;
 pub mod table;
 pub mod throughput;
 pub mod util;
 
-pub use hist::Histogram;
+pub use hist::{HistSummary, Histogram};
+pub use json::Json;
 pub use table::Table;
 pub use throughput::{megabits_per_sec, rpcs_per_sec};
 pub use util::UtilizationTracker;

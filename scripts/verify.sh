@@ -97,6 +97,25 @@ print(f"    {len(dynamic)} observed edge(s), all consistent with the static grap
 echo "==> latency_account --smoke"
 cargo run --release --offline -q -p firefly-bench --bin latency_account -- --smoke
 
+# The perf trajectory (docs/BENCH.md): a smoke snapshot proves the
+# bench_snapshot pipeline end to end — real UDP stack, every section
+# emitted, all-finite JSON — under a CI time budget. The gate then
+# validates it and diffs the committed BENCH_*.json trajectory in
+# check-only mode (report regressions without failing the hermetic
+# build on machine-to-machine noise; the full gate runs on demand via
+# scripts/bench_gate.sh).
+echo "==> bench_snapshot --smoke + bench_gate --check"
+snapshot_started=$(date +%s%N)
+cargo run --release --offline -q -p firefly-bench --bin bench_snapshot -- --smoke --out target/bench-smoke.json
+snapshot_elapsed_ms=$(( ($(date +%s%N) - snapshot_started) / 1000000 ))
+echo "    bench_snapshot runtime: ${snapshot_elapsed_ms} ms"
+if (( snapshot_elapsed_ms >= 30000 )); then
+    echo "verify: FAIL — bench_snapshot --smoke took ${snapshot_elapsed_ms} ms (budget 30000 ms)" >&2
+    exit 1
+fi
+scripts/bench_gate.sh --check target/bench-smoke.json
+scripts/bench_gate.sh --check
+
 # Lint gates are opt-in: rustfmt/clippy components may be absent from a
 # minimal toolchain, and their absence must not fail the hermetic check.
 if [[ "${FIREFLY_VERIFY_LINT:-0}" == "1" ]]; then

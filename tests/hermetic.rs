@@ -187,6 +187,53 @@ fn check_crate_is_hermetic_and_forbids_unsafe() {
 }
 
 #[test]
+fn bench_snapshot_pipeline_is_hermetic_and_forbids_unsafe() {
+    // The perf-trajectory pipeline (bench_snapshot + the JSON emitter in
+    // firefly-metrics) writes files consumed by scripts/bench_gate.sh;
+    // it must obey the same policy as the rest of the tree: path-only
+    // dependencies and no unsafe code.
+    for name in ["firefly-bench", "firefly-metrics"] {
+        let entry = dependency_entries(&workspace_root().join("Cargo.toml"))
+            .into_iter()
+            .filter(|d| d.section == "workspace.dependencies")
+            .find(|d| d.name == name)
+            .unwrap_or_else(|| panic!("{name} is declared in [workspace.dependencies]"));
+        assert!(
+            is_path_only(&entry.spec) && entry.spec.contains("crates/"),
+            "{name} must be a path dependency into crates/: {}",
+            entry.spec
+        );
+    }
+    for crate_dir in ["bench", "metrics"] {
+        let manifest = workspace_root().join(format!("crates/{crate_dir}/Cargo.toml"));
+        for dep in dependency_entries(&manifest) {
+            assert!(
+                dep.spec.contains("workspace = true") || is_path_only(&dep.spec),
+                "crates/{crate_dir} dependency `{}` is not path-only: {}",
+                dep.name,
+                dep.spec
+            );
+        }
+        let lib = fs::read_to_string(workspace_root().join(format!("crates/{crate_dir}/src/lib.rs")))
+            .expect("crate lib.rs");
+        assert!(
+            lib.contains("#![forbid(unsafe_code)]"),
+            "crates/{crate_dir} must forbid unsafe code"
+        );
+    }
+    // The gate script itself must stay dependency-free: bash + python3
+    // stdlib only (both already required by scripts/verify.sh).
+    let gate = fs::read_to_string(workspace_root().join("scripts/bench_gate.sh"))
+        .expect("scripts/bench_gate.sh");
+    for banned in ["pip install", "import requests", "import numpy"] {
+        assert!(
+            !gate.contains(banned),
+            "scripts/bench_gate.sh must not use external packages ({banned})"
+        );
+    }
+}
+
+#[test]
 fn no_lockfile_entry_references_the_registry() {
     let lock = workspace_root().join("Cargo.lock");
     if !lock.is_file() {
