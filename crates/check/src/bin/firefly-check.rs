@@ -9,90 +9,21 @@
 //! edges from passing structure schedules; scripts/verify.sh diffs that
 //! against the static lock graph from `firefly-lint --json`.
 //!
+//! `--dpor` swaps DFS for sleep-set + source-set dynamic partial-order
+//! reduction; each DPOR run prints a machine-parseable
+//! `dpor <model> explored N schedule(s), pruned M, exhausted B` line
+//! that scripts/verify.sh gates on (the sharded call table must stay
+//! exhaustible under DPOR inside its budget).
+//!
 //! Single-model runs for debugging:
 //!   firefly-check --model pool --schedules 5000
 //!   firefly-check --model pool --seed 0xdecafbad --schedules 500
+//!   firefly-check --model sharded-calltable --dpor --schedules 4000
 //!   firefly-check --model bug-abba --replay 0,1,1 --verbose
 
-use firefly_check::{models, render_failure, Explorer, Mode, Outcome};
+use firefly_check::{args, models, render_failure, Explorer, Mode, Outcome};
 use std::collections::BTreeSet;
 use std::process::ExitCode;
-
-struct Args {
-    list: bool,
-    smoke: bool,
-    bugs_only: bool,
-    verbose: bool,
-    model: Option<String>,
-    seed: Option<u64>,
-    schedules: Option<usize>,
-    replay: Option<Vec<usize>>,
-    json_edges: Option<String>,
-    budget: Option<usize>,
-}
-
-fn parse_u64(s: &str) -> Option<u64> {
-    if let Some(hex) = s.strip_prefix("0x") {
-        u64::from_str_radix(hex, 16).ok()
-    } else {
-        s.parse().ok()
-    }
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        list: false,
-        smoke: false,
-        bugs_only: false,
-        verbose: false,
-        model: None,
-        seed: None,
-        schedules: None,
-        replay: None,
-        json_edges: None,
-        budget: None,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        let mut value = |flag: &str| {
-            it.next().ok_or_else(|| format!("{flag} needs a value"))
-        };
-        match arg.as_str() {
-            "--list" => args.list = true,
-            "--smoke" => args.smoke = true,
-            "--bugs" => args.bugs_only = true,
-            "--verbose" => args.verbose = true,
-            "--model" => args.model = Some(value("--model")?),
-            "--seed" => {
-                let v = value("--seed")?;
-                args.seed = Some(parse_u64(&v).ok_or(format!("bad seed {v}"))?);
-            }
-            "--schedules" => {
-                let v = value("--schedules")?;
-                args.schedules = Some(v.parse().map_err(|_| format!("bad count {v}"))?);
-            }
-            "--budget" => {
-                let v = value("--budget")?;
-                args.budget = Some(v.parse().map_err(|_| format!("bad budget {v}"))?);
-            }
-            "--json-edges" => args.json_edges = Some(value("--json-edges")?),
-            "--replay" => {
-                let v = value("--replay")?;
-                let decisions = if v == "-" {
-                    Vec::new()
-                } else {
-                    v.split(',')
-                        .map(|d| d.trim().parse())
-                        .collect::<Result<Vec<usize>, _>>()
-                        .map_err(|_| format!("bad decision list {v}"))?
-                };
-                args.replay = Some(decisions);
-            }
-            other => return Err(format!("unknown flag {other}")),
-        }
-    }
-    Ok(args)
-}
 
 fn summarize(outcome: &Outcome, expect_failure: bool, verbose: bool) -> bool {
     let ok = match (&outcome.failure, expect_failure) {
@@ -146,16 +77,67 @@ fn summarize(outcome: &Outcome, expect_failure: bool, verbose: bool) -> bool {
     ok
 }
 
+/// Splits a `class[index]` instance name into its class and numeric
+/// index, or `None` for plain (non-parametric) lock names.
+fn parse_instance(name: &str) -> Option<(&str, usize)> {
+    let open = name.find('[')?;
+    let inner = name.get(open + 1..name.len() - 1)?;
+    if !name.ends_with(']') || inner.is_empty() {
+        return None;
+    }
+    Some((&name[..open], inner.parse().ok()?))
+}
+
+/// Collapses observed instance-level edges to class-level edges: a
+/// `shard[2] -> shard[3]` nesting becomes the class self-edge
+/// `shard -> shard` annotated `ascending` (or `descending` for an
+/// index-order violation), and cross-class edges drop their indices.
+/// This is the form the static/dynamic lock-graph diff in
+/// scripts/verify.sh compares against `firefly-lint --json`.
+fn collapse_parametric(
+    edges: &BTreeSet<(String, String)>,
+) -> BTreeSet<(String, String, Option<&'static str>)> {
+    edges
+        .iter()
+        .map(|(from, to)| match (parse_instance(from), parse_instance(to)) {
+            (Some((fc, fi)), Some((tc, ti))) if fc == tc => {
+                let ordering = if fi < ti { "ascending" } else { "descending" };
+                (fc.to_string(), tc.to_string(), Some(ordering))
+            }
+            (fp, tp) => {
+                let strip = |p: Option<(&str, usize)>, raw: &str| {
+                    p.map_or_else(|| raw.to_string(), |(c, _)| c.to_string())
+                };
+                (strip(fp, from), strip(tp, to), None)
+            }
+        })
+        .collect()
+}
+
 fn write_edges_json(path: &str, edges: &BTreeSet<(String, String)>) -> std::io::Result<()> {
+    let collapsed = collapse_parametric(edges);
     let mut s = String::from("{\n  \"edges\": [");
-    for (i, (from, to)) in edges.iter().enumerate() {
+    for (i, (from, to, ordering)) in collapsed.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
-        s.push_str(&format!("\n    {{\"from\": \"{from}\", \"to\": \"{to}\"}}"));
+        s.push_str(&format!("\n    {{\"from\": \"{from}\", \"to\": \"{to}\""));
+        if let Some(ord) = ordering {
+            s.push_str(&format!(", \"ordering\": \"{ord}\""));
+        }
+        s.push_str("}");
     }
     s.push_str("\n  ]\n}\n");
     std::fs::write(path, s)
+}
+
+/// The machine-parseable DPOR summary line scripts/verify.sh greps for
+/// its pruning-regression gate.
+fn print_dpor_line(outcome: &Outcome) {
+    println!(
+        "dpor {} explored {} schedule(s), pruned {}, exhausted {}",
+        outcome.model, outcome.schedules, outcome.pruned, outcome.exhausted
+    );
 }
 
 /// Re-runs a caught bug from its recorded decision list and checks the
@@ -191,7 +173,7 @@ fn replay_reproduces(explorer: &Explorer, model: &firefly_check::Model, outcome:
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let args = match args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("firefly-check: {e}");
@@ -227,12 +209,19 @@ fn main() -> ExitCode {
                 seed,
                 schedules: args.schedules.unwrap_or(1000),
             }
+        } else if args.dpor {
+            Mode::Dpor {
+                max_schedules: args.schedules.unwrap_or(5000),
+            }
         } else {
             Mode::Dfs {
                 max_schedules: args.schedules.unwrap_or(5000),
             }
         };
         let outcome = explorer.explore(&model, &mode);
+        if matches!(mode, Mode::Dpor { .. }) {
+            print_dpor_line(&outcome);
+        }
         let expect_failure = name.starts_with("bug-");
         let ok = summarize(&outcome, expect_failure, args.verbose);
         return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
@@ -245,10 +234,23 @@ fn main() -> ExitCode {
 
     if !args.bugs_only {
         println!(
-            "firefly-check: structure models (dfs cap {dfs_cap}, {rand_schedules} random schedules, seed {seed:#x})"
+            "firefly-check: structure models ({} cap {dfs_cap}, {rand_schedules} random schedules, seed {seed:#x})",
+            if args.dpor { "dpor" } else { "dfs" },
         );
         for model in models::structure_models() {
-            let dfs = explorer.explore(&model, &Mode::Dfs { max_schedules: dfs_cap });
+            let mode = if args.dpor {
+                Mode::Dpor {
+                    max_schedules: dfs_cap,
+                }
+            } else {
+                Mode::Dfs {
+                    max_schedules: dfs_cap,
+                }
+            };
+            let dfs = explorer.explore(&model, &mode);
+            if args.dpor {
+                print_dpor_line(&dfs);
+            }
             all_ok &= summarize(&dfs, false, args.verbose);
             edges.extend(dfs.edges);
             let rand = explorer.explore(

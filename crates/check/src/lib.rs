@@ -27,12 +27,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod args;
 pub mod models;
+pub mod races;
 pub mod sched;
+pub mod vc;
 
-use sched::{AbortSignal, Failure, Sched};
+use sched::{AbortSignal, Failure, Op, Sched, SleepEntry, StepRec};
 use std::cell::Cell;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Once;
 
@@ -79,6 +82,14 @@ pub enum Mode {
         /// The `chosen` values from a failure report.
         decisions: Vec<usize>,
     },
+    /// Sleep-set + source-set dynamic partial-order reduction: explores
+    /// one representative per Mazurkiewicz trace class, with backtrack
+    /// points inserted only where the executed schedule proves two
+    /// slices dependent. `max_schedules` caps runs (explored + pruned).
+    Dpor {
+        /// Cap on total runs (exhaustion may hit first).
+        max_schedules: usize,
+    },
 }
 
 /// A failing schedule, with everything needed to reproduce it.
@@ -102,8 +113,12 @@ pub struct Outcome {
     pub model: &'static str,
     /// Schedules actually executed.
     pub schedules: usize,
-    /// True when DFS enumerated the full tree within its cap.
+    /// True when DFS enumerated the full tree within its cap, or DPOR
+    /// drained every backtrack set within its cap.
     pub exhausted: bool,
+    /// DPOR only: schedules abandoned as sleep-set-redundant (their
+    /// continuations were provably equivalent to explored ones).
+    pub pruned: usize,
     /// The first failure, if any (exploration stops there).
     pub failure: Option<FailureReport>,
     /// Class-level lock edges observed across all passing schedules.
@@ -178,10 +193,14 @@ impl Explorer {
 
     /// Explores `model` under `mode`; stops at the first failure.
     pub fn explore(&self, model: &Model, mode: &Mode) -> Outcome {
+        if let Mode::Dpor { max_schedules } = mode {
+            return self.explore_dpor(model, *max_schedules);
+        }
         let mut outcome = Outcome {
             model: model.name,
             schedules: 0,
             exhausted: false,
+            pruned: 0,
             failure: None,
             edges: BTreeSet::new(),
             digest: FNV_OFFSET,
@@ -246,6 +265,197 @@ impl Explorer {
                         return outcome;
                     }
                 }
+                Mode::Dpor { .. } => unreachable!("handled by explore_dpor"),
+            }
+        }
+    }
+
+    /// Sleep-set + source-set DPOR (Flanagan–Godefroid style, adapted to
+    /// schedule-at-a-time re-execution). The driver keeps one node per
+    /// decision of the current path. After each run it inserts, for
+    /// every executed step `j`, its thread into the backtrack set of the
+    /// node before the *last* step `i < j` whose slice is dependent with
+    /// `j`'s (the per-run recursion covers transitively earlier races).
+    /// Threads whose branch at a node is already explored go into the
+    /// sleep set handed to sibling branches; the scheduler abandons any
+    /// continuation in which every eligible thread sleeps, and those
+    /// abandoned runs are the `pruned` count. Notify-target decisions
+    /// are enumerated exhaustively — partial-order reduction only ever
+    /// prunes *thread* choices, never wakeup targets.
+    fn explore_dpor(&self, model: &Model, max_schedules: usize) -> Outcome {
+        struct Node {
+            /// Scheduling node: eligible tids in option order. Empty for
+            /// notify-target nodes (options are waiter indices).
+            enabled: Vec<usize>,
+            /// Option index taken on the current path.
+            chosen: usize,
+            /// Option indices still to explore.
+            backtrack: BTreeSet<usize>,
+            /// Explored option index → that thread's first slice plus
+            /// the registration-index bound when it was recorded (the
+            /// `fresh_from` of a sleep entry built from it).
+            done: BTreeMap<usize, (Vec<Op>, usize)>,
+            /// Sleep set at this node (before its decision applies).
+            sleep: Vec<SleepEntry>,
+        }
+
+        let mut outcome = Outcome {
+            model: model.name,
+            schedules: 0,
+            exhausted: false,
+            pruned: 0,
+            failure: None,
+            edges: BTreeSet::new(),
+            digest: FNV_OFFSET,
+        };
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut sleep: Vec<SleepEntry> = Vec::new();
+        let mut sleep_from = usize::MAX;
+        loop {
+            let (result, finale_err) =
+                self.run_one_plan(model, prefix.clone(), None, sleep.clone(), sleep_from);
+            if std::env::var_os("FIREFLY_DPOR_DEBUG").is_some() {
+                eprintln!(
+                    "RUN prefix={prefix:?} sleep={sleep:?} from={sleep_from} redundant={} decisions={:?}",
+                    result.redundant, result.decisions
+                );
+                for (si, s) in result.steps.iter().enumerate() {
+                    eprintln!(
+                        "  step {si}: t{} di={:?} cursor={} enabled={:?} ops={:?}",
+                        s.tid, s.decision_index, s.pick_cursor, s.enabled, s.ops
+                    );
+                }
+            }
+            if result.redundant {
+                outcome.pruned += 1;
+            } else {
+                outcome.schedules += 1;
+                let failure = result
+                    .failure
+                    .or_else(|| finale_err.map(|message| Failure::Invariant { message }));
+                if let Some(failure) = failure {
+                    outcome.failure = Some(FailureReport {
+                        failure,
+                        decisions: result.decisions.iter().map(|&(c, _)| c).collect(),
+                        schedule: outcome.schedules,
+                        seed: None,
+                        trace: result.trace,
+                    });
+                    return outcome;
+                }
+                for edge in result.named_edges {
+                    outcome.edges.insert(edge);
+                }
+                for line in &result.trace {
+                    outcome.digest = fnv_fold(outcome.digest, line.as_bytes());
+                    outcome.digest = fnv_fold(outcome.digest, b"\n");
+                }
+            }
+
+            // Map decision index → step index for scheduling decisions.
+            let step_of_decision: BTreeMap<usize, usize> = result
+                .steps
+                .iter()
+                .enumerate()
+                .filter_map(|(si, s)| s.decision_index.map(|di| (di, si)))
+                .collect();
+            // Extend the node stack with this run's new decisions (also
+            // for redundant runs: their executed prefixes are real).
+            for di in nodes.len()..result.decisions.len() {
+                let (chosen, options) = result.decisions[di];
+                let node = match step_of_decision.get(&di) {
+                    Some(&si) => Node {
+                        enabled: result.steps[si].enabled.clone(),
+                        chosen,
+                        backtrack: BTreeSet::new(),
+                        done: BTreeMap::new(),
+                        sleep: result.decision_sleeps[di].clone(),
+                    },
+                    None => Node {
+                        enabled: Vec::new(),
+                        chosen,
+                        // Notify targets: enumerate every alternative.
+                        backtrack: (0..options).filter(|&c| c != chosen).collect(),
+                        done: BTreeMap::new(),
+                        sleep: result.decision_sleeps[di].clone(),
+                    },
+                };
+                nodes.push(node);
+            }
+            // Record each scheduling decision's executed slice (fills in
+            // the branch choice just taken and refreshes prefix nodes).
+            for (&di, &si) in &step_of_decision {
+                if di < nodes.len() {
+                    let chosen = result.decisions[di].0;
+                    let step = &result.steps[si];
+                    nodes[di]
+                        .done
+                        .insert(chosen, (step.ops.clone(), step.objs_before));
+                    nodes[di].backtrack.remove(&chosen);
+                }
+            }
+            // Backtrack-set insertion from this run's dependent races.
+            let steps: &[StepRec] = &result.steps;
+            for j in 0..steps.len() {
+                let q = steps[j].tid;
+                for i in (0..j).rev() {
+                    if steps[i].tid == q {
+                        continue;
+                    }
+                    if !sched::slices_dependent(&steps[i].ops, &steps[j].ops) {
+                        continue;
+                    }
+                    if let Some(&di) = steps[i].decision_index.as_ref() {
+                        let node = &mut nodes[di];
+                        match node.enabled.iter().position(|&t| t == q) {
+                            Some(pos) => {
+                                if !node.done.contains_key(&pos) {
+                                    node.backtrack.insert(pos);
+                                }
+                            }
+                            None => {
+                                for pos in 0..node.enabled.len() {
+                                    if !node.done.contains_key(&pos) {
+                                        node.backtrack.insert(pos);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    break; // only the last dependent step
+                }
+            }
+
+            if outcome.schedules + outcome.pruned >= max_schedules {
+                return outcome;
+            }
+            // Deepest pending branch next (DFS order).
+            let Some(k) = (0..nodes.len()).rev().find(|&k| !nodes[k].backtrack.is_empty())
+            else {
+                outcome.exhausted = true;
+                return outcome;
+            };
+            let choice = *nodes[k].backtrack.iter().next().expect("nonempty");
+            nodes[k].backtrack.remove(&choice);
+            // Sibling branches sleep on every already-explored thread
+            // choice at this node, carrying its recorded first slice.
+            sleep = nodes[k].sleep.clone();
+            if !nodes[k].enabled.is_empty() {
+                for (&pos, (slice, objs_before)) in &nodes[k].done {
+                    sleep.push(SleepEntry {
+                        tid: nodes[k].enabled[pos],
+                        ops: slice.clone(),
+                        fresh_from: *objs_before,
+                    });
+                }
+            }
+            nodes[k].chosen = choice;
+            nodes.truncate(k + 1);
+            prefix = nodes.iter().map(|n| n.chosen).collect();
+            sleep_from = prefix.len() - 1;
+            if std::env::var_os("FIREFLY_DPOR_DEBUG").is_some() {
+                eprintln!("BRANCH k={k} choice={choice} sleep={sleep:?}");
             }
         }
     }
@@ -258,9 +468,22 @@ impl Explorer {
         prefix: Vec<usize>,
         rng: Option<firefly_rng::Rng>,
     ) -> (sched::ScheduleResult, Option<String>) {
+        self.run_one_plan(model, prefix, rng, Vec::new(), usize::MAX)
+    }
+
+    /// [`Explorer::run_one`] with a DPOR sleep plan.
+    fn run_one_plan(
+        &self,
+        model: &Model,
+        prefix: Vec<usize>,
+        rng: Option<firefly_rng::Rng>,
+        sleep: Vec<SleepEntry>,
+        sleep_from: usize,
+    ) -> (sched::ScheduleResult, Option<String>) {
         let run = (model.make)();
         let n = run.threads.len();
-        self.sched.reset(n, prefix, rng, self.step_budget);
+        self.sched
+            .reset_dpor(n, prefix, rng, self.step_budget, sleep, sleep_from);
 
         // Label phase: on this thread, hook installed, before any model
         // thread exists — on_label is non-blocking and needs no tid.
@@ -307,7 +530,9 @@ impl Explorer {
         let result = self.sched.take_result();
 
         // Finale: quiescent single-threaded asserts, no hook installed.
-        let finale_err = if result.failure.is_none() {
+        // A sleep-set-redundant run was abandoned mid-flight, so its
+        // quiescent invariants are meaningless — skip them.
+        let finale_err = if result.failure.is_none() && !result.redundant {
             let _ = SILENCED.try_with(|c| c.set(true));
             let r = catch_unwind(AssertUnwindSafe(run.finale));
             let _ = SILENCED.try_with(|c| c.set(false));

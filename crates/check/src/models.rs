@@ -4,10 +4,13 @@
 //! Structure models exercise the paper's mechanisms with their actual
 //! implementations — call-table slot reuse (§3.1.3), pool recycling
 //! through the controller receive queue (§3.2), the trace ring, and the
-//! MPMC channel — and must pass every schedule. Bug models seed one
-//! classic concurrency defect each (ABBA deadlock, notify-before-wait
-//! lost wakeup, check-then-act double release) and must *fail*; they
-//! prove the checker actually detects what it claims to.
+//! MPMC channel, the hook's install gate, and a sharded call table —
+//! and must pass every schedule. Bug models seed one classic
+//! concurrency defect each (ABBA deadlock, notify-before-wait lost
+//! wakeup, check-then-act double release, and three happens-before
+//! races: unsynchronized counter, publish-without-release,
+//! store-after-notify) and must *fail*; they prove the checker actually
+//! detects what it claims to.
 //!
 //! Determinism note: every lock/condvar a model registers with the
 //! scheduler stays alive until the schedule ends (the call-table model
@@ -20,6 +23,7 @@ use firefly_pool::BufferPool;
 use firefly_rpc::calltable::{CallTable, Deliver, Wait};
 use firefly_rpc::packet::Packet;
 use firefly_rpc::trace::{TraceRecord, Tracer};
+use firefly_sync::atomic as checked_atomic;
 use firefly_sync::{channel, Condvar, Mutex};
 use firefly_wire::{ActivityId, FrameBuilder, PacketType};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -387,6 +391,264 @@ fn make_bug_double_release() -> ModelRun {
     }
 }
 
+/// Clean model of the hook's `INSTALLED` gate protocol with the fixed
+/// orderings (`AcqRel` install, `Release` uninstall, `Acquire`
+/// cross-thread check): two installers balance the counter while an
+/// observer polls it. Every access is sanctioned, so the race detector
+/// must stay silent in every schedule — this is the regression test for
+/// the `crates/sync/src/hook.rs` ordering fix. (The production
+/// `current()` load stays `Relaxed` because only the installing thread
+/// reads its own thread-local; a cross-thread observer like this one
+/// needs `Acquire`, which is what the model encodes.)
+fn make_gate() -> ModelRun {
+    let installed = Arc::new(checked_atomic::AtomicUsize::new(0));
+
+    let label = {
+        let installed = Arc::clone(&installed);
+        Box::new(move || installed.check_label("installed")) as Box<dyn FnOnce() + Send>
+    };
+    let installer = |installed: Arc<checked_atomic::AtomicUsize>| {
+        Box::new(move || {
+            installed.fetch_add(1, Ordering::AcqRel);
+            installed.fetch_sub(1, Ordering::Release);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let t0 = installer(Arc::clone(&installed));
+    let t1 = installer(Arc::clone(&installed));
+    let observer = {
+        let installed = Arc::clone(&installed);
+        Box::new(move || {
+            let n = installed.load(Ordering::Acquire);
+            assert!(n <= 2, "gate counter overshot: {n}");
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let finale = Box::new(move || {
+        assert_eq!(
+            installed.load(Ordering::Acquire),
+            0,
+            "install gate unbalanced"
+        );
+    }) as Box<dyn FnOnce() + Send>;
+    ModelRun {
+        label,
+        threads: vec![t0, t1, observer],
+        finale,
+    }
+}
+
+/// Shard-class labels for the sharded call-table model. The `class[i]`
+/// form is what the parametric lock-order support in `firefly-lint`
+/// understands: instances of one class, ordered by index.
+const SHARD_LABELS: [&str; 4] = ["shard[0]", "shard[1]", "shard[2]", "shard[3]"];
+
+/// Per-shard slot state for [`make_sharded_calltable`].
+#[derive(Default)]
+struct ShardSlot {
+    cur: Option<u32>,
+    completed: u32,
+    orphans: u32,
+    stolen: u32,
+}
+
+/// Sharded call table: four per-shard slots, three independent callers
+/// each doing two rounds of register/complete slot reuse plus a
+/// late-duplicate orphan check on their own shard, and a work stealer
+/// that bridges shards 2 and 3 in ascending index order (the parametric
+/// lock-order discipline). The per-shard work is pairwise independent,
+/// which is exactly what DPOR prunes and naive DFS drowns in: DFS
+/// cannot exhaust this model inside the smoke budget, DPOR can.
+fn make_sharded_calltable() -> ModelRun {
+    let shards: Arc<Vec<Mutex<ShardSlot>>> =
+        Arc::new((0..4).map(|_| Mutex::new(ShardSlot::default())).collect());
+
+    let label = {
+        let shards = Arc::clone(&shards);
+        Box::new(move || {
+            for (i, shard) in shards.iter().enumerate() {
+                shard.check_label(SHARD_LABELS[i]);
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let caller = |shards: Arc<Vec<Mutex<ShardSlot>>>, k: usize| {
+        Box::new(move || {
+            for seq in 0..2u32 {
+                {
+                    let mut s = shards[k].lock();
+                    assert!(s.cur.is_none(), "shard {k}: slot registered twice");
+                    s.cur = Some(seq);
+                }
+                {
+                    let mut s = shards[k].lock();
+                    assert_eq!(s.cur, Some(seq), "shard {k}: slot clobbered");
+                    s.cur = None;
+                    s.completed += 1;
+                }
+            }
+            // Late duplicate of seq 0: the slot was reused and torn
+            // down since, so it must be orphaned, never delivered.
+            let mut s = shards[k].lock();
+            assert!(s.cur.is_none(), "shard {k}: duplicate hit a live slot");
+            s.orphans += 1;
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let t0 = caller(Arc::clone(&shards), 0);
+    let t1 = caller(Arc::clone(&shards), 1);
+    let t2 = caller(Arc::clone(&shards), 2);
+    let stealer = {
+        let shards = Arc::clone(&shards);
+        Box::new(move || {
+            // Cross-shard work stealing: both shard locks held at once,
+            // acquired in ascending shard-index order — the parametric
+            // lock-order rule this model feeds into the lint diff.
+            let mut donor = shards[2].lock();
+            let mut thief = shards[3].lock();
+            donor.stolen += 1;
+            thief.stolen += 1;
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let finale = Box::new(move || {
+        let mut completed = 0;
+        let mut orphans = 0;
+        let mut stolen = 0;
+        for shard in shards.iter() {
+            let s = shard.lock();
+            assert!(s.cur.is_none(), "slot leaked past the schedule");
+            completed += s.completed;
+            orphans += s.orphans;
+            stolen += s.stolen;
+        }
+        assert_eq!(completed, 6, "calls lost or duplicated across shards");
+        assert_eq!(orphans, 3, "late duplicate not orphaned");
+        assert_eq!(stolen, 2, "steal bridged the wrong shard count");
+    }) as Box<dyn FnOnce() + Send>;
+    ModelRun {
+        label,
+        threads: vec![t0, t1, t2, stealer],
+        finale,
+    }
+}
+
+/// Seeded race: an unsynchronized read-modify-write cycle split into a
+/// relaxed load and a relaxed store. The pair is neither ordered by
+/// happens-before nor sanctioned, so the detector must report it (and
+/// the lost-increment outcome it permits is exactly why).
+fn make_bug_race_counter() -> ModelRun {
+    let counter = Arc::new(checked_atomic::AtomicU64::new(0));
+
+    let label = {
+        let counter = Arc::clone(&counter);
+        Box::new(move || counter.check_label("counter")) as Box<dyn FnOnce() + Send>
+    };
+    let bump = |counter: Arc<checked_atomic::AtomicU64>| {
+        Box::new(move || {
+            // BUG: load + store instead of fetch_add — two threads can
+            // both read 0 and both write 1.
+            let v = counter.load(Ordering::Relaxed);
+            counter.store(v + 1, Ordering::Relaxed);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let t0 = bump(Arc::clone(&counter));
+    let t1 = bump(Arc::clone(&counter));
+    ModelRun {
+        label,
+        threads: vec![t0, t1],
+        finale: Box::new(|| {}),
+    }
+}
+
+/// Seeded race: publish-without-release. The writer fills `data`, then
+/// raises `flag` with a *relaxed* store; the reader's acquire load
+/// acquires nothing from it, so neither the flag pair nor the data it
+/// guards is ordered. Must be reported as a `Race` on the flag.
+fn make_bug_race_publish() -> ModelRun {
+    let data = Arc::new(checked_atomic::AtomicU64::new(0));
+    let flag = Arc::new(checked_atomic::AtomicBool::new(false));
+
+    let label = {
+        let data = Arc::clone(&data);
+        let flag = Arc::clone(&flag);
+        Box::new(move || {
+            data.check_label("payload");
+            flag.check_label("ready-flag");
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let writer = {
+        let data = Arc::clone(&data);
+        let flag = Arc::clone(&flag);
+        Box::new(move || {
+            data.store(42, Ordering::Relaxed);
+            // BUG: must be Release to publish the payload.
+            flag.store(true, Ordering::Relaxed);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let reader = {
+        let data = Arc::clone(&data);
+        let flag = Arc::clone(&flag);
+        Box::new(move || {
+            if flag.load(Ordering::Acquire) {
+                let _ = data.load(Ordering::Relaxed);
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    ModelRun {
+        label,
+        threads: vec![writer, reader],
+        finale: Box::new(|| {}),
+    }
+}
+
+/// Seeded race: notify-read. The signaller performs the condvar
+/// handshake correctly but writes the payload *after* the notify,
+/// assuming the wakeup itself orders it; the woken reader's only
+/// happens-before edge is the mutex, which covers nothing past the
+/// signaller's release. Must be reported as a `Race` on the payload.
+fn make_bug_race_notify() -> ModelRun {
+    let flag = Arc::new(Mutex::new(false));
+    let cond = Arc::new(Condvar::new());
+    let data = Arc::new(checked_atomic::AtomicU64::new(0));
+
+    let label = {
+        let flag = Arc::clone(&flag);
+        let data = Arc::clone(&data);
+        Box::new(move || {
+            flag.check_label("flag");
+            data.check_label("payload");
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let signaller = {
+        let flag = Arc::clone(&flag);
+        let cond = Arc::clone(&cond);
+        let data = Arc::clone(&data);
+        Box::new(move || {
+            let mut g = flag.lock();
+            *g = true;
+            drop(g);
+            cond.notify_one();
+            // BUG: published after the handshake — nothing orders this
+            // store before the woken reader's load.
+            data.store(7, Ordering::Relaxed);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let waiter = {
+        let flag = Arc::clone(&flag);
+        let cond = Arc::clone(&cond);
+        let data = Arc::clone(&data);
+        Box::new(move || {
+            let mut g = flag.lock();
+            while !*g {
+                let _ = cond.wait_until(&mut g, far_deadline());
+            }
+            drop(g);
+            let _ = data.load(Ordering::Relaxed);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    ModelRun {
+        label,
+        threads: vec![signaller, waiter],
+        finale: Box::new(|| {}),
+    }
+}
+
 /// The clean models: every schedule must pass; their observed lock
 /// edges feed the static-vs-dynamic diff.
 pub fn structure_models() -> Vec<Model> {
@@ -411,6 +673,16 @@ pub fn structure_models() -> Vec<Model> {
             about: "MPMC channel: no lost messages, receivers terminate on disconnect",
             make: make_channel,
         },
+        Model {
+            name: "gate",
+            about: "hook INSTALLED gate protocol: sanctioned orderings, race-free",
+            make: make_gate,
+        },
+        Model {
+            name: "sharded-calltable",
+            about: "4-shard call table + ascending-order stealer (DPOR exhausts, DFS drowns)",
+            make: make_sharded_calltable,
+        },
     ]
 }
 
@@ -432,6 +704,21 @@ pub fn bug_models() -> Vec<Model> {
             name: "bug-double-release",
             about: "seeded check-then-act double release (expected: Invariant)",
             make: make_bug_double_release,
+        },
+        Model {
+            name: "bug-race-counter",
+            about: "seeded unsynchronized load/store counter (expected: Race)",
+            make: make_bug_race_counter,
+        },
+        Model {
+            name: "bug-race-publish",
+            about: "seeded publish-without-release flag (expected: Race)",
+            make: make_bug_race_publish,
+        },
+        Model {
+            name: "bug-race-notify",
+            about: "seeded store-after-notify payload (expected: Race)",
+            make: make_bug_race_notify,
         },
     ]
 }

@@ -13,11 +13,14 @@
 //!
 //! Context switches happen only at `before_lock` (always, even when the
 //! lock is free — acquisition *order* is the thing being explored),
+//! `on_atomic` (every instrumented atomic access yields before it runs,
+//! so the race detector sees each conflicting pair in both orders),
 //! `cond_wait`, and thread finish. `after_unlock` and `notify` do not
 //! yield. This is sound for the models here because all cross-thread
-//! state is lock-protected: any two conflicting accesses are separated
-//! by an acquisition, so every distinguishable interleaving of the
-//! protected state is reachable through acquisition-order choices alone.
+//! state is lock-protected or goes through the instrumented atomics:
+//! any two conflicting accesses are separated by a schedule point, so
+//! every distinguishable interleaving of the shared state is reachable
+//! through acquisition- and access-order choices alone.
 //! What this granularity *cannot* see is a race in the gap between
 //! releasing one lock and waiting on a condvar paired with another —
 //! see docs/CHECKING.md for the honest limitation statement.
@@ -34,8 +37,9 @@
 //! `std::thread::panicking()` before raising and degrades to a silent
 //! pass-through while unwinding.
 
+use crate::races::Detector;
 use firefly_rng::Rng;
-use firefly_sync::hook::Scheduler;
+use firefly_sync::hook::{AtomicOp, OrderTag, Scheduler};
 use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
@@ -85,6 +89,16 @@ pub enum Failure {
     },
     /// The schedule exceeded its step budget (livelock guard).
     StepBudget,
+    /// The race detector found two conflicting, happens-before-unordered
+    /// atomic accesses (see `races` for the sanctioned-access rule).
+    Race {
+        /// Scheduler name of the racing location.
+        location: String,
+        /// Event description of the earlier access.
+        first: String,
+        /// Event description of the later access.
+        second: String,
+    },
 }
 
 impl std::fmt::Display for Failure {
@@ -100,6 +114,13 @@ impl std::fmt::Display for Failure {
                 write!(f, "invariant violated: {}", message.replace('\n', " | "))
             }
             Failure::StepBudget => f.write_str("step budget exceeded (livelock?)"),
+            Failure::Race {
+                location,
+                first,
+                second,
+            } => {
+                write!(f, "data race on {location}: {first} unordered with {second}")
+            }
         }
     }
 }
@@ -116,6 +137,12 @@ enum ThreadState {
     Waiting { cond: usize, lock: usize },
     /// Notified; must reacquire `lock` before running again.
     Notified { lock: usize },
+    /// Parked at `on_atomic`; the access runs once granted.
+    WantsAtomic {
+        addr: usize,
+        op: AtomicOp,
+        tag: OrderTag,
+    },
     Finished,
 }
 
@@ -123,6 +150,150 @@ enum ThreadState {
 enum ObjKind {
     Lock,
     Cond,
+    Atomic,
+}
+
+/// One visible operation of a step's run slice, in the granularity the
+/// DPOR dependency relation works at. A *slice* is everything a thread
+/// does between being granted the processor and its next park: the
+/// granted operation plus the non-yielding events (releases, notifies)
+/// it performs before yielding again.
+///
+/// Objects are identified by their **registration index**, not their
+/// address: each schedule re-executes the model against a fresh
+/// allocation, so addresses vary run to run, while registration order
+/// is deterministic for any shared decision prefix. Sleep-set entries
+/// recorded in one run must match dependent operations executed in the
+/// next — matching on addresses would (silently, unsoundly) never wake
+/// a sleeping thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Thread start (no visible footprint).
+    Start,
+    /// Acquired lock `#index` (including condvar-wake reacquires).
+    LockAcq(usize),
+    /// Released lock `#index`.
+    LockRel(usize),
+    /// Atomically released lock `#lock` and parked on cond `#cond`.
+    Wait { cond: usize, lock: usize },
+    /// Notified cond `#index`.
+    Notify { cond: usize },
+    /// Accessed atomic `#index`; `write` covers stores and RMWs.
+    Atomic { index: usize, write: bool },
+}
+
+impl Op {
+    /// The DPOR dependency relation: two operations of *different*
+    /// threads commute unless this returns true. Conservative on
+    /// lock/cond traffic (any two ops on the same object are dependent)
+    /// and exact on atomics (load/load pairs commute).
+    pub fn dependent(a: &Op, b: &Op) -> bool {
+        let lock_of = |op: &Op| match *op {
+            Op::LockAcq(l) | Op::LockRel(l) => Some(l),
+            Op::Wait { lock, .. } => Some(lock),
+            _ => None,
+        };
+        let cond_of = |op: &Op| match *op {
+            Op::Wait { cond, .. } | Op::Notify { cond } => Some(cond),
+            _ => None,
+        };
+        if let (Some(x), Some(y)) = (lock_of(a), lock_of(b)) {
+            if x == y {
+                return true;
+            }
+        }
+        if let (Some(x), Some(y)) = (cond_of(a), cond_of(b)) {
+            if x == y {
+                return true;
+            }
+        }
+        if let (
+            Op::Atomic {
+                index: x,
+                write: w1,
+            },
+            Op::Atomic {
+                index: y,
+                write: w2,
+            },
+        ) = (a, b)
+        {
+            if x == y && (*w1 || *w2) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True when the operation touches any object whose registration
+    /// index is `>= bound` — i.e. an object first registered after the
+    /// branch point a sleep entry was recorded at. Such objects may be
+    /// assigned to different referents in a sibling run, so dependency
+    /// comparisons on them are unreliable.
+    pub fn touches_from(&self, bound: usize) -> bool {
+        match *self {
+            Op::Start => false,
+            Op::LockAcq(i) | Op::LockRel(i) | Op::Notify { cond: i } => i >= bound,
+            Op::Wait { cond, lock } => cond >= bound || lock >= bound,
+            Op::Atomic { index, .. } => index >= bound,
+        }
+    }
+}
+
+/// True when any operation of slice `a` is dependent with any of `b`.
+pub fn slices_dependent(a: &[Op], b: &[Op]) -> bool {
+    a.iter().any(|x| b.iter().any(|y| Op::dependent(x, y)))
+}
+
+/// A sleep-set entry: a thread whose first slice from the current
+/// branch point was already explored; the scheduler must not run it
+/// until an executed operation is dependent with that slice.
+#[derive(Debug, Clone)]
+pub struct SleepEntry {
+    /// The sleeping thread.
+    pub tid: usize,
+    /// Its recorded first slice from the branch point.
+    pub ops: Vec<Op>,
+    /// Registration-index bound when the slice was recorded: objects
+    /// `>= fresh_from` were created after the branch point and may
+    /// alias differently in this run, so any executed op touching such
+    /// an object conservatively wakes the entry (less pruning, never
+    /// unsound sleeping).
+    pub fresh_from: usize,
+}
+
+impl SleepEntry {
+    /// Should an executed `op` wake this entry? Yes when it is
+    /// dependent with the recorded slice, or when the comparison is
+    /// unreliable because both sides touch post-branch objects.
+    pub fn woken_by(&self, op: &Op) -> bool {
+        if self.ops.iter().any(|o| Op::dependent(o, op)) {
+            return true;
+        }
+        op.touches_from(self.fresh_from) && self.ops.iter().any(|o| o.touches_from(self.fresh_from))
+    }
+}
+
+/// One scheduling step of a schedule: which thread was granted, what it
+/// executed, and what the alternatives were — the raw material for the
+/// DPOR driver's backtrack-set insertion.
+#[derive(Debug, Clone)]
+pub struct StepRec {
+    /// The granted thread.
+    pub tid: usize,
+    /// Every eligible thread at the pick, in decision-option order.
+    pub enabled: Vec<usize>,
+    /// Index into the decision list when the pick had alternatives
+    /// (`enabled.len() > 1`); forced picks record `None`.
+    pub decision_index: Option<usize>,
+    /// `decisions.len()` before the pick — used to decide whether the
+    /// sleep set was active for this slice.
+    pub pick_cursor: usize,
+    /// Number of registered objects before the step ran: the
+    /// `fresh_from` bound for sleep entries built from this slice.
+    pub objs_before: usize,
+    /// The run slice (granted op + non-yielding follow-ons).
+    pub ops: Vec<Op>,
 }
 
 /// One registered lock or condvar. Identity is the referent address
@@ -143,6 +314,7 @@ impl Obj {
             (Some(l), _) => format!("{l}#{}", self.index),
             (None, ObjKind::Lock) => format!("lock#{}", self.index),
             (None, ObjKind::Cond) => format!("cond#{}", self.index),
+            (None, ObjKind::Atomic) => format!("atomic#{}", self.index),
         }
     }
 
@@ -180,6 +352,22 @@ struct Core {
     steps: usize,
     budget: usize,
     trace: Vec<String>,
+    /// Per-step records for the DPOR driver.
+    step_recs: Vec<StepRec>,
+    /// The happens-before race detector (None until reset sizes it).
+    detector: Option<Detector>,
+    /// Active sleep set (DPOR mode); entries removed as executed ops
+    /// prove dependence with their recorded slices.
+    sleep: Vec<SleepEntry>,
+    /// Decision cursor from which the sleep set applies (the branch
+    /// decision of the current DPOR run); `usize::MAX` disables it.
+    sleep_from: usize,
+    /// Set when a free pick found every eligible thread asleep: the
+    /// schedule is provably equivalent to an already-explored one.
+    redundant: bool,
+    /// Sleep-set snapshot taken at each decision, so the DPOR driver
+    /// knows the sleep set at every node it may later branch from.
+    decision_sleeps: Vec<Vec<SleepEntry>>,
 }
 
 /// What one completed schedule produced.
@@ -192,6 +380,12 @@ pub struct ScheduleResult {
     pub trace: Vec<String>,
     /// Class-level lock edges observed.
     pub named_edges: BTreeSet<(String, String)>,
+    /// Per-step records (granted thread, alternatives, run slice).
+    pub steps: Vec<StepRec>,
+    /// True when the schedule was abandoned as sleep-set-redundant.
+    pub redundant: bool,
+    /// Sleep-set snapshot at each decision point.
+    pub decision_sleeps: Vec<Vec<SleepEntry>>,
 }
 
 /// The scheduler shared by one explorer's worker threads.
@@ -210,6 +404,21 @@ impl Sched {
     /// Prepares the next schedule: `n` model threads, a decision prefix
     /// to replay, an optional RNG (random mode), and a step budget.
     pub fn reset(&self, n: usize, prefix: Vec<usize>, rng: Option<Rng>, budget: usize) {
+        self.reset_dpor(n, prefix, rng, budget, Vec::new(), usize::MAX);
+    }
+
+    /// [`Sched::reset`] plus a DPOR sleep plan: `sleep` is the sleep set
+    /// at the branch node, active from decision cursor `sleep_from` (the
+    /// branch decision itself) onward.
+    pub fn reset_dpor(
+        &self,
+        n: usize,
+        prefix: Vec<usize>,
+        rng: Option<Rng>,
+        budget: usize,
+        sleep: Vec<SleepEntry>,
+        sleep_from: usize,
+    ) {
         let mut core = self.lock_core();
         *core = Core {
             n,
@@ -218,6 +427,9 @@ impl Sched {
             prefix,
             rng,
             budget,
+            sleep,
+            sleep_from,
+            detector: Some(Detector::new(n)),
             ..Core::default()
         };
     }
@@ -230,6 +442,9 @@ impl Sched {
             decisions: std::mem::take(&mut core.decisions),
             trace: std::mem::take(&mut core.trace),
             named_edges: std::mem::take(&mut core.named_edges),
+            steps: std::mem::take(&mut core.step_recs),
+            redundant: core.redundant,
+            decision_sleeps: std::mem::take(&mut core.decision_sleeps),
         }
     }
 
@@ -334,6 +549,7 @@ impl Sched {
     fn is_eligible(core: &Core, t: usize) -> bool {
         match core.states[t] {
             ThreadState::Idle => true,
+            ThreadState::WantsAtomic { .. } => true,
             ThreadState::WantsLock { lock, shared } => match core.objs.get(&lock) {
                 Some(o) if shared => o.owner.is_none(),
                 Some(o) => o.owner.is_none() && o.readers.is_empty(),
@@ -349,18 +565,44 @@ impl Sched {
 
     /// One deterministic decision among `options` alternatives.
     /// Only called with `options > 1`, so forced moves cost nothing in
-    /// the DFS tree.
-    fn decide(core: &mut Core, options: usize) -> usize {
+    /// the DFS tree. `default` is the free-exploration choice (0 except
+    /// for sleep-aware scheduling picks, which skip sleeping threads).
+    fn decide(core: &mut Core, options: usize, default: usize) -> usize {
         let chosen = if core.cursor < core.prefix.len() {
             core.prefix[core.cursor].min(options - 1)
         } else if let Some(rng) = core.rng.as_mut() {
             (rng.next_u64() % options as u64) as usize
         } else {
-            0
+            default
         };
         core.cursor += 1;
         core.decisions.push((chosen, options));
+        core.decision_sleeps.push(core.sleep.clone());
         chosen
+    }
+
+    /// The deterministic registration index of the object at `addr`
+    /// (the identity [`Op`]s are recorded under).
+    fn op_index(core: &Core, addr: usize) -> usize {
+        core.objs.get(&addr).map_or(usize::MAX, |o| o.index)
+    }
+
+    /// Appends `op` to the running thread's current slice, waking any
+    /// sleep-set entry whose recorded slice depends on it (the entry's
+    /// thread is no longer provably redundant to schedule).
+    fn record_op(core: &mut Core, tid: usize, op: Op) {
+        let sleep_active = core
+            .step_recs
+            .last()
+            .is_some_and(|s| s.pick_cursor >= core.sleep_from);
+        if sleep_active && !core.sleep.is_empty() {
+            core.sleep.retain(|entry| !entry.woken_by(&op));
+        }
+        if let Some(step) = core.step_recs.last_mut() {
+            if step.tid == tid {
+                step.ops.push(op);
+            }
+        }
     }
 
     fn fail(&self, core: &mut Core, failure: Failure) {
@@ -431,6 +673,11 @@ impl Sched {
                 }
                 core.held[tid].push(lock);
                 core.trace.push(format!("t{tid} acquires {name}"));
+                if let Some(d) = core.detector.as_mut() {
+                    d.lock_acquired(tid, lock);
+                }
+                let idx = Self::op_index(core, lock);
+                Self::record_op(core, tid, Op::LockAcq(idx));
             }
             ThreadState::Notified { lock } => {
                 // Reacquire after a wait: the edge (outer, lock), if
@@ -441,9 +688,48 @@ impl Sched {
                 }
                 core.held[tid].push(lock);
                 core.trace.push(format!("t{tid} wakes holding {name}"));
+                if let Some(d) = core.detector.as_mut() {
+                    d.lock_acquired(tid, lock);
+                }
+                let idx = Self::op_index(core, lock);
+                Self::record_op(core, tid, Op::LockAcq(idx));
+            }
+            ThreadState::WantsAtomic { addr, op, tag } => {
+                let name = Self::obj_name(core, addr);
+                let kind = match op {
+                    AtomicOp::Load => "load",
+                    AtomicOp::Store => "store",
+                    AtomicOp::Rmw => "rmw",
+                };
+                core.trace
+                    .push(format!("t{tid} atomic {kind}({}) {name}", tag.name()));
+                let idx = Self::op_index(core, addr);
+                Self::record_op(
+                    core,
+                    tid,
+                    Op::Atomic {
+                        index: idx,
+                        write: !matches!(op, AtomicOp::Load),
+                    },
+                );
+                let step = core.step_recs.len();
+                let race = core
+                    .detector
+                    .as_mut()
+                    .and_then(|d| d.atomic_access(tid, addr, op, tag, step, &name));
+                if let Some(r) = race {
+                    let failure = Failure::Race {
+                        location: r.location,
+                        first: r.first,
+                        second: r.second,
+                    };
+                    self.fail(core, failure);
+                    return;
+                }
             }
             ThreadState::Idle => {
                 core.trace.push(format!("t{tid} starts"));
+                Self::record_op(core, tid, Op::Start);
             }
             _ => {}
         }
@@ -478,15 +764,47 @@ impl Sched {
             self.fail(core, failure);
             return;
         }
-        let tid = if eligible.len() > 1 {
-            let i = Self::decide(core, eligible.len());
+        // Sleep-set discipline (DPOR): in free exploration, never pick a
+        // sleeping thread — its first slice from the branch point was
+        // already explored. When *every* eligible thread sleeps, the
+        // whole continuation is redundant and the schedule is abandoned.
+        let free = core.cursor >= core.prefix.len();
+        let awake_default = if free && !core.sleep.is_empty() {
+            let awake: Vec<usize> = (0..eligible.len())
+                .filter(|&i| core.sleep.iter().all(|e| e.tid != eligible[i]))
+                .collect();
+            match awake.first() {
+                Some(&first) => first,
+                None => {
+                    core.trace.push("redundant: all eligible asleep".to_string());
+                    core.redundant = true;
+                    core.aborting = true;
+                    core.running = None;
+                    self.cv.notify_all();
+                    return;
+                }
+            }
+        } else {
+            0
+        };
+        let pick_cursor = core.decisions.len();
+        let (tid, decision_index) = if eligible.len() > 1 {
+            let i = Self::decide(core, eligible.len(), awake_default);
             let tid = eligible[i];
             core.trace
                 .push(format!("run t{tid} (choice {i} of {})", eligible.len()));
-            tid
+            (tid, Some(core.decisions.len() - 1))
         } else {
-            eligible[0]
+            (eligible[0], None)
         };
+        core.step_recs.push(StepRec {
+            tid,
+            enabled: eligible,
+            decision_index,
+            pick_cursor,
+            objs_before: core.next_index,
+            ops: Vec::new(),
+        });
         self.grant(core, tid);
         if core.aborting {
             return;
@@ -539,6 +857,11 @@ impl Scheduler for Sched {
         let name = Self::obj_name(&core, lock);
         core.trace.push(format!("t{tid} releases {name}"));
         Self::release_obj(&mut core, tid, lock);
+        if let Some(d) = core.detector.as_mut() {
+            d.lock_released(tid, lock);
+        }
+        let idx = Self::op_index(&core, lock);
+        Self::record_op(&mut core, tid, Op::LockRel(idx));
         // Non-yielding: the releaser keeps running until its next
         // schedule point; blocked threads become eligible at that pick.
     }
@@ -560,6 +883,18 @@ impl Scheduler for Sched {
             .push(format!("t{tid} waits {cond_name} releasing {lock_name}"));
         // The caller already released the real lock; mirror it.
         Self::release_obj(&mut core, tid, lock);
+        if let Some(d) = core.detector.as_mut() {
+            d.lock_released(tid, lock);
+        }
+        let (cond_idx, lock_idx) = (Self::op_index(&core, cond), Self::op_index(&core, lock));
+        Self::record_op(
+            &mut core,
+            tid,
+            Op::Wait {
+                cond: cond_idx,
+                lock: lock_idx,
+            },
+        );
         core.states[tid] = ThreadState::Waiting { cond, lock };
         core.running = None;
         self.pick_next(&mut core);
@@ -577,6 +912,8 @@ impl Scheduler for Sched {
         let waiters: Vec<usize> = (0..core.n)
             .filter(|&t| matches!(core.states[t], ThreadState::Waiting { cond: c, .. } if c == cond))
             .collect();
+        let cond_idx = Self::op_index(&core, cond);
+        Self::record_op(&mut core, tid, Op::Notify { cond: cond_idx });
         if waiters.is_empty() {
             // The notification evaporates — exactly how a lost wakeup
             // is born. Recorded so failing traces show it.
@@ -593,7 +930,7 @@ impl Scheduler for Sched {
             }
         } else {
             let i = if waiters.len() > 1 {
-                Self::decide(&mut core, waiters.len())
+                Self::decide(&mut core, waiters.len(), 0)
             } else {
                 0
             };
@@ -605,5 +942,38 @@ impl Scheduler for Sched {
             }
         }
         // Non-yielding, like after_unlock.
+    }
+
+    fn on_atomic(&self, addr: usize, op: AtomicOp, tag: OrderTag) {
+        let Some(tid) = tid() else { return };
+        let mut core = self.lock_core();
+        if core.aborting {
+            drop(core);
+            if !std::thread::panicking() {
+                panic_any(AbortSignal);
+            }
+            return;
+        }
+        Self::ensure_obj(&mut core, addr, ObjKind::Atomic);
+        // A full schedule point: acquisition-order choices alone cannot
+        // reorder raw atomic accesses, so each one parks and yields —
+        // the grant performs the race-detector bookkeeping.
+        core.states[tid] = ThreadState::WantsAtomic { addr, op, tag };
+        core.running = None;
+        self.pick_next(&mut core);
+        self.block_until_granted(core, tid);
+    }
+
+    fn on_atomic_label(&self, addr: usize, label: &'static str) {
+        let mut core = self.lock_core();
+        if core.aborting {
+            return;
+        }
+        Self::ensure_obj(&mut core, addr, ObjKind::Atomic);
+        if let Some(o) = core.objs.get_mut(&addr) {
+            if o.label.is_none() {
+                o.label = Some(label);
+            }
+        }
     }
 }

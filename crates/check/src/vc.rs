@@ -1,0 +1,103 @@
+//! Vector clocks for the happens-before race detector.
+//!
+//! One clock component per model thread. Components count the thread's
+//! *schedule points* (lock grants, wait wakeups, atomic accesses) — the
+//! granularity at which the scheduler serializes events — so an epoch
+//! `(tid, clock)` uniquely names one event of one thread within a
+//! schedule. The detector in [`races`](crate::races) keeps a clock per
+//! thread (its knowledge of every other thread), a clock per lock
+//! (transferred release→acquire), and a clock per atomic location
+//! (transferred release-store→acquire-load).
+
+/// A fixed-width vector clock; width is the model's thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock {
+    slots: Vec<u32>,
+}
+
+impl VectorClock {
+    /// A zero clock for `n` threads.
+    pub fn new(n: usize) -> VectorClock {
+        VectorClock { slots: vec![0; n] }
+    }
+
+    /// This clock's component for `tid`.
+    pub fn get(&self, tid: usize) -> u32 {
+        self.slots.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances `tid`'s own component by one, returning the new value.
+    pub fn tick(&mut self, tid: usize) -> u32 {
+        let slot = &mut self.slots[tid];
+        *slot += 1;
+        *slot
+    }
+
+    /// Pointwise maximum: afterwards `self` dominates both inputs.
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.slots.len() > self.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(other.slots.iter()) {
+            if *theirs > *mine {
+                *mine = *theirs;
+            }
+        }
+    }
+
+    /// True when the event at epoch `(tid, clock)` happens-before this
+    /// clock — i.e. the owner of `self` has synchronized with `tid` at
+    /// or after that event.
+    pub fn covers(&self, tid: usize, clock: u32) -> bool {
+        self.get(tid) >= clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_advances_only_the_owner_component() {
+        let mut vc = VectorClock::new(3);
+        assert_eq!(vc.tick(1), 1);
+        assert_eq!(vc.tick(1), 2);
+        assert_eq!(vc.get(0), 0);
+        assert_eq!(vc.get(1), 2);
+        assert_eq!(vc.get(2), 0);
+    }
+
+    #[test]
+    fn join_takes_the_pointwise_maximum() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        // Join is idempotent.
+        let snapshot = a.clone();
+        a.join(&b);
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn covers_models_happens_before() {
+        let mut writer = VectorClock::new(2);
+        let epoch = writer.tick(0); // writer's event at (0, 1)
+        let mut reader = VectorClock::new(2);
+        assert!(!reader.covers(0, epoch)); // unsynchronized: racy
+        reader.join(&writer); // e.g. via a lock release/acquire
+        assert!(reader.covers(0, epoch));
+    }
+
+    #[test]
+    fn out_of_range_components_read_as_zero() {
+        let vc = VectorClock::new(1);
+        assert_eq!(vc.get(5), 0);
+        assert!(vc.covers(5, 0));
+        assert!(!vc.covers(5, 1));
+    }
+}

@@ -48,7 +48,39 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn print_json(analysis: &Analysis, classes: &[String]) {
+/// Splits a `class[index]` lock-graph node into its class and numeric
+/// index, or `None` for plain class / file-namespaced nodes.
+fn parse_instance(name: &str) -> Option<(&str, usize)> {
+    let open = name.find('[')?;
+    let inner = name.get(open + 1..name.len() - 1)?;
+    if !name.ends_with(']') || inner.is_empty() {
+        return None;
+    }
+    Some((&name[..open], inner.parse().ok()?))
+}
+
+/// Collapses one instance-level edge to class level: a
+/// `shard[2] -> shard[3]` nesting becomes `shard -> shard` annotated
+/// `ascending` (`descending` marks an index-order violation); indices
+/// are stripped from cross-class endpoints. Mirrors the collapse
+/// firefly-check applies to its observed edges, so the two JSON
+/// reports diff directly in scripts/verify.sh.
+fn collapse_edge(from: &str, to: &str) -> (String, String, Option<&'static str>) {
+    match (parse_instance(from), parse_instance(to)) {
+        (Some((fc, fi)), Some((tc, ti))) if fc == tc => {
+            let ordering = if fi < ti { "ascending" } else { "descending" };
+            (fc.to_string(), tc.to_string(), Some(ordering))
+        }
+        (fp, tp) => {
+            let strip = |p: Option<(&str, usize)>, raw: &str| {
+                p.map_or_else(|| raw.to_string(), |(c, _)| c.to_string())
+            };
+            (strip(fp, from), strip(tp, to), None)
+        }
+    }
+}
+
+fn print_json(analysis: &Analysis, classes: &[String], parametric: &[String]) {
     let mut s = String::from("{\n  \"diagnostics\": [");
     for (i, d) in analysis.diagnostics.iter().enumerate() {
         if i > 0 {
@@ -86,18 +118,30 @@ fn print_json(analysis: &Analysis, classes: &[String]) {
         }
         s.push_str(&format!("\n      \"{}\"", esc(c)));
     }
+    // Parametric class names: their instance edges below are collapsed
+    // to class self-edges carrying an index-ordering annotation.
+    s.push_str("\n    ],\n    \"parametric\": [");
+    for (i, c) in parametric.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n      \"{}\"", esc(c)));
+    }
     s.push_str("\n    ],\n    \"edges\": [");
     for (i, e) in analysis.lock_edges.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
+        let (from, to, ordering) = collapse_edge(&e.from, &e.to);
         s.push_str(&format!(
-            "\n      {{\"from\": \"{}\", \"to\": \"{}\", \"path\": \"{}\", \"line\": {}}}",
-            esc(&e.from),
-            esc(&e.to),
-            esc(&e.path),
-            e.line
+            "\n      {{\"from\": \"{}\", \"to\": \"{}\", ",
+            esc(&from),
+            esc(&to),
         ));
+        if let Some(ord) = ordering {
+            s.push_str(&format!("\"ordering\": \"{ord}\", "));
+        }
+        s.push_str(&format!("\"path\": \"{}\", \"line\": {}}}", esc(&e.path), e.line));
     }
     s.push_str("\n    ]\n  }\n}");
     println!("{s}");
@@ -133,7 +177,14 @@ fn main() -> ExitCode {
                     .iter()
                     .map(|c| c.name.clone())
                     .collect();
-                print_json(&analysis, &classes);
+                let parametric: Vec<String> = engine
+                    .config
+                    .lock_order
+                    .iter()
+                    .filter(|c| c.parametric)
+                    .map(|c| c.name.clone())
+                    .collect();
+                print_json(&analysis, &classes, &parametric);
             } else if analysis.diagnostics.is_empty() {
                 println!("firefly-lint: clean ({})", root.display());
             } else {

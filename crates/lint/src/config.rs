@@ -16,13 +16,18 @@ use std::collections::HashMap;
 
 /// One lock class: a rank in the global order plus the receiver field
 /// names that acquire it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LockClass {
     /// Class name as declared in the order (e.g. `calltable`).
     pub name: String,
     /// Identifiers of fields whose `.lock()`/`.read()`/`.write()`
     /// acquire this class (e.g. `entries`, `state`).
     pub receivers: Vec<String>,
+    /// Parametric classes are arrays of same-class locks acquired via
+    /// an index (`shards[i].lock()`). Instances must be acquired in
+    /// ascending index order; each constant index becomes its own
+    /// `class[N]` node in the lock graph.
+    pub parametric: bool,
 }
 
 /// Full engine configuration.
@@ -94,6 +99,7 @@ impl Default for Config {
                 "crates/pool/src/lib.rs".into(),
                 "crates/sync/src/lib.rs".into(),
                 "crates/sync/src/hook.rs".into(),
+                "crates/sync/src/atomic.rs".into(),
                 "crates/rng/src/lib.rs".into(),
                 "crates/wire/src".into(),
             ],
@@ -116,10 +122,17 @@ impl Default for Config {
                         "activities".into(),
                         "calls".into(),
                     ],
+                    parametric: false,
+                },
+                LockClass {
+                    name: "shard".into(),
+                    receivers: vec!["shards".into()],
+                    parametric: true,
                 },
                 LockClass {
                     name: "pool".into(),
                     receivers: vec!["free".into(), "receive_queue".into()],
+                    parametric: false,
                 },
                 LockClass {
                     name: "stats".into(),
@@ -128,10 +141,12 @@ impl Default for Config {
                         "frames_sent".into(),
                         "frames_dropped".into(),
                     ],
+                    parametric: false,
                 },
                 LockClass {
                     name: "trace".into(),
                     receivers: vec!["ring".into()],
+                    parametric: false,
                 },
             ],
             lock_files: vec!["crates/core/src".into(), "crates/pool/src".into()],
@@ -186,11 +201,13 @@ impl Config {
         }
         if let Some(s) = sections.get("lock-order") {
             if let Some(order) = s.get("order") {
+                let parametric = s.get("parametric").cloned().unwrap_or_default();
                 config.lock_order = order
                     .iter()
                     .map(|name| LockClass {
                         name: name.clone(),
                         receivers: s.get(name.as_str()).cloned().unwrap_or_default(),
+                        parametric: parametric.iter().any(|p| p == name),
                     })
                     .collect();
             }
@@ -317,9 +334,18 @@ mod tests {
             "crates/sync/src/channel.rs",
             &c.fast_path_files
         ));
-        assert_eq!(c.lock_order.len(), 4);
+        assert_eq!(c.lock_order.len(), 5);
         assert_eq!(c.lock_order[0].name, "calltable");
-        assert_eq!(c.lock_order[3].name, "trace");
+        assert_eq!(c.lock_order[4].name, "trace");
+        // Exactly one parametric class, ranked right after calltable.
+        let parametric: Vec<&str> = c
+            .lock_order
+            .iter()
+            .filter(|cls| cls.parametric)
+            .map(|cls| cls.name.as_str())
+            .collect();
+        assert_eq!(parametric, vec!["shard"]);
+        assert_eq!(c.lock_order[1].name, "shard");
         assert!(c.blocking_calls.iter().any(|b| b == "wait_until"));
     }
 
@@ -337,6 +363,7 @@ stop_files = ["d"]
 
 [lock-order]
 order = ["alpha", "beta"]
+parametric = ["beta"]
 alpha = ["x"]
 beta = ["y", "z"]
 files = ["src"]
@@ -351,6 +378,8 @@ banned = ["tokio"]
         assert_eq!(c.lock_order.len(), 2);
         assert_eq!(c.lock_order[1].name, "beta");
         assert_eq!(c.lock_order[1].receivers, vec!["y", "z"]);
+        assert!(!c.lock_order[0].parametric);
+        assert!(c.lock_order[1].parametric);
         assert_eq!(c.lock_files, vec!["src"]);
         // Without its own section the blocking scope follows lock-order.
         assert_eq!(c.blocking_files, vec!["src"]);

@@ -172,20 +172,31 @@ fn guard_rules(file: &SourceFile, config: &Config, facts: &mut Facts, out: &mut 
         return;
     }
     let toks = &file.tokens.tokens;
-    let rank_of = |ident: &str| -> Option<(usize, &str)> {
+    let rank_of = |ident: &str| -> Option<(usize, &crate::config::LockClass)> {
         config
             .lock_order
             .iter()
             .enumerate()
             .find(|(_, class)| class.receivers.iter().any(|r| r == ident))
-            .map(|(rank, class)| (rank, class.name.as_str()))
     };
-    // Lock-graph node: the global class name for classified receivers,
+    // Constant index of a guard on a parametric class, if any.
+    let const_index = |g: &LiveGuard| -> Option<usize> {
+        let (_, class) = rank_of(&g.receiver)?;
+        if !class.parametric {
+            return None;
+        }
+        g.index.as_ref()?.parse().ok()
+    };
+    // Lock-graph node: the global class name for classified receivers
+    // (`class[N]` for a parametric class at a constant index),
     // file-namespaced otherwise so unrelated private locks never alias.
-    let node_of = |receiver: &str| -> String {
-        match rank_of(receiver) {
-            Some((_, class)) => class.to_string(),
-            None => format!("{}::{receiver}", file.rel_path),
+    let node_of = |g: &LiveGuard| -> String {
+        match rank_of(&g.receiver) {
+            Some((_, class)) => match const_index(g) {
+                Some(idx) => format!("{}[{idx}]", class.name),
+                None => class.name.clone(),
+            },
+            None => format!("{}::{}", file.rel_path, g.receiver),
         }
     };
     let is_blocking = |callee: &str, receiver: Option<&str>| -> bool {
@@ -209,10 +220,10 @@ fn guard_rules(file: &SourceFile, config: &Config, facts: &mut Facts, out: &mut 
                     if !in_lock_scope {
                         return;
                     }
-                    let new_node = node_of(&guard.receiver);
+                    let new_node = node_of(guard);
                     for held in live {
                         facts.lock_graph.record(
-                            node_of(&held.receiver),
+                            node_of(held),
                             new_node.clone(),
                             &file.rel_path,
                             guard.line,
@@ -221,9 +232,10 @@ fn guard_rules(file: &SourceFile, config: &Config, facts: &mut Facts, out: &mut 
                     let Some((rank, class)) = rank_of(&guard.receiver) else {
                         return;
                     };
+                    let class = class.name.as_str();
                     if let Some((held, held_class)) = live
                         .iter()
-                        .filter_map(|g| rank_of(&g.receiver).map(|(r, c)| (g, (r, c))))
+                        .filter_map(|g| rank_of(&g.receiver).map(|(r, c)| (g, (r, c.name.as_str()))))
                         .filter(|(_, (r, _))| *r > rank)
                         .map(|(g, (_, c))| (g, c))
                         .next_back()
@@ -240,6 +252,28 @@ fn guard_rules(file: &SourceFile, config: &Config, facts: &mut Facts, out: &mut 
                                 order.join(" → ")
                             ),
                         ));
+                    }
+                    // Parametric same-class discipline: instances must
+                    // be taken in strictly ascending index order.
+                    if let Some(idx) = const_index(guard) {
+                        if let Some((held, held_idx)) = live
+                            .iter()
+                            .filter(|g| rank_of(&g.receiver).map(|(r, _)| r) == Some(rank))
+                            .filter_map(|g| const_index(g).map(|h| (g, h)))
+                            .filter(|(_, h)| idx <= *h)
+                            .next_back()
+                        {
+                            diags.push(file.diagnostic(
+                                name::LOCK_ORDER,
+                                guard.line,
+                                format!(
+                                    "`{class}[{idx}]` acquired while `{class}[{held_idx}]` \
+                                     (line {}) is still held; parametric `{class}` locks \
+                                     must be acquired in ascending index order",
+                                    held.line
+                                ),
+                            ));
+                        }
                     }
                 }
                 GuardEvent::Blocking {

@@ -86,6 +86,10 @@ pub struct LiveGuard {
     pub name: Option<String>,
     /// Receiver field identifier (`free`, `entries`, `ring`, ...).
     pub receiver: String,
+    /// For indexed acquisitions (`shards[2].lock()`), the single index
+    /// token between the brackets; `None` for plain receivers and for
+    /// compound index expressions (`shards[i + 1]`).
+    pub index: Option<String>,
     /// 1-based line of the acquisition.
     pub line: usize,
 }
@@ -130,6 +134,81 @@ fn match_paren(tokens: &[Token], open: usize) -> usize {
     tokens.len().saturating_sub(1)
 }
 
+/// Walks backwards from `k` (the last token of a receiver chain
+/// segment) to the chain-head identifier, stepping over `[...]` index
+/// groups: `self . shards [ 2 ]` from the final `]` lands on `self`.
+fn chain_head(tokens: &[Token], mut k: usize) -> Option<usize> {
+    loop {
+        if tokens[k].text == "]" {
+            // Skip back over the bracket group to its `[`.
+            let mut depth = 0usize;
+            loop {
+                match tokens[k].text.as_str() {
+                    "]" => depth += 1,
+                    "[" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k = k.checked_sub(1)?;
+            }
+            k = k.checked_sub(1)?; // the indexed ident before `[`
+        }
+        if tokens[k].kind != TokenKind::Ident {
+            return None;
+        }
+        if k >= 2 && tokens[k - 1].text == "." {
+            k -= 2;
+            continue;
+        }
+        return Some(k);
+    }
+}
+
+/// Receiver of the acquisition whose `lock/read/write` ident sits at
+/// `j`: `recv.lock()` yields `("recv", None)`; an indexed
+/// `recv[2].lock()` yields `("recv", Some("2"))` when the index is a
+/// single token, `("recv", None)` for compound index expressions.
+fn receiver_of(tokens: &[Token], j: usize) -> Option<(String, Option<String>)> {
+    let prev = j.checked_sub(2)?;
+    let t = &tokens[prev];
+    if t.kind == TokenKind::Ident {
+        return Some((t.text.clone(), None));
+    }
+    if t.text != "]" {
+        return None;
+    }
+    // Scan back to the matching `[`.
+    let mut depth = 0usize;
+    let mut k = prev;
+    loop {
+        match tokens[k].text.as_str() {
+            "]" => depth += 1,
+            "[" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        k = k.checked_sub(1)?;
+    }
+    let recv = tokens.get(k.checked_sub(1)?)?;
+    if recv.kind != TokenKind::Ident {
+        return None;
+    }
+    let index = if prev == k + 2 {
+        Some(tokens[k + 1].text.clone())
+    } else {
+        None
+    };
+    Some((recv.text.clone(), index))
+}
+
 /// True when the acquisition whose `lock/read/write` ident sits at `j`
 /// is the whole right-hand side of a `let` binding: the call's `()`
 /// is immediately followed by `;`, and the receiver chain is preceded
@@ -139,15 +218,8 @@ fn binding_name(tokens: &[Token], j: usize) -> Option<String> {
     if tokens.get(j + 3).map(|t| t.text.as_str()) != Some(";") {
         return None;
     }
-    // Walk the receiver chain backwards: ident ( . ident )* .
-    let mut k = j.checked_sub(2)?; // receiver ident before the `.`
-    while k >= 2 && tokens[k - 1].text == "." && tokens[k - 2].kind == TokenKind::Ident {
-        k -= 2;
-    }
-    // `self.free.lock()` — the chain head may be `self`.
-    if k >= 2 && tokens[k - 1].text == "." {
-        return None; // chain head preceded by `.` but not an ident: give up
-    }
+    // Walk the receiver chain backwards: ident ([...])? (. ident ([...])?)*.
+    let k = chain_head(tokens, j.checked_sub(2)?)?;
     let eq = k.checked_sub(1)?;
     if tokens[eq].text != "=" {
         return None;
@@ -264,17 +336,15 @@ pub fn walk_guards(
             && matches!(t.text.as_str(), "lock" | "read" | "write")
             && tokens.get(j + 2).map(|x| x.text.as_str()) == Some(")")
         {
-            let receiver = match tokens.get(j.wrapping_sub(2)) {
-                Some(r) if r.kind == TokenKind::Ident && j >= 2 => r.text.clone(),
-                _ => {
-                    j += 1;
-                    continue;
-                }
+            let Some((receiver, index)) = receiver_of(tokens, j) else {
+                j += 1;
+                continue;
             };
             let name = binding_name(tokens, j);
             let guard = LiveGuard {
                 name: name.clone(),
                 receiver,
+                index,
                 line: t.line,
             };
             visit(GuardEvent::Acquire {
@@ -378,6 +448,63 @@ mod tests {
         assert_eq!(ev[0].0, "acquire:demux");
         assert_eq!(ev[1].0, "block:recv");
         assert!(ev[1].1.is_empty());
+    }
+
+    /// (receiver, index) pairs of every acquisition in a one-fn body.
+    fn acquisitions(src: &str) -> Vec<(String, Option<String>)> {
+        let toks = tokenize(src).tokens;
+        let fns = functions(&toks);
+        assert_eq!(fns.len(), 1, "expected one fn in {src}");
+        let mut out = Vec::new();
+        walk_guards(
+            &toks,
+            fns[0].open,
+            fns[0].close,
+            &|_| false,
+            &|_, _| false,
+            &mut |ev| {
+                if let GuardEvent::Acquire { guard, .. } = ev {
+                    out.push((guard.receiver.clone(), guard.index.clone()));
+                }
+            },
+        );
+        out
+    }
+
+    #[test]
+    fn indexed_acquisition_captures_the_index() {
+        let ev = acquisitions(
+            "fn f() { let a = self.shards[0].lock(); let b = self.shards[3].lock(); }",
+        );
+        assert_eq!(
+            ev,
+            vec![
+                ("shards".to_string(), Some("0".to_string())),
+                ("shards".to_string(), Some("3".to_string())),
+            ]
+        );
+    }
+
+    #[test]
+    fn compound_or_variable_index_has_no_constant() {
+        let ev = acquisitions("fn f() { let g = shards[i + 1].lock(); shards[i].lock(); }");
+        assert_eq!(
+            ev,
+            vec![
+                ("shards".to_string(), None),
+                ("shards".to_string(), Some("i".to_string())),
+            ]
+        );
+    }
+
+    #[test]
+    fn indexed_named_guard_lives_to_scope_end() {
+        // binding_name must walk back over the `[0]` group to find the
+        // `let`; the guard then survives to the blocking call.
+        let ev = body_events("fn f() { let g = self.shards[0].lock(); q.recv(); }");
+        assert_eq!(ev[0].0, "acquire:shards");
+        assert_eq!(ev[1].0, "block:recv");
+        assert_eq!(ev[1].1, vec![Some("g".to_string())]);
     }
 
     #[test]

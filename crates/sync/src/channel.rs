@@ -12,10 +12,11 @@
 //! queue is empty and every [`Sender`] is gone; `send` fails once every
 //! [`Receiver`] is gone (the message is returned in the error).
 
+use crate::atomic::AtomicUsize;
 use crate::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Error returned by [`Sender::send`] when all receivers are gone.

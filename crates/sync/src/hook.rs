@@ -27,6 +27,69 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// The kind of atomic access reported through [`Scheduler::on_atomic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicOp {
+    /// A plain load (`load`).
+    Load,
+    /// A plain store (`store`).
+    Store,
+    /// A read-modify-write (`fetch_add`, `swap`, `compare_exchange`, …).
+    Rmw,
+}
+
+/// The memory-ordering tag an instrumented atomic access was issued
+/// with. The race detector uses it to decide whether the access is
+/// *sanctioned* (participates in a release/acquire publication
+/// protocol) or raw (`Relaxed`), not to model the full C++11 semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderTag {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+impl OrderTag {
+    /// True when a load with this tag synchronizes-with a prior release
+    /// store (Acquire and stronger).
+    pub fn acquires(self) -> bool {
+        matches!(self, OrderTag::Acquire | OrderTag::AcqRel | OrderTag::SeqCst)
+    }
+
+    /// True when a store with this tag publishes prior writes to a
+    /// later acquire load (Release and stronger).
+    pub fn releases(self) -> bool {
+        matches!(self, OrderTag::Release | OrderTag::AcqRel | OrderTag::SeqCst)
+    }
+
+    /// Stable lowercase name for traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OrderTag::Relaxed => "relaxed",
+            OrderTag::Acquire => "acquire",
+            OrderTag::Release => "release",
+            OrderTag::AcqRel => "acqrel",
+            OrderTag::SeqCst => "seqcst",
+        }
+    }
+}
+
+impl From<Ordering> for OrderTag {
+    fn from(o: Ordering) -> OrderTag {
+        match o {
+            Ordering::Relaxed => OrderTag::Relaxed,
+            Ordering::Acquire => OrderTag::Acquire,
+            Ordering::Release => OrderTag::Release,
+            Ordering::AcqRel => OrderTag::AcqRel,
+            // `Ordering` is non-exhaustive; anything else is at least
+            // as strong as SeqCst for the race detector's purposes.
+            _ => OrderTag::SeqCst,
+        }
+    }
+}
+
 /// The cooperative scheduler a checked thread reports to.
 ///
 /// Addresses identify locks and condvars: they are the referent's
@@ -48,6 +111,20 @@ pub trait Scheduler: Sync {
     fn cond_wait(&self, cond: usize, lock: usize);
     /// `cond` was notified (`all` distinguishes notify_all).
     fn notify(&self, cond: usize, all: bool);
+    /// The thread is about to perform an atomic access on the location
+    /// at `addr`; returns once the schedule grants it. The access
+    /// itself happens after this returns, so the scheduler may treat
+    /// the grant as the access's position in the total order. Default
+    /// is a no-op so schedulers predating the race detector (and simple
+    /// test doubles) keep compiling.
+    fn on_atomic(&self, addr: usize, op: AtomicOp, tag: OrderTag) {
+        let _ = (addr, op, tag);
+    }
+    /// Attaches a stable label to an atomic location, mirroring
+    /// [`Scheduler::on_label`] for locks. Default no-op.
+    fn on_atomic_label(&self, addr: usize, label: &'static str) {
+        let _ = (addr, label);
+    }
 }
 
 /// Number of threads process-wide with a scheduler installed. The fast
@@ -65,6 +142,14 @@ thread_local! {
 /// `None`, i.e. the uninstrumented path.
 #[inline]
 pub fn current() -> Option<&'static dyn Scheduler> {
+    // SAFETY of the Relaxed load: the only data this load guards is the
+    // thread-local CURRENT, and only the *installing thread itself* ever
+    // reads a Some it wrote — same-thread program order makes that
+    // visible without any fence. A foreign thread racing past the gate
+    // while the counter is mid-update reads its own CURRENT, which is
+    // None unless it installed. So the gate needs no acquire semantics:
+    // it is purely a fast-path filter, and Relaxed keeps the disabled
+    // cost at one unordered load (the tentpole contract for this file).
     if INSTALLED.load(Ordering::Relaxed) == 0 {
         return None;
     }
@@ -79,7 +164,11 @@ pub fn install(sched: &'static dyn Scheduler) {
         had
     });
     if let Ok(false) = was_installed {
-        INSTALLED.fetch_add(1, Ordering::Relaxed);
+        // AcqRel: the increment publishes the CURRENT write above to any
+        // thread that later observes a nonzero gate, and orders this
+        // install after earlier uninstalls' Release decrements so the
+        // counter never transiently appears balanced mid-handoff.
+        INSTALLED.fetch_add(1, Ordering::AcqRel);
     }
 }
 
@@ -91,7 +180,10 @@ pub fn uninstall() {
         had
     });
     if let Ok(true) = was_installed {
-        INSTALLED.fetch_sub(1, Ordering::Relaxed);
+        // Release: the decrement publishes the CURRENT reset, so a
+        // thread observing the gate drop to zero also observes this
+        // thread's scheduler as gone.
+        INSTALLED.fetch_sub(1, Ordering::Release);
     }
 }
 

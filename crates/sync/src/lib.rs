@@ -22,6 +22,10 @@
 //!   cooperative scheduler ([`hook`]) so `firefly-check` can explore
 //!   interleavings deterministically. With no scheduler installed the
 //!   hook is one relaxed atomic load — the production path is unchanged.
+//! * [`atomic`] wraps the `std::sync::atomic` types the workspace uses
+//!   so raw atomic protocols (channel end counts, install gates) report
+//!   load/store/rmw events with their ordering tags to the same hook —
+//!   the input to `firefly-check`'s happens-before race detector.
 //!
 //! ## Hook ordering invariants (load-bearing for `firefly-check`)
 //!
@@ -46,6 +50,7 @@ use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 use std::time::Instant;
 
+pub mod atomic;
 pub mod channel;
 pub mod hook;
 

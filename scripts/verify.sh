@@ -60,13 +60,18 @@ fi
 # Cross-validation: every class-level lock edge observed dynamically by
 # firefly-check must already be in firefly-lint's static lock graph and
 # must respect the configured rank order. A dynamic edge the static
-# graph lacks means the linter's receiver map went stale.
-echo "==> static-vs-dynamic lock-edge diff"
+# graph lacks means the linter's receiver map went stale. Both reports
+# collapse parametric `class[index]` instances to class edges carrying
+# an index-ordering annotation: a same-class edge is valid only for a
+# declared-parametric class and only in ascending order (the lint-side
+# acquisition discipline); `descending` marks an order violation.
+echo "==> static-vs-dynamic lock-edge diff (parametric-aware)"
 python3 -c '
 import json, sys
 static = json.load(open("target/lint-report.json"))["lock_graph"]
 dynamic = json.load(open("target/check-edges.json"))["edges"]
 classes = static["classes"]
+parametric = set(static.get("parametric", []))
 rank = {name: i for i, name in enumerate(classes)}
 static_classified = {
     (e["from"], e["to"])
@@ -74,10 +79,19 @@ static_classified = {
     if e["from"] in rank and e["to"] in rank and e["from"] != e["to"]
 }
 problems = []
+annotated = 0
 for e in dynamic:
     f, t = e["from"], e["to"]
     if f not in rank or t not in rank:
         continue  # unclassified endpoint: outside the static model
+    ordering = e.get("ordering")
+    if f == t and ordering is not None:
+        annotated += 1
+        if f not in parametric:
+            problems.append(f"dynamic same-class edge {f} -> {t} on a class not declared parametric")
+        elif ordering != "ascending":
+            problems.append(f"dynamic edge {f} -> {t} acquired in {ordering} index order")
+        continue
     if rank[f] > rank[t]:
         problems.append(f"dynamic edge {f} -> {t} violates rank order {classes}")
     elif f != t and (f, t) not in static_classified:
@@ -88,7 +102,38 @@ observed = {(e["from"], e["to"]) for e in dynamic}
 for f, t in sorted(static_classified):
     mark = "observed" if (f, t) in observed else "not observed dynamically"
     print(f"    static edge {f} -> {t}: {mark}")
-print(f"    {len(dynamic)} observed edge(s), all consistent with the static graph")
+print(f"    {len(dynamic)} observed edge(s) ({annotated} parametric), all consistent with the static graph")
+'
+
+# Partial-order reduction gate: the 4-shard call table model must stay
+# exhaustible under DPOR inside a tight budget (plain DFS drowns in its
+# interleaving space — tests/check.rs proves that contrast). A jump in
+# the explored+pruned count means the sleep-set/source-set pruning
+# regressed toward unpruned DFS.
+echo "==> firefly-check --model sharded-calltable --dpor (pruning gate)"
+dpor_started=$(date +%s%N)
+dpor_out=$(cargo run --release --offline -q -p firefly-check -- --model sharded-calltable --dpor)
+dpor_elapsed_ms=$(( ($(date +%s%N) - dpor_started) / 1000000 ))
+echo "$dpor_out" | sed 's/^/    /'
+echo "    dpor runtime: ${dpor_elapsed_ms} ms"
+if (( dpor_elapsed_ms >= 15000 )); then
+    echo "verify: FAIL — sharded-calltable DPOR took ${dpor_elapsed_ms} ms (budget 15000 ms)" >&2
+    exit 1
+fi
+echo "$dpor_out" | python3 -c '
+import re, sys
+for line in sys.stdin:
+    m = re.match(r"dpor (\S+) explored (\d+) schedule\(s\), pruned (\d+), exhausted (true|false)", line)
+    if m:
+        model, explored, pruned, exhausted = m[1], int(m[2]), int(m[3]), m[4]
+        break
+else:
+    sys.exit("no dpor summary line in firefly-check output")
+if exhausted != "true":
+    sys.exit(f"DPOR did not exhaust {model} (explored {explored}, pruned {pruned})")
+if explored + pruned > 100:
+    sys.exit(f"DPOR pruning regressed on {model}: {explored} explored + {pruned} pruned (gate: 100)")
+print(f"    {model}: exhausted in {explored} explored + {pruned} pruned schedule(s)")
 '
 
 # The live latency account must produce a complete per-step table (the

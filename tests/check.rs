@@ -38,6 +38,13 @@ fn seeded_bugs_are_caught_and_replayable() {
             "bug-double-release" => discriminant(&Failure::Invariant {
                 message: String::new(),
             }),
+            "bug-race-counter" | "bug-race-publish" | "bug-race-notify" => {
+                discriminant(&Failure::Race {
+                    location: String::new(),
+                    first: String::new(),
+                    second: String::new(),
+                })
+            }
             other => panic!("unknown bug model {other}"),
         };
         assert_eq!(
@@ -136,6 +143,98 @@ fn same_seed_produces_identical_exploration() {
     });
 }
 
+/// Soundness of the partial-order reduction: on every registered model,
+/// DPOR must reach the same verdict as plain DFS — a pass stays a pass
+/// and a seeded bug stays caught with the same failure kind. When both
+/// modes exhaust the schedule space they must also observe the same
+/// lock-edge set (pruning drops redundant interleavings, never
+/// behaviors), and DPOR itself is deterministic: two runs produce the
+/// same digest, schedule count, and pruned count.
+#[test]
+fn dpor_agrees_with_dfs_on_every_model() {
+    check("dpor vs dfs verdicts", 4, |g| {
+        let explorer = Explorer::new();
+        // Vary the cap so agreement is not an artifact of one bound;
+        // keep it >= 500 so bounded DFS still catches every seeded bug.
+        let cap = 500 + (g.rng().next_u64() % 1500) as usize;
+        let all = models::structure_models()
+            .into_iter()
+            .chain(models::bug_models());
+        for model in all {
+            let dfs = explorer.explore(&model, &Mode::Dfs { max_schedules: cap });
+            let dpor = explorer.explore(&model, &Mode::Dpor { max_schedules: cap });
+            let dpor2 = explorer.explore(&model, &Mode::Dpor { max_schedules: cap });
+            if (dpor.digest, dpor.schedules, dpor.pruned)
+                != (dpor2.digest, dpor2.schedules, dpor2.pruned)
+            {
+                return Err(format!("{}: DPOR is not deterministic", model.name));
+            }
+            match (&dfs.failure, &dpor.failure) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    if discriminant(&a.failure) != discriminant(&b.failure) {
+                        return Err(format!(
+                            "{}: DFS found {} but DPOR found {} (cap {cap})",
+                            model.name, a.failure, b.failure
+                        ));
+                    }
+                }
+                (a, b) => {
+                    return Err(format!(
+                        "{}: verdicts disagree at cap {cap}: dfs={:?} dpor={:?}",
+                        model.name,
+                        a.as_ref().map(|f| f.failure.to_string()),
+                        b.as_ref().map(|f| f.failure.to_string()),
+                    ));
+                }
+            }
+            if dfs.exhausted && dpor.exhausted && dfs.edges != dpor.edges {
+                return Err(format!(
+                    "{}: exhaustive DFS and DPOR observed different lock-edge \
+                     sets: {:?} vs {:?}",
+                    model.name, dfs.edges, dpor.edges
+                ));
+            }
+        }
+        Ok(())
+    });
+}
+
+/// The point of DPOR: the 4-shard call table's interleaving space
+/// drowns a plain DFS at any practical cap, but its threads are almost
+/// all independent, so the reduction exhausts it in a handful of
+/// schedules.
+#[test]
+fn dpor_exhausts_the_sharded_calltable_where_dfs_cannot() {
+    let explorer = Explorer::new();
+    let model = models::find("sharded-calltable").expect("sharded model registered");
+    let dpor = explorer.explore(&model, &Mode::Dpor { max_schedules: 2000 });
+    assert!(
+        dpor.failure.is_none(),
+        "sharded-calltable (dpor): {}",
+        dpor.failure.map(|f| f.failure.to_string()).unwrap_or_default()
+    );
+    assert!(
+        dpor.exhausted,
+        "DPOR must exhaust the sharded call table (explored {}, pruned {})",
+        dpor.schedules, dpor.pruned
+    );
+    assert!(
+        dpor.schedules + dpor.pruned <= 100,
+        "DPOR pruning regressed: {} explored + {} pruned",
+        dpor.schedules,
+        dpor.pruned
+    );
+    let dfs = explorer.explore(&model, &Mode::Dfs { max_schedules: 2000 });
+    assert!(dfs.failure.is_none(), "sharded-calltable (dfs) failed");
+    assert!(
+        !dfs.exhausted,
+        "plain DFS exhausted the sharded call table within {} schedules — \
+         the model no longer demonstrates the reduction",
+        dfs.schedules
+    );
+}
+
 /// Cross-validation against the static lock graph: every class-level
 /// edge the checker observes dynamically must already be present in
 /// `firefly-lint`'s static graph (same classified endpoints), and must
@@ -161,7 +260,23 @@ fn observed_edges_are_a_subset_of_the_static_lock_graph() {
         .iter()
         .map(|c| c.name.clone())
         .collect();
+    let parametric: BTreeSet<&str> = engine
+        .config
+        .lock_order
+        .iter()
+        .filter(|c| c.parametric)
+        .map(|c| c.name.as_str())
+        .collect();
     let rank = |name: &str| classes.iter().position(|c| c == name);
+    // `class[index]` instance name -> (class, index).
+    let parse_instance = |name: &str| -> Option<(String, usize)> {
+        let open = name.find('[')?;
+        let inner = name.get(open + 1..name.len().checked_sub(1)?)?;
+        if !name.ends_with(']') {
+            return None;
+        }
+        Some((name[..open].to_string(), inner.parse().ok()?))
+    };
     let static_classified: BTreeSet<(String, String)> = analysis
         .lock_edges
         .iter()
@@ -170,7 +285,28 @@ fn observed_edges_are_a_subset_of_the_static_lock_graph() {
         .collect();
 
     for (from, to) in &observed {
-        let (Some(rf), Some(rt)) = (rank(from), rank(to)) else {
+        // Same-class instance nestings of a parametric class are
+        // sanctioned by the class declaration itself, provided the
+        // indices ascend (the lint-side acquisition discipline).
+        if let (Some((fc, fi)), Some((tc, ti))) = (parse_instance(from), parse_instance(to)) {
+            if fc == tc {
+                assert!(
+                    parametric.contains(fc.as_str()),
+                    "dynamic same-class nesting {from} -> {to} on a class not \
+                     declared parametric in the lint config"
+                );
+                assert!(
+                    fi < ti,
+                    "dynamic edge {from} -> {to} violates ascending shard order"
+                );
+                continue;
+            }
+        }
+        let strip = |name: &String| {
+            parse_instance(name).map_or_else(|| name.clone(), |(class, _)| class)
+        };
+        let (from, to) = (strip(from), strip(to));
+        let (Some(rf), Some(rt)) = (rank(&from), rank(&to)) else {
             continue; // unclassified endpoint: outside the static model
         };
         assert!(
