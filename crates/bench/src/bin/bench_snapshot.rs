@@ -54,7 +54,7 @@ fn main() {
 
     let mode = doc.get("mode").and_then(|m| m.as_str()).unwrap_or("?");
     println!("wrote {} (mode: {mode})", path.display());
-    for section in ["latency_us", "throughput"] {
+    for section in ["latency_us", "throughput", "shard_scaling"] {
         if let Some(obj) = doc.get(section).and_then(|s| s.as_object()) {
             for (name, value) in obj {
                 match value {

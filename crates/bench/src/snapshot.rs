@@ -71,7 +71,11 @@ impl SnapshotSpec {
             latency_calls: 2000,
             warmup: 200,
             throughput_threads: 4,
-            throughput_calls: 500,
+            // Long enough per thread that the multi-caller sections
+            // measure the steady-state wave pipeline (coalesced results
+            // waking the next round of combined calls), not the ramp:
+            // at 4x500 the ramp is ~25% of the window.
+            throughput_calls: 2000,
             trace_calls: 500,
             ablation_calls: 400,
             smoke: false,
@@ -198,13 +202,21 @@ fn measure_latency(client: &Client, work: &Workload, calls: usize, warmup: usize
 
 /// Drives `threads` caller threads through `calls` calls each over one
 /// shared client and returns aggregate calls per second.
+///
+/// All caller threads rendezvous on a barrier before the clock starts,
+/// so the timed window covers calls only — on a loaded box, spawning a
+/// scoped thread costs a sizable fraction of a millisecond, which would
+/// otherwise tax the multi-caller sections `threads` times more than
+/// the single-caller one.
 fn measure_throughput(client: &Client, work: &Workload, threads: usize, calls: usize) -> f64 {
-    let w = Stopwatch::start();
-    std::thread::scope(|scope| {
+    let start = std::sync::Barrier::new(threads + 1);
+    let micros = std::thread::scope(|scope| {
         for _ in 0..threads {
             let client = client.clone();
             let work = work.clone();
+            let start = &start;
             scope.spawn(move || {
+                start.wait();
                 for _ in 0..calls {
                     client
                         .call(work.procedure, &work.args)
@@ -212,8 +224,14 @@ fn measure_throughput(client: &Client, work: &Workload, threads: usize, calls: u
                 }
             });
         }
-    });
-    let secs = w.elapsed_micros() / 1e6;
+        start.wait();
+        // `thread::scope` joins every caller before returning, so the
+        // stopwatch handed out here is read only after the last call
+        // completes.
+        Stopwatch::start()
+    })
+    .elapsed_micros();
+    let secs = micros / 1e6;
     if secs > 0.0 {
         (threads * calls) as f64 / secs
     } else {
@@ -371,6 +389,19 @@ pub fn run_snapshot(spec: &SnapshotSpec) -> Json {
     );
     let max_mbps = max_rps * (MAX_RESULT_BYTES * 8) as f64 / 1e6;
 
+    // Shard scaling: how much aggregate Null throughput the sharded
+    // runtime (per-shard call table and pool, per-worker queues,
+    // batched transport) adds when concurrent callers are offered, as
+    // the N-thread/1-thread rps ratio. On a multi-core host this
+    // measures parallel speedup across shards; on one core it measures
+    // how far batching amortizes the per-call fixed costs (syscalls,
+    // wakeups) that a lone caller pays serially.
+    let scaling_ratio = if single_rps > 0.0 {
+        multi_rps / single_rps
+    } else {
+        0.0
+    };
+
     let trace = measure_trace(spec);
 
     let ablations = Json::Arr(vec![
@@ -428,6 +459,10 @@ pub fn run_snapshot(spec: &SnapshotSpec) -> Json {
         .set(
             "multi_caller_maxresult_mbps",
             gate_metric(max_mbps, "higher", "Mb/s"),
+        )
+        .set(
+            "null_scaling_ratio",
+            gate_metric(scaling_ratio, "higher", "x"),
         );
 
     Json::obj()
@@ -465,6 +500,14 @@ pub fn run_snapshot(spec: &SnapshotSpec) -> Json {
                     Json::num(spec.throughput_threads as f64),
                 )
                 .set("multi_caller_maxresult_mbps", Json::num(max_mbps)),
+        )
+        .set(
+            "shard_scaling",
+            Json::obj()
+                .set("threads", Json::num(spec.throughput_threads as f64))
+                .set("single_caller_null_rps", Json::num(single_rps))
+                .set("multi_caller_null_rps", Json::num(multi_rps))
+                .set("null_scaling_ratio", Json::num(scaling_ratio)),
         )
         .set("trace", trace)
         .set("ablations", ablations)

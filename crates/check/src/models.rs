@@ -441,25 +441,78 @@ fn make_gate() -> ModelRun {
 /// understands: instances of one class, ordered by index.
 const SHARD_LABELS: [&str; 4] = ["shard[0]", "shard[1]", "shard[2]", "shard[3]"];
 
-/// Per-shard slot state for [`make_sharded_calltable`].
+/// Per-shard state for [`make_sharded_calltable`]: the call-table slot
+/// plus the worker's receive queue, both guarded by the shard's lock
+/// exactly as in the real runtime (`ShardedCallTable` shard +
+/// `WorkQueues` queue, selected by the same activity hash).
 #[derive(Default)]
 struct ShardSlot {
+    /// Call-table slot: `Some(seq)` while a call is mid-dispatch.
     cur: Option<u32>,
     completed: u32,
     orphans: u32,
-    stolen: u32,
+    /// The worker's receive queue (FIFO backlog of call seqs).
+    backlog: Vec<u32>,
+    /// Items this worker's queue received from a steal, takeover order.
+    stolen: Vec<u32>,
 }
 
-/// Sharded call table: four per-shard slots, three independent callers
-/// each doing two rounds of register/complete slot reuse plus a
-/// late-duplicate orphan check on their own shard, and a work stealer
-/// that bridges shards 2 and 3 in ascending index order (the parametric
-/// lock-order discipline). The per-shard work is pairwise independent,
-/// which is exactly what DPOR prunes and naive DFS drowns in: DFS
-/// cannot exhaust this model inside the smoke budget, DPOR can.
+/// Number of shards in the model — kept equal to the runtime default
+/// (`Config::default().shards`); [`make_sharded_calltable`] asserts the
+/// two never drift apart.
+const MODEL_SHARDS: usize = 4;
+
+/// Sharded runtime mirror: per-shard call-table slots and per-worker
+/// receive queues, with home shards picked by the *real*
+/// [`firefly_rpc::calltable::shard_for`] hash of each caller's activity
+/// id. Two fast-path callers (shards 0 and 2) each run one
+/// register/enqueue/dispatch round plus a late-duplicate orphan check
+/// on their own shard; the thief worker's thread enqueues a two-call
+/// backlog on donor shard 1 (whose own worker never shows up) and then
+/// runs the steal scan: victims in ascending index order, one lock at
+/// a time, skipping queues whose owner is mid-dispatch (stealing those
+/// would double-dispatch), and taking the donor's whole backlog in one
+/// FIFO-preserving takeover that bridges donor and thief queues in
+/// ascending index order — the declared-parametric `shard` lock
+/// discipline firefly-lint enforces. The scan's probe of shard 0
+/// contends with that shard's own worker (the dependency DPOR must
+/// explore); the rest is pairwise independent, which is exactly what
+/// DPOR prunes and naive DFS drowns in: DFS cannot exhaust this model
+/// inside the smoke budget, DPOR can.
 fn make_sharded_calltable() -> ModelRun {
-    let shards: Arc<Vec<Mutex<ShardSlot>>> =
-        Arc::new((0..4).map(|_| Mutex::new(ShardSlot::default())).collect());
+    assert_eq!(
+        MODEL_SHARDS,
+        firefly_rpc::Config::default().shards,
+        "model shard count drifted from the runtime default"
+    );
+    // Home shards by the real activity hash: the first thread ids that
+    // shard_for maps to shards 0, 1 and 2 (machine/space fixed, as one
+    // endpoint's callers share them). The model's shard assignment IS
+    // the runtime's, so a hash change reshapes this model too.
+    let home = |want: usize| {
+        (0..u16::MAX)
+            .find(|&t| {
+                firefly_rpc::calltable::shard_for(ActivityId::new(9, 1, t), MODEL_SHARDS) == want
+            })
+            .expect("shard_for covers every shard")
+    };
+    // Ascending scan order makes shard 0 the first victim the thief
+    // probes (contended with that shard's own worker — the dependency
+    // DPOR must actually explore), shard 1 the donor it robs, and
+    // shard 2 pure independent fast-path work it prunes away.
+    let (fast_a, donor, fast_b) = (
+        firefly_rpc::calltable::shard_for(ActivityId::new(9, 1, home(0)), MODEL_SHARDS),
+        firefly_rpc::calltable::shard_for(ActivityId::new(9, 1, home(1)), MODEL_SHARDS),
+        firefly_rpc::calltable::shard_for(ActivityId::new(9, 1, home(2)), MODEL_SHARDS),
+    );
+    assert_eq!((fast_a, donor, fast_b), (0, 1, 2), "shard_for is stable");
+    const THIEF: usize = 3;
+
+    let shards: Arc<Vec<Mutex<ShardSlot>>> = Arc::new(
+        (0..MODEL_SHARDS)
+            .map(|_| Mutex::new(ShardSlot::default()))
+            .collect(),
+    );
 
     let label = {
         let shards = Arc::clone(&shards);
@@ -469,61 +522,97 @@ fn make_sharded_calltable() -> ModelRun {
             }
         }) as Box<dyn FnOnce() + Send>
     };
+    // A fast-path caller on shard `k`: the demux registers the slot and
+    // enqueues on the home queue, the home worker drains its own queue
+    // FIFO and completes the call (slot reuse across two rounds), and a
+    // late duplicate of seq 0 must be orphaned, never delivered.
     let caller = |shards: Arc<Vec<Mutex<ShardSlot>>>, k: usize| {
         Box::new(move || {
-            for seq in 0..2u32 {
-                {
-                    let mut s = shards[k].lock();
-                    assert!(s.cur.is_none(), "shard {k}: slot registered twice");
-                    s.cur = Some(seq);
-                }
-                {
-                    let mut s = shards[k].lock();
-                    assert_eq!(s.cur, Some(seq), "shard {k}: slot clobbered");
-                    s.cur = None;
-                    s.completed += 1;
-                }
+            let seq = 0u32;
+            {
+                let mut s = shards[k].lock();
+                assert!(s.cur.is_none(), "shard {k}: slot registered twice");
+                s.cur = Some(seq);
+                s.backlog.push(seq);
             }
-            // Late duplicate of seq 0: the slot was reused and torn
-            // down since, so it must be orphaned, never delivered.
+            {
+                let mut s = shards[k].lock();
+                assert_eq!(s.cur, Some(seq), "shard {k}: slot clobbered");
+                let item = s.backlog.first().copied();
+                assert_eq!(item, Some(seq), "shard {k}: queue reordered");
+                s.backlog.remove(0);
+                s.cur = None;
+                s.completed += 1;
+            }
+            // Late duplicate of the completed call: the slot was torn
+            // down, so it must be orphaned, never dispatched again.
             let mut s = shards[k].lock();
             assert!(s.cur.is_none(), "shard {k}: duplicate hit a live slot");
             s.orphans += 1;
         }) as Box<dyn FnOnce() + Send>
     };
-    let t0 = caller(Arc::clone(&shards), 0);
-    let t1 = caller(Arc::clone(&shards), 1);
-    let t2 = caller(Arc::clone(&shards), 2);
+    let t0 = caller(Arc::clone(&shards), fast_a);
+    let t1 = caller(Arc::clone(&shards), fast_b);
+    // Demux-then-steal: two calls land on the donor queue, whose own
+    // worker never shows up (all its threads are busy), and the idle
+    // thief worker then runs its steal scan. The two phases live on one
+    // thread because the real thief loops until work appears — a scan
+    // that beats the enqueue just comes around again, which a
+    // terminating model collapses to scanning after the enqueue.
     let stealer = {
         let shards = Arc::clone(&shards);
         Box::new(move || {
-            // Cross-shard work stealing: both shard locks held at once,
-            // acquired in ascending shard-index order — the parametric
-            // lock-order rule this model feeds into the lint diff.
-            let mut donor = shards[2].lock();
-            let mut thief = shards[3].lock();
-            donor.stolen += 1;
-            thief.stolen += 1;
+            for seq in 0..2u32 {
+                shards[donor].lock().backlog.push(seq);
+            }
+            // Own queue first (mirrors WorkQueues::pop), then victims
+            // in ascending index order, exactly the runtime scan.
+            assert!(shards[THIEF].lock().backlog.is_empty(), "thief not idle");
+            let mut took = false;
+            for victim in 0..MODEL_SHARDS {
+                if victim == THIEF || took {
+                    continue;
+                }
+                // One victim lock at a time; skip queues whose owner is
+                // mid-dispatch — their backlog is already claimed, and
+                // stealing it would dispatch the call twice.
+                let mut donor_q = shards[victim].lock();
+                if donor_q.cur.is_some() || donor_q.backlog.is_empty() {
+                    continue;
+                }
+                // Whole-backlog takeover into the thief's queue, donor
+                // and thief locks bridged in ascending index order (the
+                // declared-parametric discipline; victim < THIEF for
+                // every victim this scan can reach).
+                let mut thief_q = shards[THIEF].lock();
+                let taken = std::mem::take(&mut donor_q.backlog);
+                thief_q.stolen.extend(taken);
+                took = true;
+            }
+            // Dispatch the stolen batch in takeover order.
+            let mut s = shards[THIEF].lock();
+            let n = s.stolen.len() as u32;
+            s.completed += n;
         }) as Box<dyn FnOnce() + Send>
     };
     let finale = Box::new(move || {
         let mut completed = 0;
         let mut orphans = 0;
-        let mut stolen = 0;
         for shard in shards.iter() {
             let s = shard.lock();
             assert!(s.cur.is_none(), "slot leaked past the schedule");
+            assert!(s.backlog.is_empty(), "call stranded on a queue");
             completed += s.completed;
             orphans += s.orphans;
-            stolen += s.stolen;
         }
-        assert_eq!(completed, 6, "calls lost or duplicated across shards");
-        assert_eq!(orphans, 3, "late duplicate not orphaned");
-        assert_eq!(stolen, 2, "steal bridged the wrong shard count");
+        assert_eq!(completed, 4, "calls lost or duplicated across shards");
+        assert_eq!(orphans, 2, "late duplicate not orphaned");
+        let stolen = &shards[THIEF].lock().stolen;
+        assert_eq!(*stolen, vec![0, 1], "steal reordered the donor backlog");
     }) as Box<dyn FnOnce() + Send>;
     ModelRun {
         label,
-        threads: vec![t0, t1, t2, stealer],
+        threads: vec![t0, t1, stealer],
         finale,
     }
 }

@@ -288,6 +288,115 @@ impl CallTable {
     }
 }
 
+/// Pure shard-selection function: maps an activity id to a shard index.
+///
+/// Every layer that shards by activity — the call table, the buffer
+/// pool, the server work queues — uses this one function, so a caller
+/// thread, the demultiplexer, and a server worker handling the same
+/// call always land on the same shard, across retransmissions and
+/// duplicates (the id is in the packet header, so a duplicate hashes
+/// identically). FNV-1a over the id's three fields spreads the
+/// sequential `thread` counters that [`crate::client::ActivityPool`]
+/// mints.
+pub fn shard_for(activity: ActivityId, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let machine = activity.machine.to_le_bytes();
+    let space = activity.space.to_le_bytes();
+    let thread = activity.thread.to_le_bytes();
+    let bytes = [machine.as_slice(), space.as_slice(), thread.as_slice()];
+    for chunk in bytes {
+        for &b in chunk {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    (h % shards as u64) as usize
+}
+
+/// The caller-side call table split into independent shards, each a
+/// full [`CallTable`] with its own lock, selected by [`shard_for`].
+///
+/// One shard reproduces the seed's single global table exactly; with
+/// more, concurrent callers on different activities take disjoint
+/// locks on register/deliver/unregister. The demultiplexer holds at
+/// most one shard's lock at a time (each delivery resolves its shard
+/// before locking), so no cross-shard lock order arises here at all.
+#[derive(Debug)]
+pub struct ShardedCallTable {
+    shards: Vec<CallTable>,
+    /// Lock-free count of registered calls, kept by register/unregister.
+    /// A *hint* (racy by design): callers read it to pick the contended
+    /// yield-wait over parking, where being off by one for an instant
+    /// only mis-picks a wait strategy, never correctness.
+    in_flight: std::sync::atomic::AtomicUsize,
+}
+
+impl ShardedCallTable {
+    /// Creates a table with `shards` independent shards (at least one).
+    pub fn new(shards: usize) -> ShardedCallTable {
+        ShardedCallTable {
+            shards: (0..shards.max(1)).map(|_| CallTable::new()).collect(),
+            in_flight: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns `activity`.
+    pub fn shard(&self, activity: ActivityId) -> &CallTable {
+        &self.shards[shard_for(activity, self.shards.len())]
+    }
+
+    /// All shards, for per-shard introspection in tests.
+    pub fn shards(&self) -> &[CallTable] {
+        &self.shards
+    }
+
+    /// Labels every shard's lock for `firefly-check`. No-op outside a
+    /// checked schedule.
+    pub fn check_labels(&self) {
+        for s in &self.shards {
+            s.check_labels();
+        }
+    }
+
+    /// Registers an outstanding call in its activity's shard.
+    pub fn register(&self, activity: ActivityId, seq: u32) -> Arc<CallEntry> {
+        self.in_flight
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.shard(activity).register(activity, seq)
+    }
+
+    /// Removes the entry for an activity from its shard.
+    pub fn unregister(&self, activity: ActivityId) {
+        self.shard(activity).unregister(activity);
+        self.in_flight
+            .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Racy count of registered calls (see the field docs); cheap enough
+    /// for the per-wait caller fast path.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of outstanding calls across all shards.
+    pub fn outstanding(&self) -> usize {
+        self.shards.iter().map(|s| s.outstanding()).sum()
+    }
+
+    /// Routes a caller-bound packet to its activity's shard.
+    pub fn deliver(&self, pkt: Packet) -> Deliver {
+        self.shards[shard_for(pkt.rpc.activity, self.shards.len())].deliver(pkt)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +624,50 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn shard_for_is_pure_and_in_range() {
+        for thread in 0..64u16 {
+            let id = ActivityId::new(9, 2, thread);
+            let s = shard_for(id, 4);
+            assert!(s < 4);
+            // A duplicate/retransmitted packet carries the same id and
+            // must hash to the same shard.
+            assert_eq!(s, shard_for(id, 4));
+        }
+        assert_eq!(shard_for(activity(), 1), 0);
+        assert_eq!(shard_for(activity(), 0), 0);
+    }
+
+    #[test]
+    fn shard_for_spreads_sequential_threads() {
+        // ActivityPool mints sequential thread ids; the hash must not
+        // collapse them onto one shard.
+        let mut hit = [false; 4];
+        for thread in 0..16u16 {
+            hit[shard_for(ActivityId::new(1, 1, thread), 4)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "sequential ids map to {hit:?}");
+    }
+
+    #[test]
+    fn sharded_table_routes_by_activity() {
+        let table = ShardedCallTable::new(4);
+        let id = activity();
+        let entry = table.register(id, 5);
+        assert_eq!(table.shard(id).outstanding(), 1);
+        assert_eq!(table.outstanding(), 1);
+        assert!(matches!(
+            table.deliver(result_packet(5, &[1], 0, 1)),
+            Deliver::Accepted
+        ));
+        match entry.wait(Instant::now() + Duration::from_secs(1)) {
+            Wait::Complete(a) => assert_eq!(a.data(), &[1]),
+            other => panic!("unexpected {other:?}"),
+        }
+        table.unregister(id);
+        assert_eq!(table.outstanding(), 0);
     }
 
     #[test]

@@ -171,11 +171,26 @@ impl Client {
         // into the stack-resident span. Inert unless tracing is enabled.
         let mut span = shared.ctx.tracer.caller_span(index);
 
-        // --- Starter: obtain a packet buffer. ---
-        let mut call_buf = shared
+        // --- Starter: obtain an activity and a packet buffer. ---
+        // The activity is acquired first so the buffer can come from the
+        // activity's home shard: caller, demultiplexer and server worker
+        // then all touch the same pool shard for this call.
+        let mut slot = inner.activities.acquire();
+        let seq = slot.next_seq;
+        slot.next_seq += 1;
+        let activity = slot.activity;
+        let shard = crate::calltable::shard_for(activity, shared.ctx.pool.shard_count());
+        let mut call_buf = match shared
             .ctx
             .pool
-            .alloc_timeout(std::time::Duration::from_secs(2))?;
+            .alloc_timeout_from(shard, std::time::Duration::from_secs(2))
+        {
+            Ok(buf) => buf,
+            Err(e) => {
+                inner.activities.release(slot);
+                return Err(e.into());
+            }
+        };
         span.stamp(crate::trace::Stamp::BufferAcquired);
 
         // --- Marshal the arguments. ---
@@ -184,42 +199,46 @@ impl Client {
         // (marshalling is pure, so the retry is safe).
         let mut heap_data: Option<Vec<u8>> = None;
         let raw = call_buf.raw_mut();
-        let data_len = match stub.marshal_call(args, &mut raw[DATA_OFFSET..]) {
-            Ok(n) => n,
-            Err(firefly_idl::IdlError::BufferTooSmall { .. }) => {
-                let mut size = 4 * MAX_SINGLE_PACKET_DATA;
-                loop {
-                    // lint:allow(no-alloc-on-fast-path): oversized
-                    // argument lists take the fragmentation slow path;
-                    // single-packet calls marshal straight into the
-                    // pooled buffer above.
-                    let mut big = vec![0u8; size];
-                    match stub.marshal_call(args, &mut big) {
-                        Ok(n) => {
-                            big.truncate(n);
-                            heap_data = Some(big);
-                            break n;
-                        }
-                        Err(firefly_idl::IdlError::BufferTooSmall { needed, .. }) => {
-                            size = needed.max(size * 2);
-                            if size > crate::fragment::MAX_TRANSFER {
-                                return Err(RpcError::TooLarge(size));
+        let marshalled = (|| -> Result<usize> {
+            match stub.marshal_call(args, &mut raw[DATA_OFFSET..]) {
+                Ok(n) => Ok(n),
+                Err(firefly_idl::IdlError::BufferTooSmall { .. }) => {
+                    let mut size = 4 * MAX_SINGLE_PACKET_DATA;
+                    loop {
+                        // lint:allow(no-alloc-on-fast-path): oversized
+                        // argument lists take the fragmentation slow path;
+                        // single-packet calls marshal straight into the
+                        // pooled buffer above.
+                        let mut big = vec![0u8; size];
+                        match stub.marshal_call(args, &mut big) {
+                            Ok(n) => {
+                                big.truncate(n);
+                                heap_data = Some(big);
+                                return Ok(n);
                             }
+                            Err(firefly_idl::IdlError::BufferTooSmall { needed, .. }) => {
+                                size = needed.max(size * 2);
+                                if size > crate::fragment::MAX_TRANSFER {
+                                    return Err(RpcError::TooLarge(size));
+                                }
+                            }
+                            Err(e) => return Err(e.into()),
                         }
-                        Err(e) => return Err(e.into()),
                     }
                 }
+                Err(e) => Err(e.into()),
             }
-            Err(e) => return Err(e.into()),
+        })();
+        let data_len = match marshalled {
+            Ok(n) => n,
+            Err(e) => {
+                inner.activities.release(slot);
+                return Err(e);
+            }
         };
         span.stamp(crate::trace::Stamp::MarshalDone);
 
         // --- Transporter: register, send, await, retransmit. ---
-        let mut slot = inner.activities.acquire();
-        let seq = slot.next_seq;
-        slot.next_seq += 1;
-        let activity = slot.activity;
-
         let header = RpcHeader {
             packet_type: PacketType::Call,
             flags: PacketFlags::single_packet(),
@@ -270,9 +289,9 @@ impl Client {
         let values = stub.unmarshal_result(outcome.data());
         span.stamp(crate::trace::Stamp::UnmarshalDone);
         inner.activities.release(slot);
-        // Ender: recycle the call buffer straight onto the receive queue,
-        // the paper's on-the-fly buffer replacement.
-        shared.ctx.pool.recycle_to_receive_queue(call_buf);
+        // Ender: recycle the call buffer straight onto its home shard's
+        // receive queue, the paper's on-the-fly buffer replacement.
+        call_buf.recycle();
         crate::stats::RpcStats::bump(&shared.ctx.stats.buffers_recycled);
         span.stamp(crate::trace::Stamp::CallEnd);
         if span.finish() {
@@ -303,7 +322,7 @@ impl Client {
     ) -> Result<Assembled> {
         let shared = &self.inner.shared;
         let cfg = &shared.config;
-        shared.ctx.transport.send(frame, self.inner.remote)?;
+        shared.ctx.send_call(frame, self.inner.remote)?;
         // First-write-wins: for fragmented calls the `Sent` stamp was
         // already taken at the first fragment.
         span.stamp(crate::trace::Stamp::Sent);

@@ -15,7 +15,10 @@ pub struct Config {
     ///
     /// The fast path requires "having enough server threads waiting"
     /// (§3.1); when all are busy, call packets take the slow path through
-    /// the work queue.
+    /// the work queue. Defaults to the machine's available parallelism
+    /// (clamped to [1, 4]): the Firefly ran one Receiver per processor,
+    /// and extra workers on fewer cores only break up the receive-burst
+    /// waves that the result batcher coalesces.
     pub server_threads: usize,
     /// First retransmission timeout; doubles on every retry.
     pub retransmit_initial: Duration,
@@ -61,6 +64,21 @@ pub struct Config {
     /// and rely on the demultiplexer's direct wakeup. Server-side
     /// threads are unaffected (they park in the work-queue hand-off).
     pub busy_wait_spin: Duration,
+    /// Number of runtime shards: the caller-side call table and the
+    /// packet-buffer pool are split into this many independent
+    /// instances, each with its own locks, selected by a pure hash of
+    /// the activity id (see `calltable::shard_for` and docs/SHARDING.md).
+    ///
+    /// The paper's §4.2 "recoded runtime" what-if removed the global
+    /// lock chain from the fast path; sharding is the modern shape of
+    /// that change (per-core state, eRPC-style). One shard reproduces
+    /// the seed's globally-locked behavior exactly.
+    pub shards: usize,
+    /// Upper bound on the number of extra datagrams the demultiplexer
+    /// drains with nonblocking receives after each blocking receive,
+    /// amortizing wakeups and syscalls across a burst. 0 disables
+    /// batching (one blocking recv per datagram, the seed behavior).
+    pub recv_batch: usize,
     /// Send multi-packet call bodies as one back-to-back blast instead
     /// of Birrell–Nelson stop-and-wait — the batching ablation.
     ///
@@ -76,11 +94,21 @@ pub struct Config {
     pub fragment_blast: bool,
 }
 
+/// Default worker count: one server thread per available processor,
+/// clamped to [1, 4] (the Firefly itself had at most five processors,
+/// one of which serviced the Ethernet).
+fn default_server_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 4)
+}
+
 impl Default for Config {
     fn default() -> Self {
         Config {
             pool_size: 64,
-            server_threads: 4,
+            server_threads: default_server_threads(),
             retransmit_initial: Duration::from_millis(50),
             retransmit_max: Duration::from_secs(2),
             max_transmissions: 10,
@@ -92,6 +120,8 @@ impl Default for Config {
             trace: false,
             trace_capacity: crate::trace::DEFAULT_RING_CAPACITY,
             busy_wait_spin: Duration::ZERO,
+            shards: 4,
+            recv_batch: 16,
             fragment_blast: false,
         }
     }
@@ -154,6 +184,9 @@ mod tests {
         assert!(c.max_transmissions > 1);
         assert!(c.retransmit_max >= c.retransmit_initial);
         assert!(c.checksum);
+        assert!(c.shards >= 1);
+        // Each shard must get at least a couple of buffers.
+        assert!(c.pool_size >= 2 * c.shards);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! call table or the server dispatcher, wakes the destination thread
 //! directly, and recycles buffers on the fly.
 
-use crate::calltable::{CallTable, Deliver};
+use crate::calltable::{Deliver, ShardedCallTable};
 use crate::client::Client;
 use crate::config::Config;
 use crate::local::LocalClient;
@@ -19,8 +19,8 @@ use crate::stats::RpcStats;
 use crate::transport::Transport;
 use crate::{Result, RpcError};
 use firefly_idl::InterfaceDef;
-use firefly_pool::BufferPool;
-use firefly_wire::PacketType;
+use firefly_pool::{PacketBuf, ShardedPool};
+use firefly_wire::{coalesced_frame_len, PacketType};
 use firefly_sync::Mutex;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -30,7 +30,7 @@ use std::time::Duration;
 /// State shared between an endpoint, its clients, and its demux thread.
 pub(crate) struct EndpointShared {
     pub ctx: Arc<SendCtx>,
-    pub calls: CallTable,
+    pub calls: ShardedCallTable,
     pub config: Config,
     pub machine_id: u32,
     pub space_id: u16,
@@ -51,7 +51,7 @@ impl Endpoint {
     /// Creates an endpoint over `transport` and starts its demux and
     /// server threads.
     pub fn new(transport: Arc<dyn Transport>, config: Config) -> Result<Arc<Endpoint>> {
-        let pool = BufferPool::new(config.pool_size);
+        let pool = ShardedPool::new(config.pool_size, config.shards);
         let stats = Arc::new(RpcStats::default());
         let ctx = Arc::new(SendCtx::new(
             transport,
@@ -71,17 +71,17 @@ impl Endpoint {
         };
         let shared = Arc::new(EndpointShared {
             ctx: Arc::clone(&ctx),
-            calls: CallTable::new(),
+            calls: ShardedCallTable::new(config.shards),
             machine_id,
             space_id: config.space_id,
             config,
             next_thread: std::sync::atomic::AtomicU16::new(1),
         });
-        let server = ServerSide::new(ctx, shared.config.stub_style);
+        let server = ServerSide::new(ctx, shared.config.stub_style, shared.config.server_threads);
         // Every endpoint exports the built-in binder, so callers can
         // verify interfaces before their first real call.
         server.export(crate::binder::binder_service(&server)?)?;
-        let workers = server.spawn_workers(shared.config.server_threads)?;
+        let workers = server.spawn_workers()?;
 
         let endpoint = Arc::new(Endpoint {
             shared: Arc::clone(&shared),
@@ -169,9 +169,10 @@ impl Endpoint {
                 interface.name()
             ))
         })?;
+        // Local RPC is lock-free per call, so one pool shard suffices.
         // lint:allow(no-alloc-on-fast-path): bind-time setup; the local
         // client holds its own interface copy and pool handle.
-        LocalClient::new(interface.clone(), service, self.shared.ctx.pool.clone())
+        LocalClient::new(interface.clone(), service, self.shared.ctx.pool.shard(0).clone())
     }
 
     /// Reclaims server-side state for caller activities idle longer than
@@ -215,15 +216,15 @@ impl Endpoint {
         self.shared.ctx.tracer.report()
     }
 
-    /// The shared packet-buffer pool.
-    pub fn pool(&self) -> &BufferPool {
+    /// The shared (sharded) packet-buffer pool.
+    pub fn pool(&self) -> &ShardedPool {
         &self.shared.ctx.pool
     }
 
     /// Stops the demux and server threads and unblocks the transport.
     pub fn shutdown(&self) {
         self.shared.ctx.transport.shutdown();
-        self.server.shutdown(self.shared.config.server_threads);
+        self.server.shutdown();
         // Take the handles out under the guards, join after they drop:
         // joining a thread that is itself draining the transport while
         // holding these mutexes would deadlock against `Drop` callers.
@@ -244,71 +245,219 @@ impl Drop for Endpoint {
     }
 }
 
+/// Takes a receive buffer, preferring recycled ones; rotates the shard
+/// cursor so receive-buffer pressure spreads across shards.
+fn take_receive_buf(shared: &EndpointShared, cursor: &mut usize) -> PacketBuf {
+    loop {
+        *cursor = cursor.wrapping_add(1);
+        match shared.ctx.pool.take_receive_buffer_from(*cursor) {
+            Ok(b) => return b,
+            Err(_) => {
+                // Every shard exhausted: wait briefly for a free.
+                if let Ok(b) = shared
+                    .ctx
+                    .pool
+                    .alloc_timeout_from(*cursor, Duration::from_millis(100))
+                {
+                    return b;
+                }
+            }
+        }
+    }
+}
+
+/// Nonblocking receive attempts (each yielding the processor) the
+/// demux makes before falling back to a blocking receive; see the
+/// comment at the poll site.
+const DEMUX_POLLS_BEFORE_BLOCK: usize = 32;
+
 /// The receive loop — the reproduction's Ethernet interrupt routine.
+///
+/// Batching: the first datagram of a burst is taken with a blocking
+/// receive; up to `config.recv_batch` more are then drained with
+/// nonblocking receives, so one demux wakeup (and, over UDP, one
+/// blocking-mode transition) serves the whole burst. The unused buffer
+/// that discovers the end of the burst is carried into the next
+/// blocking receive, keeping the demux's held-buffer count at one.
 fn demux_loop(shared: Arc<EndpointShared>, server: Arc<ServerSide>) {
     let stats = Arc::clone(&shared.ctx.stats);
+    let batch = shared.config.recv_batch;
+    let mut cursor = 0usize;
+    let mut spare: Option<PacketBuf> = None;
     loop {
-        // Take a receive buffer, preferring recycled ones.
-        let mut buf = loop {
-            match shared.ctx.pool.take_receive_buffer() {
-                Ok(b) => break b,
-                Err(_) => {
-                    // Pool exhausted: wait briefly for a buffer to free.
-                    match shared.ctx.pool.alloc_timeout(Duration::from_millis(100)) {
-                        Ok(b) => break b,
-                        Err(_) => continue,
-                    }
-                }
-            }
+        let mut buf = match spare.take() {
+            Some(b) => b,
+            None => take_receive_buf(&shared, &mut cursor),
         };
-        let (n, src) = match shared.ctx.transport.recv(buf.raw_mut()) {
-            Ok(x) => x,
-            Err(_) => return, // Shutdown.
+        // Cooperative poll before the blocking receive: during a steady
+        // call stream the next datagram arrives within a few yields
+        // (the sender is runnable on this very machine in tests and
+        // benchmarks), and catching it nonblocking saves the sender the
+        // futex wake and this thread the scheduler round trip. The
+        // budget is small enough to cost only a bounded handful of
+        // no-op syscalls before an idle endpoint genuinely parks.
+        let mut polled = None;
+        for _ in 0..DEMUX_POLLS_BEFORE_BLOCK {
+            match shared.ctx.transport.try_recv(buf.raw_mut()) {
+                Ok(Some(x)) => {
+                    polled = Some(x);
+                    break;
+                }
+                Ok(None) => std::thread::yield_now(),
+                Err(_) => return, // Shutdown.
+            }
+        }
+        let (n, src) = match polled {
+            Some(x) => x,
+            None => match shared.ctx.transport.recv(buf.raw_mut()) {
+                Ok(x) => x,
+                Err(_) => return, // Shutdown.
+            },
         };
         buf.set_len(n);
-        let pkt = match Packet::from_buf(buf) {
-            Ok(p) => p,
-            Err(_) => {
-                RpcStats::bump(&stats.validation_drops);
-                continue;
+        process_datagram(&shared, &server, &stats, &mut cursor, buf, src);
+        let mut drained = 0;
+        while drained < batch {
+            let mut b = take_receive_buf(&shared, &mut cursor);
+            match shared.ctx.transport.try_recv(b.raw_mut()) {
+                Ok(Some((n, src))) => {
+                    b.set_len(n);
+                    process_datagram(&shared, &server, &stats, &mut cursor, b, src);
+                    drained += 1;
+                }
+                Ok(None) => {
+                    spare = Some(b);
+                    break;
+                }
+                Err(_) => return, // Shutdown.
             }
+        }
+    }
+}
+
+/// Largest number of *trailing* frames one coalesced datagram can
+/// carry: a 1514-byte datagram holds at most ⌊1514 / 74⌋ = 20
+/// minimum-size frames, and the first stays in the receive buffer.
+const MAX_COALESCED_TAILS: usize = firefly_wire::MAX_FRAME_LEN / firefly_wire::MIN_FRAME_LEN;
+
+/// Splits one received datagram into its coalesced frames and processes
+/// each in arrival order.
+///
+/// The sending transport may pack several complete frames back to back
+/// into one datagram ([`Transport::send_batch`]); each frame's IP
+/// total-length field gives its boundary. The common case — one frame
+/// per datagram — is detected by the first boundary matching the
+/// datagram length and stays zero-copy. For a packed datagram the head
+/// frame is processed in place and each tail frame is copied into its
+/// own pool buffer first, so every frame flows through the same owned
+/// [`Packet`] path; processing stays in wire order, so replies within
+/// one activity are never reordered.
+fn process_datagram(
+    shared: &EndpointShared,
+    server: &ServerSide,
+    stats: &RpcStats,
+    cursor: &mut usize,
+    mut buf: PacketBuf,
+    src: SocketAddr,
+) {
+    let n = buf.len();
+    let first = match coalesced_frame_len(&buf) {
+        Some(len) => len,
+        None => {
+            // Shorter than any frame, or an implausible length field;
+            // `Packet::from_buf` would reject it anyway, but without a
+            // boundary there is nothing to walk.
+            RpcStats::bump(&stats.validation_drops);
+            buf.recycle();
+            return;
+        }
+    };
+    if first == n {
+        // Common case: one frame per datagram, no copies.
+        process_frame(shared, server, stats, buf, src);
+        return;
+    }
+    // A split datagram means batched peer traffic: the frames below are
+    // about to wake several local threads at once, so arm the send-side
+    // combining window before any of them reaches the transport.
+    shared.ctx.note_coalesced_delivery();
+    // Copy the tail frames out *before* shrinking the head in place.
+    let mut tails: [Option<PacketBuf>; MAX_COALESCED_TAILS] = [const { None }; MAX_COALESCED_TAILS];
+    let mut count = 0;
+    let mut off = first;
+    while off < n && count < tails.len() {
+        let Some(len) = coalesced_frame_len(&buf[off..n]) else {
+            // Trailing garbage or a truncated pack: drop the remainder.
+            RpcStats::bump(&stats.validation_drops);
+            break;
         };
-        match pkt.rpc.packet_type {
-            PacketType::Call => server.handle_call_packet(pkt, src),
-            PacketType::Probe => {
-                server.handle_probe(&pkt.rpc, src);
-                shared.ctx.pool.recycle_to_receive_queue(pkt.into_buf());
+        let mut tail = take_receive_buf(shared, cursor);
+        tail.raw_mut()[..len].copy_from_slice(&buf[off..off + len]);
+        tail.set_len(len);
+        tails[count] = Some(tail);
+        count += 1;
+        off += len;
+    }
+    buf.set_len(first);
+    process_frame(shared, server, stats, buf, src);
+    for slot in tails.iter_mut().take(count) {
+        if let Some(tail) = slot.take() {
+            process_frame(shared, server, stats, tail, src);
+        }
+    }
+}
+
+/// Demultiplexes one received frame — validation, routing, direct
+/// wakeup, on-the-fly buffer recycling (§3.1.3).
+fn process_frame(
+    shared: &EndpointShared,
+    server: &ServerSide,
+    stats: &RpcStats,
+    buf: PacketBuf,
+    src: SocketAddr,
+) {
+    let pkt = match Packet::from_buf(buf) {
+        Ok(p) => p,
+        Err(_) => {
+            RpcStats::bump(&stats.validation_drops);
+            return;
+        }
+    };
+    match pkt.rpc.packet_type {
+        PacketType::Call => server.handle_call_packet(pkt, src),
+        PacketType::Probe => {
+            server.handle_probe(&pkt.rpc, src);
+            pkt.into_buf().recycle();
+        }
+        PacketType::Result => match shared.calls.deliver(pkt) {
+            Deliver::Accepted => {
+                RpcStats::bump(&stats.results_received);
+                RpcStats::bump(&stats.direct_wakeups);
             }
-            PacketType::Result => match shared.calls.deliver(pkt) {
-                Deliver::Accepted => {
-                    RpcStats::bump(&stats.results_received);
-                    RpcStats::bump(&stats.direct_wakeups);
-                }
-                Deliver::AcceptedNeedsAck(ack) => {
-                    RpcStats::bump(&stats.results_received);
-                    RpcStats::bump(&stats.direct_wakeups);
-                    let _ = shared.ctx.send_ack(&ack, src);
-                }
-                Deliver::Orphan(pkt) => {
-                    RpcStats::bump(&stats.orphan_results);
-                    shared.ctx.pool.recycle_to_receive_queue(pkt.into_buf());
-                    RpcStats::bump(&stats.buffers_recycled);
-                }
-            },
-            PacketType::Ack | PacketType::ProbeResponse => {
-                if pkt.rpc.flags.acks_result {
-                    // The caller acknowledged one of our result fragments.
-                    server.handle_result_ack(&pkt.rpc);
-                    shared.ctx.pool.recycle_to_receive_queue(pkt.into_buf());
-                } else {
-                    RpcStats::bump(&stats.acks_received);
-                    match shared.calls.deliver(pkt) {
-                        Deliver::Accepted | Deliver::AcceptedNeedsAck(_) => {
-                            RpcStats::bump(&stats.direct_wakeups);
-                        }
-                        Deliver::Orphan(pkt) => {
-                            shared.ctx.pool.recycle_to_receive_queue(pkt.into_buf());
-                        }
+            Deliver::AcceptedNeedsAck(ack) => {
+                RpcStats::bump(&stats.results_received);
+                RpcStats::bump(&stats.direct_wakeups);
+                let _ = shared.ctx.send_ack(&ack, src);
+            }
+            Deliver::Orphan(pkt) => {
+                RpcStats::bump(&stats.orphan_results);
+                pkt.into_buf().recycle();
+                RpcStats::bump(&stats.buffers_recycled);
+            }
+        },
+        PacketType::Ack | PacketType::ProbeResponse => {
+            if pkt.rpc.flags.acks_result {
+                // The caller acknowledged one of our result fragments.
+                server.handle_result_ack(&pkt.rpc);
+                pkt.into_buf().recycle();
+            } else {
+                RpcStats::bump(&stats.acks_received);
+                match shared.calls.deliver(pkt) {
+                    Deliver::Accepted | Deliver::AcceptedNeedsAck(_) => {
+                        RpcStats::bump(&stats.direct_wakeups);
+                    }
+                    Deliver::Orphan(pkt) => {
+                        pkt.into_buf().recycle();
                     }
                 }
             }

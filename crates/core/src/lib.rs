@@ -95,6 +95,7 @@ pub mod packet;
 pub(crate) mod send;
 pub mod server;
 pub mod service;
+pub mod shard;
 pub mod stats;
 pub mod trace;
 pub mod transport;

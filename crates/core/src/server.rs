@@ -11,19 +11,19 @@
 //! `Receiver`: it up-calls the interface stub, which up-calls the service
 //! procedure, marshals the results into a result packet and sends it.
 
+use crate::calltable::shard_for;
 use crate::packet::{Assembled, Packet};
 use crate::send::SendCtx;
 use crate::service::Service;
+use crate::shard::WorkQueues;
 use crate::stats::RpcStats;
 use crate::{Result, RpcError};
 use firefly_idl::{engines_for_interface, StubEngine, StubStyle, Written};
 use firefly_pool::PacketBuf;
-use firefly_sync::channel::{unbounded, Receiver, Sender};
 use firefly_sync::{Condvar, Mutex, RwLock};
 use firefly_wire::{ActivityId, PacketType, RpcHeader, DATA_OFFSET, MAX_SINGLE_PACKET_DATA};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -107,7 +107,58 @@ enum Work {
         /// tracing was off at receipt.
         received_at: u64,
     },
-    Shutdown,
+}
+
+/// A worker's pending single-packet result frames, transmitted in one
+/// [`Transport::send_batch`] call — which coalesces consecutive frames
+/// to the same caller into single datagrams — whenever the worker runs
+/// out of immediately-available work or the batch reaches capacity.
+///
+/// Frames are *copied* in: retransmission retention keeps the pool
+/// buffer in the activity slot independently, so deferring the send
+/// never extends a buffer's lifetime.
+struct ResultBatch {
+    bytes: Vec<u8>,
+    frames: Vec<(usize, SocketAddr)>,
+}
+
+impl ResultBatch {
+    /// Flush once this many frames are pending even if more local work
+    /// remains, bounding the latency batching can add under load.
+    const MAX_FRAMES: usize = 16;
+
+    fn new() -> ResultBatch {
+        ResultBatch {
+            bytes: Vec::with_capacity(Self::MAX_FRAMES * 96),
+            frames: Vec::with_capacity(Self::MAX_FRAMES),
+        }
+    }
+
+    fn add(&mut self, frame: &[u8], dst: SocketAddr) {
+        self.bytes.extend_from_slice(frame);
+        self.frames.push((frame.len(), dst));
+    }
+
+    fn is_full(&self) -> bool {
+        self.frames.len() >= Self::MAX_FRAMES
+    }
+
+    fn flush(&mut self, transport: &dyn crate::transport::Transport) {
+        if self.frames.is_empty() {
+            return;
+        }
+        let mut batch: Vec<(&[u8], SocketAddr)> = Vec::with_capacity(self.frames.len());
+        let mut off = 0;
+        for &(len, dst) in &self.frames {
+            batch.push((&self.bytes[off..off + len], dst));
+            off += len;
+        }
+        // A UDP send failure here is indistinguishable from packet loss
+        // on the wire; the caller's retransmission machinery recovers.
+        let _ = transport.send_batch(&batch);
+        self.bytes.clear();
+        self.frames.clear();
+    }
 }
 
 /// The server half of an endpoint.
@@ -116,50 +167,43 @@ pub(crate) struct ServerSide {
     gate: RwLock<Option<Arc<dyn crate::auth::CallGate>>>,
     stub_style: StubStyle,
     activities: Mutex<HashMap<ActivityId, Arc<Activity>>>,
-    work_tx: Sender<Work>,
-    work_rx: Receiver<Work>,
-    idle_workers: AtomicUsize,
+    /// Per-worker receive queues with ascending-index work stealing;
+    /// the demux enqueues each call on `shard_for(activity)`'s queue.
+    queues: WorkQueues<Work>,
     ctx: Arc<SendCtx>,
 }
 
 impl ServerSide {
-    pub fn new(ctx: Arc<SendCtx>, stub_style: StubStyle) -> Arc<ServerSide> {
-        let (work_tx, work_rx) = unbounded();
+    pub fn new(ctx: Arc<SendCtx>, stub_style: StubStyle, workers: usize) -> Arc<ServerSide> {
         Arc::new(ServerSide {
             services: RwLock::new(HashMap::new()),
             gate: RwLock::new(None),
             stub_style,
             activities: Mutex::new(HashMap::new()),
-            work_tx,
-            work_rx,
-            idle_workers: AtomicUsize::new(0),
+            queues: WorkQueues::new(workers),
             ctx,
         })
     }
 
-    /// Spawns `n` server threads; they wait for calls until shutdown.
-    /// Fails with the underlying I/O error if the OS refuses a thread.
-    pub fn spawn_workers(
-        self: &Arc<Self>,
-        n: usize,
-    ) -> std::io::Result<Vec<std::thread::JoinHandle<()>>> {
-        (0..n)
+    /// Spawns one server thread per work queue; they wait for calls
+    /// until shutdown. Fails with the underlying I/O error if the OS
+    /// refuses a thread.
+    pub fn spawn_workers(self: &Arc<Self>) -> std::io::Result<Vec<std::thread::JoinHandle<()>>> {
+        (0..self.queues.worker_count())
             .map(|i| {
                 let me = Arc::clone(self);
                 std::thread::Builder::new()
                     // lint:allow(no-alloc-on-fast-path): one-time worker
                     // naming at endpoint startup, not the per-call path.
                     .name(format!("firefly-server-{i}"))
-                    .spawn(move || me.worker_loop())
+                    .spawn(move || me.worker_loop(i))
             })
             .collect()
     }
 
-    /// Stops all workers.
-    pub fn shutdown(&self, workers: usize) {
-        for _ in 0..workers {
-            let _ = self.work_tx.send(Work::Shutdown);
-        }
+    /// Stops all workers once their queued work is drained.
+    pub fn shutdown(&self) {
+        self.queues.shutdown();
     }
 
     /// Looks up an exported service by interface UID.
@@ -348,21 +392,27 @@ impl ServerSide {
                 let _ = self.ctx.send_ack(&RpcHeader::ack_for(&rpc), src);
             }
             self.recycle(pkt);
-            self.enqueue(Work::Call {
-                call: Assembled::Multi { rpc, data },
-                src,
-                received_at,
-            });
+            self.enqueue(
+                rpc.activity,
+                Work::Call {
+                    call: Assembled::Multi { rpc, data },
+                    src,
+                    received_at,
+                },
+            );
             return;
         }
 
         self.begin_call(&mut st, rpc.call_seq);
         drop(st);
-        self.enqueue(Work::Call {
-            call: Assembled::Single(pkt),
-            src,
-            received_at,
-        });
+        self.enqueue(
+            rpc.activity,
+            Work::Call {
+                call: Assembled::Single(pkt),
+                src,
+                received_at,
+            },
+        );
     }
 
     /// Marks a new call in progress and releases the previous retained
@@ -373,18 +423,23 @@ impl ServerSide {
         if let Retained::Pooled(buf) = std::mem::replace(&mut st.retained, Retained::None) {
             // "the interrupt handler removes the buffer found in that
             // call table entry and adds it to the … receive queue."
-            self.ctx.pool.recycle_to_receive_queue(buf);
+            // `recycle` returns it to the shard that allocated it.
+            buf.recycle();
             RpcStats::bump(&self.ctx.stats.buffers_recycled);
         }
     }
 
-    fn enqueue(&self, work: Work) {
-        if self.idle_workers.load(Ordering::Relaxed) > 0 {
+    /// Routes a call to the worker owning its activity's shard. A
+    /// `true` from the push means a parked worker was woken directly —
+    /// the paper's direct-handoff fast path; `false` means every worker
+    /// was busy and the call waits in the queue (the slow path).
+    fn enqueue(&self, activity: ActivityId, work: Work) {
+        let target = shard_for(activity, self.queues.worker_count());
+        if self.queues.push(target, work) {
             RpcStats::bump(&self.ctx.stats.direct_wakeups);
         } else {
             RpcStats::bump(&self.ctx.stats.slow_path_queued);
         }
-        let _ = self.work_tx.send(work);
     }
 
     /// Interrupt-level handling of a probe.
@@ -443,7 +498,7 @@ impl ServerSide {
         if rpc.flags.last_fragment {
             // Explicit ack of the complete result: release retention.
             if let Retained::Pooled(buf) = std::mem::replace(&mut st.retained, Retained::None) {
-                self.ctx.pool.recycle_to_receive_queue(buf);
+                buf.recycle();
                 RpcStats::bump(&self.ctx.stats.buffers_recycled);
             }
         }
@@ -452,7 +507,7 @@ impl ServerSide {
     }
 
     fn recycle(&self, pkt: Packet) {
-        self.ctx.pool.recycle_to_receive_queue(pkt.into_buf());
+        pkt.into_buf().recycle();
         RpcStats::bump(&self.ctx.stats.buffers_recycled);
     }
 
@@ -469,34 +524,52 @@ impl ServerSide {
         }
         drop(st);
         if let Retained::Pooled(buf) = retained {
-            self.ctx.pool.recycle_to_receive_queue(buf);
+            buf.recycle();
             RpcStats::bump(&self.ctx.stats.buffers_recycled);
         }
     }
 
-    fn worker_loop(self: Arc<Self>) {
+    fn worker_loop(self: Arc<Self>, worker: usize) {
+        // The worker's private batch: a whole queue drained (own or
+        // stolen) is processed from here without further locking.
+        let mut local = VecDeque::new();
+        // Pending result frames. Flushed when the batch fills or the
+        // queues go quiet (never later than the pre-park check inside
+        // `pop_with`), so no caller ever waits on a parked worker's
+        // buffered result; while work keeps arriving, results
+        // accumulate and go out coalesced.
+        let mut results = ResultBatch::new();
         loop {
-            self.idle_workers.fetch_add(1, Ordering::Relaxed);
-            let work = self.work_rx.recv();
-            self.idle_workers.fetch_sub(1, Ordering::Relaxed);
-            match work {
-                Ok(Work::Call {
+            if results.is_full() {
+                results.flush(&*self.ctx.transport);
+            }
+            // `pop_with` flushes the pending results once the queues
+            // have stayed quiet for a few rescans (and always before
+            // this worker could park), so during a busy streak results
+            // keep coalescing across drains and steals, while an idle
+            // lull bounds their latency at a handful of yields.
+            let next = self
+                .queues
+                .pop_with(worker, &mut local, || results.flush(&*self.ctx.transport));
+            match next {
+                Some(Work::Call {
                     call,
                     src,
                     received_at,
-                }) => self.dispatch(call, src, received_at),
-                Ok(Work::Shutdown) | Err(_) => return,
+                }) => self.dispatch(call, src, received_at, &mut results),
+                None => break,
             }
         }
+        results.flush(&*self.ctx.transport);
     }
 
     /// The Receiver: execute one call and transmit its result.
-    fn dispatch(&self, call: Assembled, src: SocketAddr, received_at: u64) {
+    fn dispatch(&self, call: Assembled, src: SocketAddr, received_at: u64, results: &mut ResultBatch) {
         let rpc = *call.rpc();
         // The server half of the latency account: `Received` carries the
         // demux stamp, `Dispatched` is stamped here (the wakeup delta).
         let mut span = self.ctx.tracer.server_span(rpc.procedure, received_at);
-        let outcome = self.execute(&call, src, &mut span);
+        let outcome = self.execute(&call, src, &mut span, results);
         if outcome.is_ok() && span.finish() {
             RpcStats::bump(&self.ctx.stats.trace_records);
         }
@@ -542,6 +615,7 @@ impl ServerSide {
         call: &Assembled,
         src: SocketAddr,
         span: &mut crate::trace::Span<'_>,
+        results: &mut ResultBatch,
     ) -> Result<Retained> {
         let rpc = *call.rpc();
         // The authorization hook runs after duplicate filtering, before
@@ -568,9 +642,14 @@ impl ServerSide {
         // Unmarshal in place: CHAR arrays borrow the call packet.
         let args = stub.unmarshal_call(call.data())?;
 
-        // Marshal the result straight into a fresh pool buffer; large
-        // results spill to the heap transparently.
-        let mut result_buf = self.ctx.pool.alloc_timeout(Duration::from_secs(1))?;
+        // Marshal the result straight into a fresh pool buffer from the
+        // activity's shard (caller threads on other shards contend on
+        // nothing); large results spill to the heap transparently.
+        let shard = shard_for(rpc.activity, self.ctx.pool.shard_count());
+        let mut result_buf = self
+            .ctx
+            .pool
+            .alloc_timeout_from(shard, Duration::from_secs(1))?;
         let raw = result_buf.raw_mut();
         let mut writer = stub.result_writer(&mut raw[DATA_OFFSET..]);
         entry.service.dispatch(rpc.procedure, &args, &mut writer)?;
@@ -582,19 +661,25 @@ impl ServerSide {
         let result_header = RpcHeader::result_for(&rpc, written.len());
         match written {
             Written::InPlace { len } => {
-                // Single packet: headers in place around the data, send,
-                // retain the pool buffer — no per-call list around it.
+                // Single packet: headers in place around the data, queue
+                // the frame on the worker's result batch (coalesced into
+                // shared datagrams at the next flush), retain the pool
+                // buffer — no per-call list around it.
                 let total = self
                     .ctx
                     .builder_from(&result_header, src)
                     .encode_into(result_buf.raw_mut(), len)?;
                 result_buf.set_len(total);
-                self.ctx.transport.send(&result_buf, src)?;
+                results.add(&result_buf, src);
                 span.stamp(crate::trace::Stamp::ResultSent);
                 Ok(Retained::Pooled(result_buf))
             }
             Written::Spilled(data) => {
                 drop(result_buf);
+                // Stop-and-wait blocks on caller acks; flush pending
+                // results first so other callers aren't stalled behind
+                // this one's fragment round trips.
+                results.flush(&*self.ctx.transport);
                 self.send_multi_result(&rpc, &data, src, span)
             }
         }

@@ -94,6 +94,7 @@ impl Default for Config {
                 "crates/core/src/fragment.rs".into(),
                 "crates/core/src/calltable.rs".into(),
                 "crates/core/src/endpoint.rs".into(),
+                "crates/core/src/shard.rs".into(),
                 "crates/core/src/trace.rs".into(),
                 "crates/core/src/stats.rs".into(),
                 "crates/pool/src/lib.rs".into(),
@@ -103,7 +104,11 @@ impl Default for Config {
                 "crates/rng/src/lib.rs".into(),
                 "crates/wire/src".into(),
             ],
-            fast_path_stop_files: vec!["crates/idl/src".into(), "crates/check/src".into()],
+            fast_path_stop_files: vec![
+                "crates/idl/src".into(),
+                "crates/check/src".into(),
+                "crates/metrics/src".into(),
+            ],
             error_markers: vec![
                 "Err(".into(),
                 "RpcError::".into(),

@@ -293,6 +293,202 @@ impl BufferPool {
     }
 }
 
+/// Aggregate counters across every shard of a [`ShardedPool`];
+/// a by-value snapshot mirroring the [`PoolStats`] accessors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStatsSummary {
+    allocs: u64,
+    frees: u64,
+    recycles: u64,
+    exhaustions: u64,
+    high_water: u64,
+}
+
+impl PoolStatsSummary {
+    /// Total successful allocations across all shards.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Total buffers returned through drop across all shards.
+    pub fn frees(&self) -> u64 {
+        self.frees
+    }
+
+    /// Buffers moved directly to a receive queue across all shards.
+    pub fn recycles(&self) -> u64 {
+        self.recycles
+    }
+
+    /// Allocation attempts that found a shard empty.
+    pub fn exhaustions(&self) -> u64 {
+        self.exhaustions
+    }
+
+    /// Sum of per-shard high-water marks (an upper bound on the true
+    /// simultaneous peak across the whole pool).
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Buffers currently held by users (allocs − frees − recycles).
+    pub fn outstanding(&self) -> u64 {
+        self.allocs
+            .saturating_sub(self.frees)
+            .saturating_sub(self.recycles)
+    }
+}
+
+/// A pool split into independent shards, each a full [`BufferPool`] with
+/// its own locks, free list and receive queue.
+///
+/// The shard for a call is chosen by the runtime as a pure function of
+/// the activity id (see `firefly_rpc::calltable::shard_for`), so a
+/// caller thread and the demultiplexer touching the same call always
+/// agree on which shard's locks they contend on — and calls on
+/// different shards contend on nothing. A [`PacketBuf`] always returns
+/// to the shard that allocated it (its owning [`BufferPool`]), so
+/// cross-shard borrowing during exhaustion cannot leak buffers between
+/// shards.
+///
+/// The exhaustion fallback scans the remaining shards in ascending
+/// index order, matching the workspace-wide parametric lock discipline;
+/// no two shard locks are ever held at once here (each attempt releases
+/// its locks before the next shard is tried).
+#[derive(Clone)]
+pub struct ShardedPool {
+    shards: Arc<[BufferPool]>,
+}
+
+impl fmt::Debug for ShardedPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedPool")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity())
+            .field("free", &self.free_count())
+            .finish()
+    }
+}
+
+impl ShardedPool {
+    /// Creates a pool of `capacity` total buffers split across `shards`
+    /// shards (at least one buffer per shard; the remainder goes to the
+    /// lowest-indexed shards).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let n = shards.max(1);
+        let base = (capacity / n).max(1);
+        let extra = capacity.saturating_sub(base * n);
+        let shards: Vec<BufferPool> = (0..n)
+            .map(|i| BufferPool::new(base + usize::from(i < extra)))
+            .collect();
+        ShardedPool {
+            shards: shards.into(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard at `idx` (wrapped, so any hash value is a valid index).
+    pub fn shard(&self, idx: usize) -> &BufferPool {
+        &self.shards[idx % self.shards.len()]
+    }
+
+    /// All shards, for per-shard introspection in tests.
+    pub fn shards(&self) -> &[BufferPool] {
+        &self.shards
+    }
+
+    /// Total configured buffers across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.capacity()).sum()
+    }
+
+    /// Total buffers on free lists across all shards.
+    pub fn free_count(&self) -> usize {
+        self.shards.iter().map(|s| s.free_count()).sum()
+    }
+
+    /// Total buffers parked on receive queues across all shards.
+    pub fn receive_queue_len(&self) -> usize {
+        self.shards.iter().map(|s| s.receive_queue_len()).sum()
+    }
+
+    /// Aggregate statistics across all shards.
+    pub fn stats(&self) -> PoolStatsSummary {
+        let mut sum = PoolStatsSummary::default();
+        for s in &*self.shards {
+            let st = s.stats();
+            sum.allocs += st.allocs();
+            sum.frees += st.frees();
+            sum.recycles += st.recycles();
+            sum.exhaustions += st.exhaustions();
+            sum.high_water += st.high_water();
+        }
+        sum
+    }
+
+    /// Labels every shard's locks for `firefly-check`. No-op outside a
+    /// checked schedule.
+    pub fn check_labels(&self) {
+        for s in &*self.shards {
+            s.check_labels();
+        }
+    }
+
+    /// Allocates from the home shard, falling back to the other shards
+    /// in ascending index order when it is exhausted.
+    pub fn alloc_from(&self, idx: usize) -> Result<PacketBuf, PoolError> {
+        let n = self.shards.len();
+        let home = idx % n;
+        match self.shards[home].alloc() {
+            Ok(buf) => Ok(buf),
+            Err(_) => {
+                for step in 1..n {
+                    if let Ok(buf) = self.shards[(home + step) % n].alloc() {
+                        return Ok(buf);
+                    }
+                }
+                Err(PoolError::Exhausted)
+            }
+        }
+    }
+
+    /// Allocates from the home shard with a deadline, scanning the other
+    /// shards between short blocking waits on the home shard.
+    pub fn alloc_timeout_from(&self, idx: usize, timeout: Duration) -> Result<PacketBuf, PoolError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Ok(buf) = self.alloc_from(idx) {
+                return Ok(buf);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(PoolError::Timeout);
+            }
+            // Every shard was empty at the instant of the scan: park
+            // briefly on the home shard (frees there wake us directly;
+            // frees elsewhere are caught by the rescan).
+            let slice = Duration::from_millis(10).min(deadline - now);
+            match self.shard(idx).alloc_timeout(slice) {
+                Ok(buf) => return Ok(buf),
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// Takes a receive-queue buffer from the home shard, falling back to
+    /// an ascending-order allocation scan.
+    pub fn take_receive_buffer_from(&self, idx: usize) -> Result<PacketBuf, PoolError> {
+        match self.shard(idx).take_receive_buffer() {
+            Ok(buf) => Ok(buf),
+            Err(_) => self.alloc_from(idx),
+        }
+    }
+}
+
 /// Exclusive ownership of one pool buffer, returned to the pool on drop.
 ///
 /// Dereferences to the first `len` bytes — the valid portion of the packet.
@@ -353,6 +549,17 @@ impl PacketBuf {
     /// Returns the owning pool.
     pub fn pool(&self) -> &BufferPool {
         &self.pool
+    }
+
+    /// Moves this buffer onto its *owning* pool's receive queue (the
+    /// interrupt-handler recycling path). With a [`ShardedPool`] this
+    /// keeps every slab in the shard that allocated it, so per-shard
+    /// capacity is invariant no matter which thread recycles.
+    pub fn recycle(self) {
+        // UFCS: clones only the pool *handle* (an `Arc` bump), never the
+        // slab — the slab moves back to its home shard with `self`.
+        let pool = BufferPool::clone(&self.pool);
+        pool.recycle_to_receive_queue(self);
     }
 }
 
@@ -490,6 +697,75 @@ mod tests {
         drop(b);
         drop(c);
         assert_eq!(pool.stats().high_water(), 2);
+    }
+
+    #[test]
+    fn sharded_pool_splits_capacity_and_isolates_shards() {
+        let pool = ShardedPool::new(10, 4);
+        assert_eq!(pool.shard_count(), 4);
+        assert_eq!(pool.capacity(), 10);
+        // Remainder buffers go to the lowest-indexed shards.
+        assert_eq!(pool.shard(0).capacity(), 3);
+        assert_eq!(pool.shard(1).capacity(), 3);
+        assert_eq!(pool.shard(2).capacity(), 2);
+        assert_eq!(pool.shard(3).capacity(), 2);
+        let b = pool.alloc_from(2).unwrap();
+        assert_eq!(pool.shard(2).free_count(), 1);
+        assert_eq!(pool.shard(0).free_count(), 3);
+        drop(b);
+        // The buffer returns to the shard that allocated it.
+        assert_eq!(pool.shard(2).free_count(), 2);
+        assert_eq!(pool.stats().outstanding(), 0);
+    }
+
+    #[test]
+    fn sharded_pool_borrows_ascending_on_exhaustion() {
+        let pool = ShardedPool::new(4, 4);
+        let _home = pool.alloc_from(1).unwrap();
+        // Home shard 1 is now empty; the fallback scans 2, 3, 0.
+        let borrowed = pool.alloc_from(1).unwrap();
+        assert_eq!(pool.shard(2).free_count(), 0);
+        drop(borrowed);
+        assert_eq!(pool.shard(2).free_count(), 1);
+        assert!(pool.shard(1).stats().exhaustions() >= 1);
+    }
+
+    #[test]
+    fn sharded_pool_exhausts_only_when_every_shard_is_empty() {
+        let pool = ShardedPool::new(4, 2);
+        let held: Vec<_> = (0..4).map(|i| pool.alloc_from(i).unwrap()).collect();
+        assert_eq!(pool.alloc_from(0).unwrap_err(), PoolError::Exhausted);
+        assert_eq!(
+            pool.alloc_timeout_from(0, Duration::from_millis(10))
+                .unwrap_err(),
+            PoolError::Timeout
+        );
+        drop(held);
+        assert_eq!(pool.free_count(), 4);
+    }
+
+    #[test]
+    fn sharded_pool_blocking_alloc_wakes_on_home_free() {
+        let pool = ShardedPool::new(2, 2);
+        let a = pool.alloc_from(0).unwrap();
+        let _b = pool.alloc_from(1).unwrap();
+        let p2 = pool.clone();
+        let t =
+            std::thread::spawn(move || p2.alloc_timeout_from(0, Duration::from_secs(5)).is_ok());
+        firefly_sync::test_sleep();
+        drop(a);
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn sharded_pool_single_shard_matches_plain_pool() {
+        let pool = ShardedPool::new(3, 1);
+        assert_eq!(pool.shard_count(), 1);
+        assert_eq!(pool.capacity(), 3);
+        let b = pool.take_receive_buffer_from(7).unwrap();
+        pool.shard(0).recycle_to_receive_queue(b);
+        assert_eq!(pool.receive_queue_len(), 1);
+        assert_eq!(pool.stats().recycles(), 1);
     }
 
     #[test]

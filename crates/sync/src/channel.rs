@@ -136,6 +136,24 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Dequeues the next message without blocking.
+    ///
+    /// Returns `Ok(Some(_))` when a message was waiting, `Ok(None)` when
+    /// the queue is momentarily empty, and `Err(RecvError)` once it is
+    /// empty *and* every sender has disconnected. The demultiplexer's
+    /// batched drain uses this to pull a burst of already-arrived frames
+    /// after one blocking [`Receiver::recv`].
+    pub fn try_recv(&self) -> Result<Option<T>, RecvError> {
+        let mut queue = self.chan.queue.lock();
+        if let Some(value) = queue.pop_front() {
+            return Ok(Some(value));
+        }
+        if self.chan.senders.load(Ordering::Acquire) == 0 {
+            return Err(RecvError);
+        }
+        Ok(None)
+    }
+
     /// Number of queued messages (racy, for tests and introspection).
     pub fn len(&self) -> usize {
         self.chan.queue.lock().len()
@@ -241,6 +259,26 @@ mod tests {
             .collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn try_recv_never_blocks() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.try_recv(), Ok(None));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(Some(7)));
+        assert_eq!(rx.try_recv(), Ok(None));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_recv_drains_queued_before_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send("x").unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(Some("x")));
+        assert_eq!(rx.try_recv(), Err(RecvError));
     }
 
     #[test]

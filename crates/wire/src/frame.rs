@@ -34,6 +34,33 @@ const _: () = assert!(RPC_HEADERS_LEN + MAX_SINGLE_PACKET_DATA == MAX_FRAME_LEN)
 /// Byte offset of the RPC data within a frame.
 pub const DATA_OFFSET: usize = RPC_HEADERS_LEN;
 
+/// Returns the wire length of the frame starting at `bytes[0]`, read
+/// from its IP total-length field without validating the rest.
+///
+/// This is the receive half of datagram coalescing: a transport may
+/// pack several complete frames back to back into one datagram
+/// (`Transport::send_batch`), and the demultiplexer walks the datagram
+/// by repeated `coalesced_frame_len` to find each frame's boundary.
+/// Full validation (checksums, lengths) still happens per frame in
+/// [`FrameView::parse`]. Returns `None` when the prefix is too short or
+/// the claimed length is implausible or overruns `bytes` — the caller
+/// treats the remainder as trailing garbage and drops it.
+pub fn coalesced_frame_len(bytes: &[u8]) -> Option<usize> {
+    if bytes.len() < ETHERNET_HEADER_LEN + IPV4_HEADER_LEN {
+        return None;
+    }
+    let total = u16::from_be_bytes([
+        bytes[ETHERNET_HEADER_LEN + 2],
+        bytes[ETHERNET_HEADER_LEN + 3],
+    ]) as usize;
+    let len = ETHERNET_HEADER_LEN + total;
+    if (MIN_FRAME_LEN..=MAX_FRAME_LEN).contains(&len) && len <= bytes.len() {
+        Some(len)
+    } else {
+        None
+    }
+}
+
 /// A fully parsed RPC frame, with owned headers and a data region described
 /// by offset into the original buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -511,6 +538,56 @@ mod tests {
                 available: 4
             })
         ));
+    }
+
+    #[test]
+    fn coalesced_frame_len_reads_one_frame() {
+        let f = builder().build(&[1, 2, 3]).unwrap();
+        assert_eq!(coalesced_frame_len(f.bytes()), Some(f.len()));
+        // A maximal frame fills the datagram exactly.
+        let max = FrameBuilder::new(PacketType::Result)
+            .build(&vec![0u8; MAX_SINGLE_PACKET_DATA])
+            .unwrap();
+        assert_eq!(coalesced_frame_len(max.bytes()), Some(MAX_FRAME_LEN));
+    }
+
+    #[test]
+    fn coalesced_frame_len_walks_packed_frames() {
+        let a = builder().build(&[]).unwrap();
+        let b = builder().call_seq(56).build(&[9; 40]).unwrap();
+        let mut packed = a.bytes().to_vec();
+        packed.extend_from_slice(b.bytes());
+        let first = coalesced_frame_len(&packed).unwrap();
+        assert_eq!(first, a.len());
+        let second = coalesced_frame_len(&packed[first..]).unwrap();
+        assert_eq!(second, b.len());
+        assert_eq!(first + second, packed.len());
+        // Each boundary parses as a complete, valid frame.
+        let fa = Frame::parse(&packed[..first]).unwrap();
+        let fb = Frame::parse(&packed[first..]).unwrap();
+        assert_eq!(fa.rpc.call_seq, 55);
+        assert_eq!(fb.rpc.call_seq, 56);
+        assert_eq!(fb.data, vec![9; 40]);
+    }
+
+    #[test]
+    fn coalesced_frame_len_rejects_garbage() {
+        // Too short to hold the IP header at all.
+        assert_eq!(coalesced_frame_len(&[0u8; 33]), None);
+        // Claimed length below the 74-byte minimum.
+        let mut short = builder().build(&[]).unwrap().into_bytes();
+        short[ETHERNET_HEADER_LEN + 2..ETHERNET_HEADER_LEN + 4]
+            .copy_from_slice(&10u16.to_be_bytes());
+        assert_eq!(coalesced_frame_len(&short), None);
+        // Claimed length overrunning the datagram (truncated tail).
+        let f = builder().build(&[7; 100]).unwrap();
+        assert_eq!(coalesced_frame_len(&f.bytes()[..f.len() - 1]), None);
+        // Claimed length above the Ethernet maximum.
+        let mut long = builder().build(&[]).unwrap().into_bytes();
+        long[ETHERNET_HEADER_LEN + 2..ETHERNET_HEADER_LEN + 4]
+            .copy_from_slice(&4000u16.to_be_bytes());
+        long.resize(4100, 0);
+        assert_eq!(coalesced_frame_len(&long), None);
     }
 
     #[test]

@@ -52,7 +52,8 @@ pub use checksum::{internet_checksum, Checksum};
 pub use error::WireError;
 pub use ethernet::{EtherType, EthernetHeader, MacAddr, ETHERNET_HEADER_LEN};
 pub use frame::{
-    Frame, FrameBuilder, FrameView, DATA_OFFSET, MAX_FRAME_LEN, MIN_FRAME_LEN, RPC_HEADERS_LEN,
+    coalesced_frame_len, Frame, FrameBuilder, FrameView, DATA_OFFSET, MAX_FRAME_LEN,
+    MIN_FRAME_LEN, RPC_HEADERS_LEN,
 };
 pub use ip::{Ipv4Header, IPV4_HEADER_LEN, PROTO_UDP};
 pub use rpc::{

@@ -185,11 +185,20 @@ for name, bm in base["gate_metrics"].items():
         verdict = "ok"
     rows.append((name, old, new, delta_pct, verdict))
 
+# Metrics the candidate introduces (no baseline value yet) bootstrap:
+# they are reported, never compared, and start gating only once a
+# baseline snapshot carries them.
+for name, cm in cand["gate_metrics"].items():
+    if name not in base["gate_metrics"]:
+        rows.append((name, None, cm["value"], None, "NEW (bootstrap)"))
+
 name_w = max(len(r[0]) for r in rows)
 print(f"    {'metric':<{name_w}}  {'baseline':>12}  {'current':>12}  {'delta':>8}  verdict")
 for name, old, new, delta, verdict in rows:
     if new is None:
         print(f"    {name:<{name_w}}  {old:>12.2f}  {'—':>12}  {'—':>8}  {verdict}")
+    elif old is None:
+        print(f"    {name:<{name_w}}  {'—':>12}  {new:>12.2f}  {'—':>8}  {verdict}")
     else:
         print(f"    {name:<{name_w}}  {old:>12.2f}  {new:>12.2f}  {delta:>+7.1f}%  {verdict}")
 

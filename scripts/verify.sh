@@ -158,6 +158,14 @@ if (( snapshot_elapsed_ms >= 30000 )); then
     echo "verify: FAIL — bench_snapshot --smoke took ${snapshot_elapsed_ms} ms (budget 30000 ms)" >&2
     exit 1
 fi
+python3 -c '
+import json
+s = json.load(open("target/bench-smoke.json"))["shard_scaling"]
+single, multi = s["single_caller_null_rps"], s["multi_caller_null_rps"]
+threads, ratio = s["threads"], s["null_scaling_ratio"]
+print(f"    shard scaling: 1 thread {single:.0f} rps, "
+      f"{threads:.0f} threads {multi:.0f} rps -> x{ratio:.2f}")
+'
 scripts/bench_gate.sh --check target/bench-smoke.json
 scripts/bench_gate.sh --check
 

@@ -144,6 +144,36 @@ fn tolerance_is_configurable() {
 }
 
 #[test]
+fn new_metric_in_candidate_bootstraps_instead_of_erroring() {
+    // A newer snapshot may introduce a gate metric its predecessor
+    // never measured (the shard-scaling ratio arrived this way). The
+    // gate must report it as a bootstrap row and keep gating the
+    // shared metrics — not error out or treat it as a regression.
+    let dir = temp_dir("new-metric-bootstrap");
+    write_snapshot(&dir, 6, &snapshot_json(12.0, 60000.0));
+    let with_ratio = snapshot_json(12.0, 60000.0).replace(
+        r#""single_caller_null_rps": {"value": 60000, "direction": "higher", "unit": "calls/s"}"#,
+        r#""single_caller_null_rps": {"value": 60000, "direction": "higher", "unit": "calls/s"},
+    "null_scaling_ratio": {"value": 2.1, "direction": "higher", "unit": "x"}"#,
+    );
+    write_snapshot(&dir, 7, &with_ratio);
+    let out = run_gate(&dir, &[], &[]);
+    assert!(out.status.success(), "{}", text(&out));
+    let t = text(&out);
+    assert!(t.contains("null_scaling_ratio"), "{t}");
+    assert!(t.contains("NEW (bootstrap)"), "{t}");
+    assert!(t.contains("no metric regressed"), "{t}");
+    // The reverse direction is still a hard failure: a metric that
+    // disappears from the trajectory is a regression, not a bootstrap.
+    let dir = temp_dir("metric-vanishes");
+    write_snapshot(&dir, 6, &with_ratio);
+    write_snapshot(&dir, 7, &snapshot_json(12.0, 60000.0));
+    let out = run_gate(&dir, &[], &[]);
+    assert!(!out.status.success(), "{}", text(&out));
+    assert!(text(&out).contains("MISSING"), "{}", text(&out));
+}
+
+#[test]
 fn check_mode_reports_regressions_without_failing() {
     let dir = temp_dir("check-mode");
     write_snapshot(&dir, 6, &snapshot_json(100.0, 60000.0));

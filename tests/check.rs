@@ -235,6 +235,69 @@ fn dpor_exhausts_the_sharded_calltable_where_dfs_cannot() {
     );
 }
 
+/// The sharded-calltable model is a faithful miniature of the runtime:
+/// it shards by the runtime's own `shard_for` hash over the runtime's
+/// default shard count, and its steal policy produces exactly the
+/// ascending parametric `shard` bridge that the lint config's declared
+/// lock classes sanction — no other cross-shard nesting.
+#[test]
+fn sharded_model_mirrors_runtime_shard_count_and_steal_policy() {
+    let explorer = Explorer::new();
+    let model = models::find("sharded-calltable").expect("sharded model registered");
+    let dpor = explorer.explore(&model, &Mode::Dpor { max_schedules: 2000 });
+    assert!(dpor.failure.is_none(), "sharded-calltable (dpor) failed");
+    assert!(dpor.exhausted, "DPOR must exhaust the sharded model");
+
+    // Shard selection: the model routes each caller by the runtime's
+    // hash over the runtime's default shard count (the model asserts
+    // the count match internally; this pins the policy from outside
+    // the checker crate too). The hash must be a total, in-range, pure
+    // function of the activity id — retransmits and duplicates land on
+    // the same shard as the original.
+    let shards = firefly_rpc::Config::default().shards;
+    for thread in 0..64u16 {
+        let id = firefly_wire::ActivityId::new(9, 1, thread);
+        let home = firefly_rpc::calltable::shard_for(id, shards);
+        assert!(home < shards, "shard_for must stay in range");
+        assert_eq!(
+            home,
+            firefly_rpc::calltable::shard_for(id, shards),
+            "shard assignment must be a pure function of the activity id"
+        );
+    }
+
+    // Steal policy: the only cross-shard nesting is the victim -> thief
+    // takeover bridge, and it must ascend — the exact edge shape the
+    // parametric `shard` class in lint.toml declares legal. The lint
+    // engine must agree the class is declared parametric.
+    let engine = Engine::for_root(&workspace_root());
+    assert!(
+        engine
+            .config
+            .lock_order
+            .iter()
+            .any(|c| c.name == "shard" && c.parametric),
+        "lint config no longer declares the shard class parametric"
+    );
+    let same_class: Vec<_> = dpor
+        .edges
+        .iter()
+        .filter(|(f, t)| f.starts_with("shard[") && t.starts_with("shard["))
+        .collect();
+    assert!(
+        !same_class.is_empty(),
+        "model no longer exercises the parametric steal bridge"
+    );
+    for (from, to) in &same_class {
+        let idx =
+            |s: &str| -> usize { s["shard[".len()..s.len() - 1].parse().expect("shard index") };
+        assert!(
+            idx(from) < idx(to),
+            "steal bridge {from} -> {to} is not ascending"
+        );
+    }
+}
+
 /// Cross-validation against the static lock graph: every class-level
 /// edge the checker observes dynamically must already be present in
 /// `firefly-lint`'s static graph (same classified endpoints), and must
