@@ -6,8 +6,11 @@
 //! replayable schedule. Exit 0 only when both halves hold.
 //!
 //! `--json-edges PATH` writes the union of observed class-level lock
-//! edges from passing structure schedules; scripts/verify.sh diffs that
-//! against the static lock graph from `firefly-lint --json`.
+//! edges from passing structure schedules, the set of atomic location
+//! classes whose release→acquire publication edge was consumed, and
+//! each auditing model's quiescent accounting counters;
+//! scripts/cross_diff.py diffs all three against the static report from
+//! `firefly-lint --json`.
 //!
 //! `--dpor` swaps DFS for sleep-set + source-set dynamic partial-order
 //! reduction; each DPOR run prints a machine-parseable
@@ -22,7 +25,7 @@
 //!   firefly-check --model bug-abba --replay 0,1,1 --verbose
 
 use firefly_check::{args, models, render_failure, Explorer, Mode, Outcome};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
 
 fn summarize(outcome: &Outcome, expect_failure: bool, verbose: bool) -> bool {
@@ -114,7 +117,12 @@ fn collapse_parametric(
         .collect()
 }
 
-fn write_edges_json(path: &str, edges: &BTreeSet<(String, String)>) -> std::io::Result<()> {
+fn write_edges_json(
+    path: &str,
+    edges: &BTreeSet<(String, String)>,
+    publications: &BTreeSet<String>,
+    accounting: &BTreeMap<&'static str, Vec<(String, u64)>>,
+) -> std::io::Result<()> {
     let collapsed = collapse_parametric(edges);
     let mut s = String::from("{\n  \"edges\": [");
     for (i, (from, to, ordering)) in collapsed.iter().enumerate() {
@@ -127,7 +135,28 @@ fn write_edges_json(path: &str, edges: &BTreeSet<(String, String)>) -> std::io::
         }
         s.push_str("}");
     }
-    s.push_str("\n  ]\n}\n");
+    // Observed release→acquire publication classes (from the race
+    // detector) and per-model quiescent accounting audits: the other
+    // two halves of the scripts/cross_diff.py static-vs-dynamic diff.
+    s.push_str("\n  ],\n  \"publications\": [");
+    for (i, class) in publications.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    \"{class}\""));
+    }
+    s.push_str("\n  ],\n  \"accounting\": {");
+    for (i, (model, counters)) in accounting.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let rendered: Vec<String> = counters
+            .iter()
+            .map(|(name, value)| format!("\"{name}\": {value}"))
+            .collect();
+        s.push_str(&format!("\n    \"{model}\": {{{}}}", rendered.join(", ")));
+    }
+    s.push_str("\n  }\n}\n");
     std::fs::write(path, s)
 }
 
@@ -231,6 +260,8 @@ fn main() -> ExitCode {
     let seed = args.seed.unwrap_or(0x00c0_ffee);
     let mut all_ok = true;
     let mut edges: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut publications: BTreeSet<String> = BTreeSet::new();
+    let mut accounting: BTreeMap<&'static str, Vec<(String, u64)>> = BTreeMap::new();
 
     if !args.bugs_only {
         println!(
@@ -253,6 +284,10 @@ fn main() -> ExitCode {
             }
             all_ok &= summarize(&dfs, false, args.verbose);
             edges.extend(dfs.edges);
+            publications.extend(dfs.publications);
+            if !dfs.accounting.is_empty() {
+                accounting.insert(model.name, dfs.accounting);
+            }
             let rand = explorer.explore(
                 &model,
                 &Mode::Random {
@@ -262,6 +297,10 @@ fn main() -> ExitCode {
             );
             all_ok &= summarize(&rand, false, args.verbose);
             edges.extend(rand.edges);
+            publications.extend(rand.publications);
+            if !rand.accounting.is_empty() {
+                accounting.insert(model.name, rand.accounting);
+            }
         }
     }
 
@@ -276,11 +315,15 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &args.json_edges {
-        if let Err(e) = write_edges_json(path, &edges) {
+        if let Err(e) = write_edges_json(path, &edges, &publications, &accounting) {
             eprintln!("firefly-check: writing {path}: {e}");
             return ExitCode::from(2);
         }
-        println!("firefly-check: {} observed lock edge(s) -> {path}", edges.len());
+        println!(
+            "firefly-check: {} observed lock edge(s), {} publication class(es) -> {path}",
+            edges.len(),
+            publications.len()
+        );
     }
 
     if all_ok {

@@ -50,6 +50,10 @@ pub struct ModelRun {
     /// Runs after all threads joined, *without* the hook: asserts the
     /// quiescent-state invariants (leak/double-release detection).
     pub finale: Box<dyn FnOnce() + Send>,
+    /// Optional quiescent accounting readout, run after a clean finale:
+    /// named counters (e.g. pool `outstanding` vs slot `retained`) that
+    /// the binary exports for the static-vs-dynamic lifecycle diff.
+    pub audit: Option<Box<dyn FnOnce() -> Vec<(String, u64)> + Send>>,
 }
 
 /// A named model in the registry.
@@ -123,6 +127,12 @@ pub struct Outcome {
     pub failure: Option<FailureReport>,
     /// Class-level lock edges observed across all passing schedules.
     pub edges: BTreeSet<(String, String)>,
+    /// Atomic location classes on which a release→acquire publication
+    /// edge was consumed in at least one passing schedule.
+    pub publications: BTreeSet<String>,
+    /// The last passing schedule's audit readout (named counters),
+    /// empty when the model declares no audit.
+    pub accounting: Vec<(String, u64)>,
     /// FNV-1a digest over every passing schedule's event log: two runs
     /// with the same mode and seed must produce identical digests.
     pub digest: u64,
@@ -203,6 +213,8 @@ impl Explorer {
             pruned: 0,
             failure: None,
             edges: BTreeSet::new(),
+            publications: BTreeSet::new(),
+            accounting: Vec::new(),
             digest: FNV_OFFSET,
         };
         let mut prefix: Vec<usize> = match mode {
@@ -219,7 +231,7 @@ impl Explorer {
                 Mode::Random { .. } => Some(firefly_rng::splitmix64(&mut seed_state)),
                 _ => None,
             };
-            let (result, finale_err) =
+            let (result, finale_err, accounting) =
                 self.run_one(model, prefix.clone(), schedule_seed.map(firefly_rng::Rng::new));
             let failure = result.failure.or_else(|| {
                 finale_err.map(|message| Failure::Invariant { message })
@@ -236,6 +248,10 @@ impl Explorer {
             }
             for edge in result.named_edges {
                 outcome.edges.insert(edge);
+            }
+            outcome.publications.extend(result.publications);
+            if let Some(accounting) = accounting {
+                outcome.accounting = accounting;
             }
             for line in &result.trace {
                 outcome.digest = fnv_fold(outcome.digest, line.as_bytes());
@@ -306,6 +322,8 @@ impl Explorer {
             pruned: 0,
             failure: None,
             edges: BTreeSet::new(),
+            publications: BTreeSet::new(),
+            accounting: Vec::new(),
             digest: FNV_OFFSET,
         };
         let mut nodes: Vec<Node> = Vec::new();
@@ -313,7 +331,7 @@ impl Explorer {
         let mut sleep: Vec<SleepEntry> = Vec::new();
         let mut sleep_from = usize::MAX;
         loop {
-            let (result, finale_err) =
+            let (result, finale_err, accounting) =
                 self.run_one_plan(model, prefix.clone(), None, sleep.clone(), sleep_from);
             if std::env::var_os("FIREFLY_DPOR_DEBUG").is_some() {
                 eprintln!(
@@ -346,6 +364,10 @@ impl Explorer {
                 }
                 for edge in result.named_edges {
                     outcome.edges.insert(edge);
+                }
+                outcome.publications.extend(result.publications.iter().cloned());
+                if let Some(accounting) = accounting {
+                    outcome.accounting = accounting;
                 }
                 for line in &result.trace {
                     outcome.digest = fnv_fold(outcome.digest, line.as_bytes());
@@ -460,14 +482,14 @@ impl Explorer {
         }
     }
 
-    /// Runs exactly one schedule; returns the schedule result and any
-    /// finale panic message.
+    /// Runs exactly one schedule; returns the schedule result, any
+    /// finale panic message, and the audit readout (clean runs only).
     fn run_one(
         &self,
         model: &Model,
         prefix: Vec<usize>,
         rng: Option<firefly_rng::Rng>,
-    ) -> (sched::ScheduleResult, Option<String>) {
+    ) -> (sched::ScheduleResult, Option<String>, Option<Vec<(String, u64)>>) {
         self.run_one_plan(model, prefix, rng, Vec::new(), usize::MAX)
     }
 
@@ -479,7 +501,7 @@ impl Explorer {
         rng: Option<firefly_rng::Rng>,
         sleep: Vec<SleepEntry>,
         sleep_from: usize,
-    ) -> (sched::ScheduleResult, Option<String>) {
+    ) -> (sched::ScheduleResult, Option<String>, Option<Vec<(String, u64)>>) {
         let run = (model.make)();
         let n = run.threads.len();
         self.sched
@@ -531,16 +553,28 @@ impl Explorer {
 
         // Finale: quiescent single-threaded asserts, no hook installed.
         // A sleep-set-redundant run was abandoned mid-flight, so its
-        // quiescent invariants are meaningless — skip them.
-        let finale_err = if result.failure.is_none() && !result.redundant {
+        // quiescent invariants are meaningless — skip them. The audit
+        // readout only runs after a clean finale: its counters describe
+        // a state the invariants have just vouched for.
+        let (finale_err, accounting) = if result.failure.is_none() && !result.redundant {
             let _ = SILENCED.try_with(|c| c.set(true));
             let r = catch_unwind(AssertUnwindSafe(run.finale));
+            let out = match r {
+                Ok(()) => match run.audit {
+                    Some(audit) => match catch_unwind(AssertUnwindSafe(audit)) {
+                        Ok(counters) => (None, Some(counters)),
+                        Err(p) => (Some(panic_message(p.as_ref())), None),
+                    },
+                    None => (None, None),
+                },
+                Err(p) => (Some(panic_message(p.as_ref())), None),
+            };
             let _ = SILENCED.try_with(|c| c.set(false));
-            r.err().map(|p| panic_message(p.as_ref()))
+            out
         } else {
-            None
+            (None, None)
         };
-        (result, finale_err)
+        (result, finale_err, accounting)
     }
 }
 

@@ -69,9 +69,13 @@ fn make_calltable() -> ModelRun {
     let label = {
         let table = Arc::clone(&table);
         let pool = pool.clone();
+        // Clone taken pre-hook; the label-phase drop's counter update is
+        // invisible to the scheduler (no tid registered yet).
+        let chan = rx.clone();
         Box::new(move || {
             table.check_labels();
             pool.check_labels();
+            chan.check_labels();
         }) as Box<dyn FnOnce() + Send>
     };
     let caller = {
@@ -120,6 +124,7 @@ fn make_calltable() -> ModelRun {
         label,
         threads: vec![caller, demux],
         finale,
+        audit: None,
     }
 }
 
@@ -161,6 +166,15 @@ fn make_pool() -> ModelRun {
             }
         }) as Box<dyn FnOnce() + Send>
     };
+    let audit = {
+        let pool = pool.clone();
+        Box::new(move || {
+            vec![
+                ("outstanding".to_string(), pool.stats().outstanding()),
+                ("retained".to_string(), 0),
+            ]
+        }) as Box<dyn FnOnce() -> Vec<(String, u64)> + Send>
+    };
     let finale = Box::new(move || {
         assert_eq!(
             pool.free_count() + pool.receive_queue_len(),
@@ -173,6 +187,7 @@ fn make_pool() -> ModelRun {
         label,
         threads: vec![t0, t1, t2],
         finale,
+        audit: Some(audit),
     }
 }
 
@@ -218,6 +233,7 @@ fn make_trace_ring() -> ModelRun {
         label,
         threads: vec![t0, t1, t2],
         finale,
+        audit: None,
     }
 }
 
@@ -231,7 +247,12 @@ fn make_channel() -> ModelRun {
     let rx1 = rx0.clone();
     let received = Arc::new(AtomicU64::new(0));
 
-    let label = Box::new(|| {}) as Box<dyn FnOnce() + Send>;
+    let label = {
+        // Clone taken pre-hook; the label-phase drop's counter update is
+        // invisible to the scheduler (no tid registered yet).
+        let chan = rx0.clone();
+        Box::new(move || chan.check_labels()) as Box<dyn FnOnce() + Send>
+    };
     let s0 = Box::new(move || {
         tx0.send(1).expect("receivers alive");
         tx0.send(2).expect("receivers alive");
@@ -266,6 +287,7 @@ fn make_channel() -> ModelRun {
         label,
         threads: vec![s0, s1, r0, r1],
         finale,
+        audit: None,
     }
 }
 
@@ -308,6 +330,7 @@ fn make_bug_abba() -> ModelRun {
         label,
         threads: vec![t0, t1],
         finale: Box::new(|| {}),
+        audit: None,
     }
 }
 
@@ -349,6 +372,7 @@ fn make_bug_lost_wakeup() -> ModelRun {
         label,
         threads: vec![signaller, waiter],
         finale: Box::new(|| {}),
+        audit: None,
     }
 }
 
@@ -388,6 +412,7 @@ fn make_bug_double_release() -> ModelRun {
         label,
         threads: vec![t0, t1],
         finale,
+        audit: None,
     }
 }
 
@@ -433,6 +458,7 @@ fn make_gate() -> ModelRun {
         label,
         threads: vec![t0, t1, observer],
         finale,
+        audit: None,
     }
 }
 
@@ -614,6 +640,129 @@ fn make_sharded_calltable() -> ModelRun {
         label,
         threads: vec![t0, t1, stealer],
         finale,
+        audit: None,
+    }
+}
+
+/// Server-side activity slot retention (paper §3.1.3): the server keeps
+/// the last result packet's buffer in the activity slot so a duplicate
+/// call packet is answered by retransmission instead of re-execution,
+/// and frees it only when the next call on the activity (an implicit
+/// ack) arrives. Three threads race over a two-buffer pool and one
+/// slot: the server computes a result and retains its buffer, the demux
+/// answers a duplicate request from the retained copy (take, send,
+/// reinstall under one guard), and the acker releases the retained
+/// buffer onto the controller receive queue. Every interleaving must
+/// conserve slabs — free list + receive queue + retained — and keep the
+/// pool's outstanding counter equal to the retained count. That is the
+/// accounted-retention invariant firefly-lint's pool-lifecycle rule
+/// admits statically (`retained` is in its accounted-field list), and
+/// the audit readout below is what scripts/cross_diff.py compares
+/// against the static claim.
+fn make_activity_retention() -> ModelRun {
+    #[derive(Default)]
+    struct Slot {
+        /// Seq of the call whose result is retained for retransmission.
+        last_seq: Option<u32>,
+        /// The retained result buffer (accounted pool retention).
+        retained: Option<firefly_pool::PacketBuf>,
+    }
+    let pool = BufferPool::new(2);
+    let slot = Arc::new(Mutex::new(Slot::default()));
+
+    let label = {
+        let pool = pool.clone();
+        let slot = Arc::clone(&slot);
+        Box::new(move || {
+            pool.check_labels();
+            slot.check_label("calltable");
+        }) as Box<dyn FnOnce() + Send>
+    };
+    // Server: run the call, then install the result buffer in the slot.
+    // The alloc happens outside the slot guard, like the real server
+    // path — nesting it would invent a calltable→pool lock edge the
+    // static graph rightly doesn't have.
+    let server = {
+        let pool = pool.clone();
+        let slot = Arc::clone(&slot);
+        Box::new(move || {
+            let mut buf = pool.alloc().expect("two slabs, one alloc");
+            buf.fill_from(&[7]);
+            let mut s = slot.lock();
+            s.last_seq = Some(0);
+            s.retained = Some(buf);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    // Demux: a duplicate of call 0 arrives. If the result is already
+    // retained, answer from the copy — take, send, reinstall — without
+    // re-running the procedure; if not, the server is still computing
+    // and the duplicate is dropped (the caller will retransmit).
+    let demux = {
+        let slot = Arc::clone(&slot);
+        Box::new(move || {
+            let mut s = slot.lock();
+            if s.last_seq == Some(0) {
+                // Answer from the retained copy when it is still there
+                // (take, "send", reinstall); a duplicate that arrives
+                // after the ack already freed it is simply dropped.
+                if let Some(buf) = s.retained.take() {
+                    s.retained = Some(buf);
+                }
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    // Acker: the next call on the activity implicitly acks call 0, so
+    // the retained result is released to the controller receive queue.
+    // When the ack beats the server, the buffer simply stays retained —
+    // which the finale and audit must then account for.
+    let acker = {
+        let pool = pool.clone();
+        let slot = Arc::clone(&slot);
+        Box::new(move || {
+            let taken = {
+                let mut s = slot.lock();
+                s.retained.take()
+            };
+            if let Some(buf) = taken {
+                pool.recycle_to_receive_queue(buf);
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let finale = {
+        let pool = pool.clone();
+        let slot = Arc::clone(&slot);
+        Box::new(move || {
+            let retained = slot.lock().retained.is_some();
+            assert_eq!(
+                pool.free_count() + pool.receive_queue_len() + usize::from(retained),
+                2,
+                "slab neither free, queued, nor retained"
+            );
+            assert_eq!(
+                pool.stats().outstanding(),
+                u64::from(retained),
+                "outstanding counter disagrees with slot retention"
+            );
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let audit = {
+        let pool = pool.clone();
+        let slot = Arc::clone(&slot);
+        Box::new(move || {
+            vec![
+                ("outstanding".to_string(), pool.stats().outstanding()),
+                (
+                    "retained".to_string(),
+                    u64::from(slot.lock().retained.is_some()),
+                ),
+            ]
+        }) as Box<dyn FnOnce() -> Vec<(String, u64)> + Send>
+    };
+    ModelRun {
+        label,
+        threads: vec![server, demux, acker],
+        finale,
+        audit: Some(audit),
     }
 }
 
@@ -642,6 +791,7 @@ fn make_bug_race_counter() -> ModelRun {
         label,
         threads: vec![t0, t1],
         finale: Box::new(|| {}),
+        audit: None,
     }
 }
 
@@ -683,6 +833,7 @@ fn make_bug_race_publish() -> ModelRun {
         label,
         threads: vec![writer, reader],
         finale: Box::new(|| {}),
+        audit: None,
     }
 }
 
@@ -735,6 +886,7 @@ fn make_bug_race_notify() -> ModelRun {
         label,
         threads: vec![signaller, waiter],
         finale: Box::new(|| {}),
+        audit: None,
     }
 }
 
@@ -771,6 +923,11 @@ pub fn structure_models() -> Vec<Model> {
             name: "sharded-calltable",
             about: "4-shard call table + ascending-order stealer (DPOR exhausts, DFS drowns)",
             make: make_sharded_calltable,
+        },
+        Model {
+            name: "activity-retention",
+            about: "server-side activity slot retains the last result for retransmit (paper §3.1.3)",
+            make: make_activity_retention,
         },
     ]
 }

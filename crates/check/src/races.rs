@@ -33,7 +33,7 @@
 
 use crate::vc::VectorClock;
 use firefly_sync::hook::{AtomicOp, OrderTag};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One recorded atomic access, kept in a location's history until a
 /// later access is provably ordered after everything before it.
@@ -75,6 +75,11 @@ pub struct Detector {
     threads: Vec<VectorClock>,
     locks: BTreeMap<usize, VectorClock>,
     atomics: BTreeMap<usize, Location>,
+    /// Location classes (scheduler label with the `#N` instance suffix
+    /// stripped) on which a real release→acquire publication edge was
+    /// consumed this schedule. verify.sh diffs these against the static
+    /// lint pass's paired atomic locations.
+    publications: BTreeSet<String>,
 }
 
 fn writes(op: AtomicOp) -> bool {
@@ -96,7 +101,14 @@ impl Detector {
             threads: (0..n).map(|_| VectorClock::new(n)).collect(),
             locks: BTreeMap::new(),
             atomics: BTreeMap::new(),
+            publications: BTreeSet::new(),
         }
+    }
+
+    /// Drains the set of location classes whose release→acquire edges
+    /// were consumed so far.
+    pub fn take_publications(&mut self) -> BTreeSet<String> {
+        std::mem::take(&mut self.publications)
     }
 
     /// `tid` acquired `lock` (exclusive or shared, or reacquired it on
@@ -170,6 +182,11 @@ impl Detector {
         if sanctioned_now && matches!(op, AtomicOp::Load | AtomicOp::Rmw) && tag.acquires() {
             if let Some(release) = &loc.release {
                 self.threads[tid].join(release);
+                // A real publication edge was consumed on this
+                // location: record its class (label minus the `#N`
+                // instance suffix) for the static↔dynamic diff.
+                let class = location.split('#').next().unwrap_or(location);
+                self.publications.insert(class.to_string());
             }
         }
         if sanctioned_now && writes(op) && tag.releases() {
@@ -243,6 +260,34 @@ mod tests {
         let mut d = Detector::new(2);
         assert!(access(&mut d, 0, 1, AtomicOp::Store, OrderTag::Release, 1).is_none());
         assert!(access(&mut d, 1, 1, AtomicOp::Load, OrderTag::Acquire, 2).is_none());
+        // The consumed publication edge is recorded by location class.
+        assert_eq!(
+            d.take_publications().into_iter().collect::<Vec<_>>(),
+            vec!["x".to_string()]
+        );
+        assert!(d.take_publications().is_empty());
+    }
+
+    #[test]
+    fn instance_suffix_is_stripped_from_publication_classes() {
+        let mut d = Detector::new(2);
+        assert!(d
+            .atomic_access(0, 1, AtomicOp::Store, OrderTag::Release, 1, "gate#3")
+            .is_none());
+        assert!(d
+            .atomic_access(1, 1, AtomicOp::Load, OrderTag::Acquire, 2, "gate#3")
+            .is_none());
+        assert_eq!(
+            d.take_publications().into_iter().collect::<Vec<_>>(),
+            vec!["gate".to_string()]
+        );
+    }
+
+    #[test]
+    fn acquire_without_prior_release_records_no_publication() {
+        let mut d = Detector::new(2);
+        assert!(access(&mut d, 1, 1, AtomicOp::Load, OrderTag::Acquire, 1).is_none());
+        assert!(d.take_publications().is_empty());
     }
 
     #[test]

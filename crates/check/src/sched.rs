@@ -386,6 +386,9 @@ pub struct ScheduleResult {
     pub redundant: bool,
     /// Sleep-set snapshot at each decision point.
     pub decision_sleeps: Vec<Vec<SleepEntry>>,
+    /// Atomic location classes on which a release→acquire publication
+    /// edge was consumed (from the race detector).
+    pub publications: std::collections::BTreeSet<String>,
 }
 
 /// The scheduler shared by one explorer's worker threads.
@@ -437,6 +440,11 @@ impl Sched {
     /// Harvests the finished schedule's result.
     pub fn take_result(&self) -> ScheduleResult {
         let mut core = self.lock_core();
+        let publications = core
+            .detector
+            .as_mut()
+            .map(|d| d.take_publications())
+            .unwrap_or_default();
         ScheduleResult {
             failure: core.failure.take(),
             decisions: std::mem::take(&mut core.decisions),
@@ -445,6 +453,7 @@ impl Sched {
             steps: std::mem::take(&mut core.step_recs),
             redundant: core.redundant,
             decision_sleeps: std::mem::take(&mut core.decision_sleeps),
+            publications,
         }
     }
 

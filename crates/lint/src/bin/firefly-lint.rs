@@ -1,19 +1,26 @@
-//! Workspace lint driver. Usage: `firefly-lint [--json] [workspace-root]`.
+//! Workspace lint driver. Usage:
+//! `firefly-lint [--json | --summary] [workspace-root]`.
 //!
 //! With no path argument, walks upward from the current directory to
 //! the first `Cargo.toml` containing `[workspace]`. Exits 1 when any
 //! diagnostic is emitted, 2 on I/O errors.
 //!
 //! `--json` prints a machine-readable report on stdout instead of the
-//! human format: diagnostics, the computed fast-path reachability set,
-//! and every lock-graph edge. Exit codes are unchanged, so tooling can
-//! both parse the report and gate on it.
+//! human format: diagnostics (with rule family and def-use witness
+//! chain), the computed fast-path reachability set, every lock-graph
+//! edge, the dataflow aggregates (condvar pairings, atomic publication
+//! locations, pool-lifecycle counts), and the suppression inventory.
+//! Exit codes are unchanged, so tooling can both parse the report and
+//! gate on it.
+//!
+//! `--summary` prints one line for CI logs (diagnostic count by family,
+//! fast-path size, pairing counts) and exits with the same code.
 
 use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use firefly_lint::{Analysis, Engine};
+use firefly_lint::{rules, Analysis, Engine};
 
 fn find_workspace_root() -> Option<PathBuf> {
     let mut dir = env::current_dir().ok()?;
@@ -80,17 +87,33 @@ fn collapse_edge(from: &str, to: &str) -> (String, String, Option<&'static str>)
     }
 }
 
-fn print_json(analysis: &Analysis, classes: &[String], parametric: &[String]) {
+/// Renders a list of strings as a JSON array of strings.
+fn json_strings(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|w| format!("\"{}\"", esc(w))).collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+fn print_json(analysis: &Analysis, config: &firefly_lint::config::Config) {
+    let classes: Vec<String> = config.lock_order.iter().map(|c| c.name.clone()).collect();
+    let parametric: Vec<String> = config
+        .lock_order
+        .iter()
+        .filter(|c| c.parametric)
+        .map(|c| c.name.clone())
+        .collect();
     let mut s = String::from("{\n  \"diagnostics\": [");
     for (i, d) in analysis.diagnostics.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
         s.push_str(&format!(
-            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            "\n    {{\"rule\": \"{}\", \"family\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+             \"witness\": {}, \"message\": \"{}\"}}",
             esc(d.rule),
+            esc(rules::family(d.rule)),
             esc(&d.path),
             d.line,
+            json_strings(&d.witness),
             esc(&d.message)
         ));
     }
@@ -143,16 +166,120 @@ fn print_json(analysis: &Analysis, classes: &[String], parametric: &[String]) {
         }
         s.push_str(&format!("\"path\": \"{}\", \"line\": {}}}", esc(&e.path), e.line));
     }
-    s.push_str("\n    ]\n  }\n}");
+    // Dataflow aggregates: condvar pairings observed at wait sites,
+    // per-location atomic publication summaries (with the allowlist and
+    // the dynamic-label map for the verify.sh cross-diff), and the
+    // pool-lifecycle counts.
+    s.push_str("\n    ]\n  },\n  \"condvar\": {\n    \"pairs\": [");
+    for (i, (cond, mutexes)) in analysis.dataflow.condvar_pairs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n      {{\"cond\": \"{}\", \"mutexes\": {}}}",
+            esc(cond),
+            json_strings(mutexes)
+        ));
+    }
+    s.push_str(&format!(
+        "\n    ],\n    \"waits\": {},\n    \"notifies\": {}\n  }},",
+        analysis.dataflow.wait_sites, analysis.dataflow.notify_sites
+    ));
+    s.push_str("\n  \"atomic_publication\": {\n    \"allow_relaxed\": ");
+    s.push_str(&json_strings(&config.allow_relaxed));
+    s.push_str(",\n    \"label_map\": {");
+    for (i, (label, locations)) in config.publication_labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n      \"{}\": {}",
+            esc(label),
+            json_strings(locations)
+        ));
+    }
+    s.push_str("\n    },\n    \"locations\": [");
+    for (i, l) in analysis.dataflow.locations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n      {{\"name\": \"{}\", \"releasing_writes\": {}, \"acquiring_reads\": {}, \
+             \"relaxed_loads\": {}, \"relaxed_writes\": {}, \"paired\": {}, \
+             \"allowlisted\": {}}}",
+            esc(&l.name),
+            l.releasing_writes,
+            l.acquiring_reads,
+            l.relaxed_loads,
+            l.relaxed_writes,
+            l.paired,
+            l.allowlisted
+        ));
+    }
+    s.push_str(&format!(
+        "\n    ]\n  }},\n  \"pool_lifecycle\": {{\"buffer_defs\": {}, \"violations\": {}}},",
+        analysis.dataflow.buffer_defs, analysis.dataflow.buffer_violations
+    ));
+    s.push_str("\n  \"suppressions\": [");
+    for (i, a) in analysis.suppressions.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"file_wide\": {}, \
+             \"justified\": {}}}",
+            esc(&a.rule),
+            esc(&a.path),
+            a.line,
+            a.file_wide,
+            a.justified
+        ));
+    }
+    s.push_str("\n  ]\n}");
     println!("{s}");
+}
+
+/// The one-line CI summary: diagnostic count by family plus the sizes
+/// of the computed sets.
+fn print_summary(analysis: &Analysis) {
+    let mut by_family: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for d in &analysis.diagnostics {
+        *by_family.entry(rules::family(d.rule)).or_default() += 1;
+    }
+    let family_part = if by_family.is_empty() {
+        "clean".to_string()
+    } else {
+        by_family
+            .iter()
+            .map(|(f, n)| format!("{f}:{n}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    println!(
+        "firefly-lint: {} diagnostic(s) [{}] | fast-path {} fns/{} files | \
+         lock edges {} | condvar pairs {} | atomic locations {} | \
+         pool defs {} | suppressions {}",
+        analysis.diagnostics.len(),
+        family_part,
+        analysis.fast_path_functions.len(),
+        analysis.fast_path_files.len(),
+        analysis.lock_edges.len(),
+        analysis.dataflow.condvar_pairs.len(),
+        analysis.dataflow.locations.len(),
+        analysis.dataflow.buffer_defs,
+        analysis.suppressions.len()
+    );
 }
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut summary = false;
     let mut root_arg: Option<PathBuf> = None;
     for arg in env::args().skip(1) {
         if arg == "--json" {
             json = true;
+        } else if arg == "--summary" {
+            summary = true;
         } else {
             root_arg = Some(PathBuf::from(arg));
         }
@@ -171,20 +298,9 @@ fn main() -> ExitCode {
     match engine.analyze(&root) {
         Ok(analysis) => {
             if json {
-                let classes: Vec<String> = engine
-                    .config
-                    .lock_order
-                    .iter()
-                    .map(|c| c.name.clone())
-                    .collect();
-                let parametric: Vec<String> = engine
-                    .config
-                    .lock_order
-                    .iter()
-                    .filter(|c| c.parametric)
-                    .map(|c| c.name.clone())
-                    .collect();
-                print_json(&analysis, &classes, &parametric);
+                print_json(&analysis, &engine.config);
+            } else if summary {
+                print_summary(&analysis);
             } else if analysis.diagnostics.is_empty() {
                 println!("firefly-lint: clean ({})", root.display());
             } else {

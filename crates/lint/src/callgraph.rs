@@ -95,6 +95,18 @@ impl CallGraph {
         }
     }
 
+    /// Merges another (per-file or per-worker) graph into this one.
+    /// Set unions are order-insensitive, so parallel accumulation stays
+    /// deterministic.
+    pub fn merge(&mut self, other: CallGraph) {
+        for (name, files) in other.defs {
+            self.defs.entry(name).or_default().extend(files);
+        }
+        for (key, callees) in other.calls {
+            self.calls.entry(key).or_default().extend(callees);
+        }
+    }
+
     /// The first two path components (`crates/wire`), used for the
     /// unique-crate resolution tier.
     fn crate_of(path: &str) -> String {

@@ -63,6 +63,38 @@ pub struct Config {
     pub blocking_calls: Vec<String>,
     /// Banned registry crates for `hermetic-deps`.
     pub banned_deps: Vec<String>,
+    /// Path prefixes where the condvar-protocol rules apply. The
+    /// primitive implementations in `crates/sync/src/lib.rs` are
+    /// excluded: they *are* the wait/notify machinery.
+    pub condvar_files: Vec<String>,
+    /// Path prefixes where `atomic-publication` applies.
+    pub atomic_files: Vec<String>,
+    /// Atomic location identifiers sanctioned to use `Relaxed` where
+    /// paired ordering would otherwise be required. Each entry needs a
+    /// protocol proof (comment in lint.toml / SAFETY comment at the
+    /// site); hook.rs's disabled-path `INSTALLED` load is the canonical
+    /// member.
+    pub allow_relaxed: Vec<String>,
+    /// Path prefixes where `pool-lifecycle` applies.
+    pub pool_files: Vec<String>,
+    /// Pool receiver fields (an alloc off one of these is a tracked
+    /// buffer definition; retention inside one is accounted).
+    pub pool_receivers: Vec<String>,
+    /// Method names that allocate a tracked buffer from a pool.
+    pub pool_allocs: Vec<String>,
+    /// Method names that return a tracked buffer to its pool.
+    pub pool_sinks: Vec<String>,
+    /// Container receiver fields where retention is accounted (the
+    /// pool's own queues, the call table's `Retained` slot, result
+    /// delivery): the checker's outstanding accounting covers them.
+    pub pool_accounted: Vec<String>,
+    /// Type names that move pool ownership across a call boundary when
+    /// taken by value — the interprocedural leg of the tracking.
+    pub buffer_types: Vec<String>,
+    /// Maps dynamic publication labels (checked_atomic labels observed
+    /// by firefly-check) to the static location identifiers that
+    /// implement them, for the verify.sh cross-diff.
+    pub publication_labels: Vec<(String, Vec<String>)>,
 }
 
 impl Default for Config {
@@ -178,6 +210,41 @@ impl Default for Config {
                 "proptest".into(),
                 "criterion".into(),
             ],
+            condvar_files: vec![
+                "crates/core/src".into(),
+                "crates/pool/src".into(),
+                "crates/sync/src/channel.rs".into(),
+            ],
+            atomic_files: vec![
+                "crates/core/src".into(),
+                "crates/sync/src".into(),
+                "crates/pool/src".into(),
+            ],
+            allow_relaxed: vec!["INSTALLED".into()],
+            pool_files: vec!["crates/core/src".into(), "crates/pool/src".into()],
+            pool_receivers: vec!["pool".into()],
+            pool_allocs: vec![
+                "alloc".into(),
+                "alloc_timeout".into(),
+                "alloc_from".into(),
+                "alloc_timeout_from".into(),
+                "take_receive_buffer".into(),
+                "take_receive_buffer_from".into(),
+            ],
+            pool_sinks: vec![
+                "recycle".into(),
+                "recycle_to_receive_queue".into(),
+                "return_slab".into(),
+                "into_buf".into(),
+            ],
+            pool_accounted: vec![
+                "free".into(),
+                "receive_queue".into(),
+                "retained".into(),
+                "results".into(),
+            ],
+            buffer_types: vec!["PacketBuf".into()],
+            publication_labels: vec![("installed".into(), vec!["INSTALLED".into()])],
         }
     }
 }
@@ -234,6 +301,49 @@ impl Config {
         if let Some(s) = sections.get("hermetic-deps") {
             if let Some(v) = s.get("banned") {
                 config.banned_deps = v.clone();
+            }
+        }
+        if let Some(s) = sections.get("condvar-protocol") {
+            if let Some(v) = s.get("files") {
+                config.condvar_files = v.clone();
+            }
+        }
+        if let Some(s) = sections.get("atomic-publication") {
+            if let Some(v) = s.get("files") {
+                config.atomic_files = v.clone();
+            }
+            if let Some(v) = s.get("allow_relaxed") {
+                config.allow_relaxed = v.clone();
+            }
+        }
+        if let Some(s) = sections.get("pool-lifecycle") {
+            if let Some(v) = s.get("files") {
+                config.pool_files = v.clone();
+            }
+            if let Some(v) = s.get("pools") {
+                config.pool_receivers = v.clone();
+            }
+            if let Some(v) = s.get("allocs") {
+                config.pool_allocs = v.clone();
+            }
+            if let Some(v) = s.get("sinks") {
+                config.pool_sinks = v.clone();
+            }
+            if let Some(v) = s.get("accounted") {
+                config.pool_accounted = v.clone();
+            }
+            if let Some(v) = s.get("buffer_types") {
+                config.buffer_types = v.clone();
+            }
+        }
+        if let Some(s) = sections.get("publication-labels") {
+            if !s.is_empty() {
+                let mut labels: Vec<(String, Vec<String>)> = s
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                labels.sort();
+                config.publication_labels = labels;
             }
         }
         config
@@ -400,6 +510,57 @@ banned = ["tokio"]
         let c = Config::from_toml(toml);
         assert_eq!(c.blocking_files, vec!["x"]);
         assert_eq!(c.blocking_calls, vec!["recv"]);
+    }
+
+    #[test]
+    fn dataflow_sections_overlay_the_defaults() {
+        let toml = r#"
+[condvar-protocol]
+files = ["src"]
+
+[atomic-publication]
+files = ["src"]
+allow_relaxed = ["SANCTIONED"]
+
+[pool-lifecycle]
+files = ["src"]
+pools = ["pool"]
+allocs = ["alloc"]
+sinks = ["recycle"]
+accounted = ["free"]
+buffer_types = ["Buf"]
+
+[publication-labels]
+installed = ["INSTALLED"]
+gate = ["GATE_WORD"]
+"#;
+        let c = Config::from_toml(toml);
+        assert_eq!(c.condvar_files, vec!["src"]);
+        assert_eq!(c.atomic_files, vec!["src"]);
+        assert_eq!(c.allow_relaxed, vec!["SANCTIONED"]);
+        assert_eq!(c.pool_files, vec!["src"]);
+        assert_eq!(c.pool_receivers, vec!["pool"]);
+        assert_eq!(c.pool_allocs, vec!["alloc"]);
+        assert_eq!(c.pool_sinks, vec!["recycle"]);
+        assert_eq!(c.pool_accounted, vec!["free"]);
+        assert_eq!(c.buffer_types, vec!["Buf"]);
+        assert_eq!(
+            c.publication_labels,
+            vec![
+                ("gate".to_string(), vec!["GATE_WORD".to_string()]),
+                ("installed".to_string(), vec!["INSTALLED".to_string()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn dataflow_defaults_cover_the_runtime_modules() {
+        let c = Config::default();
+        assert!(Config::path_matches("crates/pool/src/lib.rs", &c.condvar_files));
+        assert!(!Config::path_matches("crates/sync/src/lib.rs", &c.condvar_files));
+        assert!(Config::path_matches("crates/sync/src/hook.rs", &c.atomic_files));
+        assert!(c.allow_relaxed.iter().any(|a| a == "INSTALLED"));
+        assert!(c.pool_allocs.iter().any(|a| a == "alloc_timeout_from"));
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! - `no-sleep-in-lib`
 //! - `safety-comment`
 //! - `hermetic-deps`
+//! - `condvar-wait-loop` / `condvar-notify-write` — the condvar
+//!   protocol, from the interprocedural dataflow pass ([`dataflow`])
+//! - `atomic-publication` — release/acquire pairing for cross-thread
+//!   atomics ([`dataflow`])
+//! - `pool-lifecycle` — every pool alloc reaches a sink, a return, or
+//!   accounted retention ([`dataflow`])
 //!
 //! Suppression: `// lint:allow(<rule>): <justification>` on the same
 //! line or the line above, `// lint:allow-file(<rule>): <reason>` for a
@@ -27,6 +33,7 @@
 
 pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod lockgraph;
 pub mod rules;
 pub mod scope;
@@ -54,6 +61,10 @@ pub struct Diagnostic {
     pub line: usize,
     /// Human-readable explanation.
     pub message: String,
+    /// Def-use witness chain (`path:line` hops) for dataflow rules:
+    /// the sites that together make the finding (definition → use,
+    /// write → read, wait → notify). Empty for single-site rules.
+    pub witness: Vec<String>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -64,6 +75,17 @@ impl fmt::Display for Diagnostic {
             self.path, self.line, self.rule, self.message
         )
     }
+}
+
+/// One `lint:allow` site, exported in the `--json` suppression
+/// inventory so CI can audit the exemption surface over time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressionInfo {
+    pub rule: String,
+    pub path: String,
+    pub line: usize,
+    pub file_wide: bool,
+    pub justified: bool,
 }
 
 /// A parsed `lint:allow` marker.
@@ -87,6 +109,18 @@ pub struct Facts {
     pub lock_graph: LockGraph,
     /// Fn definitions and call sites.
     pub call_graph: CallGraph,
+    /// Def-use sites for the dataflow rule families.
+    pub dataflow: dataflow::DataflowFacts,
+}
+
+impl Facts {
+    /// Merges another (per-file or per-worker) accumulation into this
+    /// one; all underlying structures union deterministically.
+    pub fn merge(&mut self, other: Facts) {
+        self.lock_graph.merge(other.lock_graph);
+        self.call_graph.merge(other.call_graph);
+        self.dataflow.merge(other.dataflow);
+    }
 }
 
 /// The result of a full workspace analysis: diagnostics plus the
@@ -100,6 +134,12 @@ pub struct Analysis {
     pub fast_path_files: Vec<String>,
     /// Every recorded lock-graph edge.
     pub lock_edges: Vec<LockEdge>,
+    /// Aggregated dataflow facts (condvar pairings, atomic location
+    /// summaries, pool counts) for `--json` and the verify.sh
+    /// static↔dynamic cross-diff.
+    pub dataflow: dataflow::Summary,
+    /// Every `lint:allow` marker in the workspace.
+    pub suppressions: Vec<SuppressionInfo>,
 }
 
 /// The rule engine: configuration plus the workspace walker.
@@ -128,7 +168,12 @@ impl Engine {
     /// whole tree and only run in [`Engine::analyze`].
     pub fn check_source_text(&self, rel_path: &str, text: &str) -> Vec<Diagnostic> {
         let mut facts = Facts::default();
-        let (diags, _) = self.check_one(rel_path, text, &mut facts);
+        let (mut diags, allows) = self.check_one(rel_path, text, &mut facts);
+        // The dataflow families evaluate over whatever this one file
+        // contributed (full workspace pairing happens in `analyze`).
+        let (df_diags, _) = dataflow::evaluate(&facts.dataflow, &self.config);
+        diags.extend(df_diags.into_iter().filter(|d| !is_suppressed(d, &allows)));
+        diags.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
         diags
     }
 
@@ -179,9 +224,9 @@ impl Engine {
     pub fn analyze(&self, root: &Path) -> io::Result<Analysis> {
         let mut diags = Vec::new();
         let mut facts = Facts::default();
-        // Allows per file, for suppressing workspace-pass diagnostics
-        // anchored in that file.
-        let mut allows_by_path: Vec<(String, Vec<Allow>)> = Vec::new();
+        // Walk first (sequential, sorted): collect source texts so the
+        // per-file pass can fan out across workers below.
+        let mut rs_files: Vec<(String, String)> = Vec::new();
         let mut stack = vec![root.to_path_buf()];
         while let Some(dir) = stack.pop() {
             let mut entries: Vec<_> = fs::read_dir(&dir)?
@@ -208,12 +253,43 @@ impl Engine {
                     let text = fs::read_to_string(&path)?;
                     diags.extend(self.check_manifest_text(&rel, &text));
                 } else if file_name.ends_with(".rs") {
-                    let text = fs::read_to_string(&path)?;
-                    let (file_diags, allows) = self.check_one(&rel, &text, &mut facts);
-                    diags.extend(file_diags);
-                    allows_by_path.push((rel, allows));
+                    rs_files.push((rel, fs::read_to_string(&path)?));
                 }
             }
+        }
+        // Per-file pass, parallel across workers. Each slot is owned by
+        // exactly one worker; folding the slots back in file-index order
+        // keeps the report (and every derived fact) deterministic
+        // regardless of scheduling.
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+            .clamp(1, rs_files.len().max(1));
+        let chunk = rs_files.len().div_ceil(workers).max(1);
+        let mut slots: Vec<Option<(Vec<Diagnostic>, Vec<Allow>, Facts)>> =
+            rs_files.iter().map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (file_chunk, slot_chunk) in rs_files.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for ((rel, text), slot) in file_chunk.iter().zip(slot_chunk.iter_mut()) {
+                        let mut file_facts = Facts::default();
+                        let (file_diags, allows) = self.check_one(rel, text, &mut file_facts);
+                        *slot = Some((file_diags, allows, file_facts));
+                    }
+                });
+            }
+        });
+        // Allows per file, for suppressing workspace-pass diagnostics
+        // anchored in that file.
+        let mut allows_by_path: Vec<(String, Vec<Allow>)> = Vec::new();
+        for ((rel, _), slot) in rs_files.iter().zip(slots) {
+            let Some((file_diags, allows, file_facts)) = slot else {
+                continue;
+            };
+            diags.extend(file_diags);
+            allows_by_path.push((rel.clone(), allows));
+            facts.merge(file_facts);
         }
         let suppressed = |d: &Diagnostic| {
             allows_by_path
@@ -234,6 +310,7 @@ impl Engine {
                      lint.toml [lock-order]",
                     cycle.nodes.join(" → ")
                 ),
+                witness: Vec::new(),
             };
             if !suppressed(&d) {
                 diags.push(d);
@@ -259,6 +336,7 @@ impl Engine {
                              but missing from lint.toml [fast-path].files; add it \
                              (or add a stop_files boundary)"
                         ),
+                        witness: Vec::new(),
                     };
                     if !suppressed(&d) {
                         diags.push(d);
@@ -282,9 +360,34 @@ impl Engine {
                          is reachable from the entry points; remove it or fix the \
                          entry-point list"
                     ),
+                    witness: Vec::new(),
                 });
             }
         }
+
+        // Workspace rules: the dataflow families (condvar protocol,
+        // atomic publication, pool lifecycle) evaluate over the merged
+        // facts so pairings resolve across files.
+        let (df_diags, df_summary) = dataflow::evaluate(&facts.dataflow, &self.config);
+        for d in df_diags {
+            if !suppressed(&d) {
+                diags.push(d);
+            }
+        }
+
+        let mut suppressions: Vec<SuppressionInfo> = allows_by_path
+            .iter()
+            .flat_map(|(path, allows)| {
+                allows.iter().map(|a| SuppressionInfo {
+                    rule: a.rule.clone(),
+                    path: path.clone(),
+                    line: a.line,
+                    file_wide: a.file_wide,
+                    justified: a.justified,
+                })
+            })
+            .collect();
+        suppressions.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
 
         diags.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
         let mut lock_edges: Vec<LockEdge> = facts.lock_graph.edges().cloned().collect();
@@ -294,6 +397,8 @@ impl Engine {
             fast_path_functions: reachable.into_iter().collect(),
             fast_path_files: computed_files.into_iter().collect(),
             lock_edges,
+            dataflow: df_summary,
+            suppressions,
         })
     }
 }

@@ -66,6 +66,11 @@ impl LockGraph {
         self.edges.iter()
     }
 
+    /// Merges another graph's edges into this one (set union).
+    pub fn merge(&mut self, other: LockGraph) {
+        self.edges.extend(other.edges);
+    }
+
     /// Finds every elementary cycle's node set via strongly connected
     /// components (a component of more than one node necessarily
     /// contains a cycle; self-edges were never recorded). One cycle is

@@ -32,6 +32,27 @@ pub mod name {
     pub const HERMETIC_DEPS: &str = "hermetic-deps";
     /// A `lint:allow` with no justification.
     pub const UNJUSTIFIED_ALLOW: &str = "unjustified-allow";
+    /// A `Condvar::wait` outside a predicate loop.
+    pub const CONDVAR_WAIT_LOOP: &str = "condvar-wait-loop";
+    /// A notify not downstream of a touch of the waiters' mutex.
+    pub const CONDVAR_NOTIFY: &str = "condvar-notify-write";
+    /// `Relaxed` where release/acquire pairing is required.
+    pub const ATOMIC_PUBLICATION: &str = "atomic-publication";
+    /// A pool buffer that escapes the alloc→recycle/return lifecycle.
+    pub const POOL_LIFECYCLE: &str = "pool-lifecycle";
+}
+
+/// The rule family a diagnostic belongs to, for the `--json` report's
+/// machine consumers (verify.sh groups and diffs by family).
+pub fn family(rule: &str) -> &'static str {
+    match rule {
+        name::CONDVAR_WAIT_LOOP | name::CONDVAR_NOTIFY => "condvar-protocol",
+        name::ATOMIC_PUBLICATION => "atomic-publication",
+        name::POOL_LIFECYCLE => "pool-lifecycle",
+        name::LOCK_ORDER | name::LOCK_CYCLE | name::NO_BLOCKING => "locking",
+        name::NO_PANIC | name::NO_ALLOC | name::STALE_SCOPE => "fast-path",
+        _ => "hygiene",
+    }
 }
 
 /// True for files that are test-only by location: integration tests,
@@ -60,6 +81,7 @@ pub fn check_source(file: &SourceFile, config: &Config, facts: &mut Facts) -> Ve
     guard_rules(file, config, facts, &mut out);
     no_sleep(file, &mut out);
     safety_comment(file, &mut out);
+    crate::dataflow::scan_file(file, config, &mut facts.dataflow);
     out
 }
 
@@ -408,6 +430,7 @@ pub fn check_manifest(rel_path: &str, text: &str, config: &Config) -> Vec<Diagno
             path: rel_path.to_string(),
             line: line_no,
             message: msg,
+            witness: Vec::new(),
         };
         if config.banned_deps.iter().any(|b| b == &dep) {
             out.push(diag(format!(

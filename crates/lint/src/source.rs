@@ -59,6 +59,7 @@ impl SourceFile {
             path: self.rel_path.clone(),
             line,
             message,
+            witness: Vec::new(),
         }
     }
 }

@@ -199,6 +199,70 @@ fn char_literal_soup_never_drifts_line_numbers() {
     });
 }
 
+/// The interprocedural dataflow engine must be total and deterministic
+/// on arbitrary token streams: scanning Rust-ish soup (biased toward
+/// the wait/notify/atomic/pool constructs it models) never panics, and
+/// scanning + evaluating the same text twice yields identical facts,
+/// diagnostics, and summaries.
+#[test]
+fn dataflow_engine_is_total_and_deterministic_on_token_soup() {
+    const PIECES: &[&str] = &[
+        "fn f(p: &P) {",
+        "}",
+        "{",
+        "let mut g = p.free.lock();",
+        "while busy(&g) {",
+        "loop {",
+        "p.available.wait(&mut g);",
+        "p.available.wait_until(&mut g, d);",
+        "p.available.notify_one();",
+        "p.cond.notify_all();",
+        "s.flag.store(1, Ordering::Release);",
+        "s.flag.load(Ordering::Relaxed)",
+        "s.flag.fetch_add(1, Ordering::AcqRel);",
+        "s.flag.compare_exchange(0, 1, Ordering::SeqCst, Ordering::Relaxed)",
+        "let b = p.pool.alloc()?;",
+        "let Ok(b) = p.pool.alloc()",
+        "b.recycle();",
+        "stash.lock().push(b);",
+        "p.receive_queue.lock().push_back(b);",
+        "std::mem::forget(b);",
+        "return Ok(b);",
+        "b: PacketBuf",
+        "Ordering::",
+        "&mut",
+        "(",
+        ")",
+        "\"str",
+        "/*",
+        "'a",
+        "?",
+    ];
+    let config = Config::default();
+    firefly_propcheck::check("dataflow-total-deterministic", 300, |g| {
+        let n = g.usize_in(0..30);
+        let mut text = String::new();
+        for _ in 0..n {
+            text.push_str(g.choose::<&str>(PIECES));
+            text.push(if g.usize_in(0..4) == 0 { '\n' } else { ' ' });
+        }
+        let first = firefly_lint::dataflow::scan_text("crates/core/src/client.rs", &text, &config);
+        let second = firefly_lint::dataflow::scan_text("crates/core/src/client.rs", &text, &config);
+        if format!("{first:?}") != format!("{second:?}") {
+            return Err(format!("non-deterministic facts for {text:?}"));
+        }
+        let (diags_a, summary_a) = firefly_lint::dataflow::evaluate(&first, &config);
+        let (diags_b, summary_b) = firefly_lint::dataflow::evaluate(&second, &config);
+        if summary_a != summary_b {
+            return Err(format!("non-deterministic summary for {text:?}"));
+        }
+        if format!("{diags_a:?}") != format!("{diags_b:?}") {
+            return Err(format!("non-deterministic diagnostics for {text:?}"));
+        }
+        Ok(())
+    });
+}
+
 /// Regression: `r#ident` must tokenize as one plain identifier, not a
 /// phantom `r`, `#`, and a bare keyword token that the fn extractor
 /// would mistake for a definition.

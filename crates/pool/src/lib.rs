@@ -264,7 +264,13 @@ impl BufferPool {
             self.inner.receive_queue.lock().push_back(slab);
             self.inner.stats.recycles.fetch_add(1, Ordering::Relaxed);
             // Allocation can reclaim receive-queue buffers, so wake one
-            // waiter.
+            // waiter — after a tap of the free-list mutex. `alloc_timeout`
+            // decides to park while holding `free` (checking both the free
+            // list and the receive queue) and then waits on `available`
+            // releasing that same mutex; a notify that never synchronizes
+            // on `free` can fire between that check and the wait and be
+            // lost, leaving the waiter parked until its deadline.
+            drop(self.inner.free.lock());
             self.inner.available.notify_one();
         }
     }

@@ -154,6 +154,16 @@ impl<T> Receiver<T> {
         Ok(None)
     }
 
+    /// Registers checker labels for the channel's internal atomics, so
+    /// firefly-check race reports and publication classes name them
+    /// `senders`/`receivers` instead of anonymous `atomic#N` — matching
+    /// the static atomic-publication locations firefly-lint extracts
+    /// from this file. No-op outside checker runs.
+    pub fn check_labels(&self) {
+        self.chan.senders.check_label("senders");
+        self.chan.receivers.check_label("receivers");
+    }
+
     /// Number of queued messages (racy, for tests and introspection).
     pub fn len(&self) -> usize {
         self.chan.queue.lock().len()

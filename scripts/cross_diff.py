@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Static-vs-dynamic cross-diff between firefly-lint and firefly-check.
+
+Usage: cross_diff.py LINT_REPORT CHECK_EDGES
+
+Compares the static report (`firefly-lint --json`) against the dynamic
+one (`firefly-check --json-edges`) on three axes and exits non-zero on
+the first inconsistency:
+
+1. Lock edges: every class-level lock edge observed dynamically must
+   already be in the static lock graph and respect the configured rank
+   order. Both reports collapse parametric `class[index]` instances to
+   class edges carrying an index-ordering annotation: a same-class edge
+   is valid only for a declared-parametric class and only in ascending
+   order; `descending` marks an order violation. A dynamic edge the
+   static graph lacks means the linter's receiver map went stale.
+
+2. Publications: every atomic location class on which the checker
+   consumed a release->acquire edge must map -- through the configured
+   `[publication-labels]` table, or identically by name -- to at least
+   one location the static atomic-publication pass proved paired. A
+   dynamic publication with no statically paired site means the
+   dataflow pass lost track of a real synchronization point.
+
+3. Accounting: each auditing model's quiescent counters must balance --
+   the pool's `outstanding` count equals the buffers retained in
+   activity slots (the accounted-retention invariant the static
+   pool-lifecycle rule admits).
+"""
+
+import json
+import sys
+
+
+def diff_lock_edges(static_graph, dynamic_edges):
+    classes = static_graph["classes"]
+    parametric = set(static_graph.get("parametric", []))
+    rank = {name: i for i, name in enumerate(classes)}
+    static_classified = {
+        (e["from"], e["to"])
+        for e in static_graph["edges"]
+        if e["from"] in rank and e["to"] in rank and e["from"] != e["to"]
+    }
+    problems = []
+    annotated = 0
+    for e in dynamic_edges:
+        f, t = e["from"], e["to"]
+        if f not in rank or t not in rank:
+            continue  # unclassified endpoint: outside the static model
+        ordering = e.get("ordering")
+        if f == t and ordering is not None:
+            annotated += 1
+            if f not in parametric:
+                problems.append(
+                    f"dynamic same-class edge {f} -> {t} on a class not declared parametric"
+                )
+            elif ordering != "ascending":
+                problems.append(f"dynamic edge {f} -> {t} acquired in {ordering} index order")
+            continue
+        if rank[f] > rank[t]:
+            problems.append(f"dynamic edge {f} -> {t} violates rank order {classes}")
+        elif f != t and (f, t) not in static_classified:
+            problems.append(f"dynamic edge {f} -> {t} missing from the static lock graph")
+    if problems:
+        return problems
+    observed = {(e["from"], e["to"]) for e in dynamic_edges}
+    for f, t in sorted(static_classified):
+        mark = "observed" if (f, t) in observed else "not observed dynamically"
+        print(f"    static edge {f} -> {t}: {mark}")
+    print(
+        f"    {len(dynamic_edges)} observed edge(s) ({annotated} parametric), "
+        "all consistent with the static graph"
+    )
+    return []
+
+
+def diff_publications(static_pub, dynamic_classes):
+    label_map = static_pub.get("label_map", {})
+    paired = {
+        loc["name"]
+        for loc in static_pub.get("locations", [])
+        if loc.get("paired") or loc.get("allowlisted")
+    }
+    problems = []
+    for cls in dynamic_classes:
+        candidates = label_map.get(cls, [cls])
+        matched = sorted(c for c in candidates if c in paired)
+        if matched:
+            print(f"    publication class {cls}: statically paired at {', '.join(matched)}")
+        else:
+            problems.append(
+                f"dynamic release->acquire publication on {cls!r} has no statically "
+                f"paired atomic location (candidates: {candidates})"
+            )
+    if not problems:
+        print(f"    {len(dynamic_classes)} publication class(es), all statically paired")
+    return problems
+
+
+def diff_accounting(accounting):
+    problems = []
+    for model in sorted(accounting):
+        counters = accounting[model]
+        outstanding = counters.get("outstanding")
+        retained = counters.get("retained")
+        if outstanding is None or retained is None:
+            problems.append(
+                f"model {model}: audit missing outstanding/retained counters ({counters})"
+            )
+        elif outstanding != retained:
+            problems.append(
+                f"model {model}: pool accounting drift -- outstanding {outstanding} "
+                f"!= retained {retained}"
+            )
+        else:
+            print(
+                f"    accounting {model}: outstanding {outstanding} == retained {retained}"
+            )
+    return problems
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit("usage: cross_diff.py LINT_REPORT CHECK_EDGES")
+    with open(sys.argv[1]) as f:
+        lint = json.load(f)
+    with open(sys.argv[2]) as f:
+        check = json.load(f)
+    problems = []
+    problems += diff_lock_edges(lint["lock_graph"], check["edges"])
+    problems += diff_publications(
+        lint.get("atomic_publication", {}), check.get("publications", [])
+    )
+    problems += diff_accounting(check.get("accounting", {}))
+    if problems:
+        sys.exit("\n".join(problems))
+
+
+if __name__ == "__main__":
+    main()

@@ -44,7 +44,8 @@ if (( lint_elapsed_ms >= 5000 )); then
 fi
 
 # Dynamic concurrency checking: bounded schedule exploration of the
-# call-table / pool / trace-ring / channel models, plus the seeded-bug
+# structure models (call table, pool, trace ring, channel, install gate,
+# sharded call table, activity-slot retention), plus the seeded-bug
 # fixtures (each must be caught with a replayable schedule). Exploration
 # is deterministic, so the budget is generous headroom, not slack.
 echo "==> firefly-check --smoke (schedule exploration + seeded bugs)"
@@ -57,53 +58,16 @@ if (( check_elapsed_ms >= 10000 )); then
     exit 1
 fi
 
-# Cross-validation: every class-level lock edge observed dynamically by
-# firefly-check must already be in firefly-lint's static lock graph and
-# must respect the configured rank order. A dynamic edge the static
-# graph lacks means the linter's receiver map went stale. Both reports
-# collapse parametric `class[index]` instances to class edges carrying
-# an index-ordering annotation: a same-class edge is valid only for a
-# declared-parametric class and only in ascending order (the lint-side
-# acquisition discipline); `descending` marks an order violation.
-echo "==> static-vs-dynamic lock-edge diff (parametric-aware)"
-python3 -c '
-import json, sys
-static = json.load(open("target/lint-report.json"))["lock_graph"]
-dynamic = json.load(open("target/check-edges.json"))["edges"]
-classes = static["classes"]
-parametric = set(static.get("parametric", []))
-rank = {name: i for i, name in enumerate(classes)}
-static_classified = {
-    (e["from"], e["to"])
-    for e in static["edges"]
-    if e["from"] in rank and e["to"] in rank and e["from"] != e["to"]
-}
-problems = []
-annotated = 0
-for e in dynamic:
-    f, t = e["from"], e["to"]
-    if f not in rank or t not in rank:
-        continue  # unclassified endpoint: outside the static model
-    ordering = e.get("ordering")
-    if f == t and ordering is not None:
-        annotated += 1
-        if f not in parametric:
-            problems.append(f"dynamic same-class edge {f} -> {t} on a class not declared parametric")
-        elif ordering != "ascending":
-            problems.append(f"dynamic edge {f} -> {t} acquired in {ordering} index order")
-        continue
-    if rank[f] > rank[t]:
-        problems.append(f"dynamic edge {f} -> {t} violates rank order {classes}")
-    elif f != t and (f, t) not in static_classified:
-        problems.append(f"dynamic edge {f} -> {t} missing from the static lock graph")
-if problems:
-    sys.exit("\n".join(problems))
-observed = {(e["from"], e["to"]) for e in dynamic}
-for f, t in sorted(static_classified):
-    mark = "observed" if (f, t) in observed else "not observed dynamically"
-    print(f"    static edge {f} -> {t}: {mark}")
-print(f"    {len(dynamic)} observed edge(s) ({annotated} parametric), all consistent with the static graph")
-'
+# Cross-validation (scripts/cross_diff.py): every class-level lock edge
+# observed dynamically by firefly-check must already be in firefly-lint's
+# static lock graph with the configured rank order (parametric
+# `class[index]` instances collapse to annotated class edges on both
+# sides); every release->acquire publication class the race detector
+# consumed must map to a statically paired atomic location (via the
+# [publication-labels] table in lint.toml); and every auditing model's
+# quiescent pool accounting must balance outstanding against retained.
+echo "==> static-vs-dynamic cross-diff (lock edges, publications, accounting)"
+python3 scripts/cross_diff.py target/lint-report.json target/check-edges.json
 
 # Partial-order reduction gate: the 4-shard call table model must stay
 # exhaustible under DPOR inside a tight budget (plain DFS drowns in its

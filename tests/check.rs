@@ -298,6 +298,72 @@ fn sharded_model_mirrors_runtime_shard_count_and_steal_policy() {
     }
 }
 
+/// The activity-retention model — the server keeps the last result
+/// buffer in the activity slot so a duplicate call is answered by
+/// retransmission (paper §3.1.3) — must be exhausted by DPOR, and its
+/// quiescent audit must balance the pool's outstanding counter against
+/// slot retention in the final passing schedule: the dynamic half of
+/// the pool-lifecycle accounted-retention invariant that
+/// scripts/cross_diff.py gates on.
+#[test]
+fn dpor_exhausts_activity_retention_and_accounting_balances() {
+    let explorer = Explorer::new();
+    let model = models::find("activity-retention").expect("retention model registered");
+    let dpor = explorer.explore(&model, &Mode::Dpor { max_schedules: 2000 });
+    assert!(
+        dpor.failure.is_none(),
+        "activity-retention (dpor): {}",
+        dpor.failure.map(|f| f.failure.to_string()).unwrap_or_default()
+    );
+    assert!(
+        dpor.exhausted,
+        "DPOR must exhaust the retention model (explored {}, pruned {})",
+        dpor.schedules, dpor.pruned
+    );
+    let counters: std::collections::BTreeMap<&str, u64> = dpor
+        .accounting
+        .iter()
+        .map(|(name, value)| (name.as_str(), *value))
+        .collect();
+    let outstanding = counters.get("outstanding").copied();
+    let retained = counters.get("retained").copied();
+    assert!(
+        outstanding.is_some() && retained.is_some(),
+        "retention audit must report outstanding and retained: {counters:?}"
+    );
+    assert_eq!(
+        outstanding, retained,
+        "pool outstanding must equal slot retention at quiescence"
+    );
+}
+
+/// The race detector's publication record feeds the cross-diff: the
+/// install-gate model must consume a release→acquire edge on its
+/// labeled `installed` location, and the channel model on the labeled
+/// disconnect counters — the classes scripts/cross_diff.py maps back
+/// to statically paired atomic-publication locations.
+#[test]
+fn publication_classes_are_recorded_for_the_cross_diff() {
+    let explorer = Explorer::new();
+    let gate = models::find("gate").expect("gate model registered");
+    let outcome = explorer.explore(&gate, &Mode::Dfs { max_schedules: 400 });
+    assert!(outcome.failure.is_none(), "gate model failed");
+    assert!(
+        outcome.publications.contains("installed"),
+        "gate model recorded no publication on `installed`: {:?}",
+        outcome.publications
+    );
+
+    let channel = models::find("channel").expect("channel model registered");
+    let outcome = explorer.explore(&channel, &Mode::Dfs { max_schedules: 400 });
+    assert!(outcome.failure.is_none(), "channel model failed");
+    assert!(
+        outcome.publications.contains("senders"),
+        "channel model recorded no publication on `senders`: {:?}",
+        outcome.publications
+    );
+}
+
 /// Cross-validation against the static lock graph: every class-level
 /// edge the checker observes dynamically must already be present in
 /// `firefly-lint`'s static graph (same classified endpoints), and must

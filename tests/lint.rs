@@ -111,6 +111,21 @@ files = ["src"]
 [no-blocking-under-lock]
 files = ["src"]
 blocking = ["recv", "wait", "wait_until", "park", "test_sleep", "join"]
+
+[condvar-protocol]
+files = ["src"]
+
+[atomic-publication]
+files = ["src"]
+allow_relaxed = ["SANCTIONED"]
+
+[pool-lifecycle]
+files = ["src"]
+pools = ["pool"]
+accounted = ["free", "receive_queue", "retained"]
+
+[publication-labels]
+installed = ["INSTALLED"]
 "#;
 
 #[test]
@@ -262,7 +277,8 @@ fn binary_exempts_condvar_wait_for_the_released_guard_only() {
             ("lint.toml", FIXTURE_LINT_TOML),
             (
                 "src/lib.rs",
-                "pub fn f(p: &P) { let mut g = p.free.lock(); p.cond.wait_until(&mut g, deadline()); }\n",
+                "pub fn f(p: &P) { let mut g = p.free.lock(); \
+                 while busy(&g) { p.cond.wait_until(&mut g, deadline()); } }\n",
             ),
         ],
     );
@@ -279,7 +295,7 @@ fn binary_exempts_condvar_wait_for_the_released_guard_only() {
                 "pub fn f(p: &P, t: &T) {\n\
                  let e = t.entries.lock();\n\
                  let mut g = p.free.lock();\n\
-                 p.cond.wait_until(&mut g, deadline());\n\
+                 while busy(&g) { p.cond.wait_until(&mut g, deadline()); }\n\
                  drop(g);\n\
                  drop(e);\n\
                  }\n",
@@ -337,6 +353,17 @@ fn workspace_config_covers_the_trace_module() {
         assert_eq!(p.receivers, d.receivers);
         assert_eq!(p.parametric, d.parametric, "parametric flag on `{}`", p.name);
     }
+    // The dataflow rule families added in lint v3.
+    assert_eq!(parsed.condvar_files, defaults.condvar_files);
+    assert_eq!(parsed.atomic_files, defaults.atomic_files);
+    assert_eq!(parsed.allow_relaxed, defaults.allow_relaxed);
+    assert_eq!(parsed.pool_files, defaults.pool_files);
+    assert_eq!(parsed.pool_receivers, defaults.pool_receivers);
+    assert_eq!(parsed.pool_allocs, defaults.pool_allocs);
+    assert_eq!(parsed.pool_sinks, defaults.pool_sinks);
+    assert_eq!(parsed.pool_accounted, defaults.pool_accounted);
+    assert_eq!(parsed.buffer_types, defaults.buffer_types);
+    assert_eq!(parsed.publication_labels, defaults.publication_labels);
 }
 
 /// Parametric shard locks must be acquired in ascending index order:
@@ -426,6 +453,149 @@ files = ["src"]
     assert!(
         stderr.contains("lock-order"),
         "lock inversion under the ring mutex not flagged:\n{stderr}"
+    );
+}
+
+/// Each lint-v3 dataflow rule family must flag its seeded violation:
+/// wait outside a predicate loop, notify with no state write under the
+/// paired mutex, relaxed publication against a release/acquire
+/// protocol, and a pool alloc leaked into an unaccounted container on
+/// an error path.
+#[test]
+fn binary_flags_each_seeded_dataflow_violation() {
+    let seeded: &[(&str, &str, &str)] = &[
+        (
+            "condvar-wait-loop",
+            "wait-outside-loop",
+            "pub fn f(p: &P) { let mut g = p.free.lock(); \
+             p.available.wait_until(&mut g, deadline()); }\n",
+        ),
+        (
+            "condvar-notify-write",
+            "notify-without-write",
+            "pub fn waiter(p: &P) { let mut g = p.free.lock(); \
+             while busy(&g) { p.available.wait_until(&mut g, deadline()); } }\n\
+             pub fn wake(p: &P) { p.available.notify_one(); }\n",
+        ),
+        (
+            "atomic-publication",
+            "relaxed-publish",
+            "pub fn w(s: &S) { s.flag.store(1, Ordering::Release); }\n\
+             pub fn r(s: &S) -> u32 { s.flag.load(Ordering::Relaxed) }\n",
+        ),
+        (
+            "pool-lifecycle",
+            "leaked-alloc-on-error-path",
+            "pub fn f(p: &P, stash: &S) -> Result<(), E> {\n\
+             let b = p.pool.alloc()?;\n\
+             if failing() { stash.lock().push(b); return Err(E); }\n\
+             b.recycle();\n\
+             Ok(())\n\
+             }\n",
+        ),
+    ];
+    for (rule, tag, source) in seeded {
+        let (code, stderr) =
+            run_binary_on(tag, &[("lint.toml", FIXTURE_LINT_TOML), ("src/lib.rs", source)]);
+        assert_eq!(
+            code, 1,
+            "seeded `{rule}` violation ({tag}) should exit 1, got {code}; stderr:\n{stderr}"
+        );
+        assert!(
+            stderr.contains(rule),
+            "stderr should name `{rule}`:\n{stderr}"
+        );
+    }
+}
+
+/// Runs scripts/cross_diff.py on a synthetic (lint-report, check-edges)
+/// pair and returns (exit_code, combined output). Skipped by callers
+/// when python3 is unavailable.
+fn run_cross_diff(tag: &str, lint_json: &str, check_json: &str) -> (i32, String) {
+    let dir = std::env::temp_dir().join(format!("firefly-crossdiff-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("mkdir fixture");
+    let lint_path = dir.join("lint-report.json");
+    let check_path = dir.join("check-edges.json");
+    fs::write(&lint_path, lint_json).expect("write lint fixture");
+    fs::write(&check_path, check_json).expect("write check fixture");
+    let out = Command::new("python3")
+        .arg(workspace_root().join("scripts/cross_diff.py"))
+        .arg(&lint_path)
+        .arg(&check_path)
+        .output()
+        .expect("run cross_diff.py");
+    let _ = fs::remove_dir_all(&dir);
+    let combined = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code().unwrap_or(-1), combined)
+}
+
+/// The static side all three fixtures below diff against: one paired
+/// (and allowlisted) atomic location, reachable from the dynamic
+/// `installed` class through the label map.
+const CROSS_DIFF_LINT_JSON: &str = r#"{
+  "lock_graph": {"classes": ["calltable", "pool"], "parametric": [], "edges": []},
+  "atomic_publication": {
+    "allow_relaxed": ["INSTALLED"],
+    "label_map": {"installed": ["INSTALLED"]},
+    "locations": [
+      {"name": "INSTALLED", "releasing_writes": 1, "acquiring_reads": 1,
+       "relaxed_loads": 1, "relaxed_writes": 0, "paired": true, "allowlisted": true}
+    ]
+  }
+}"#;
+
+/// The verify.sh cross-diff must accept a dynamic report whose
+/// publication classes map to statically paired locations and whose
+/// accounting balances — and reject an unpaired publication class and
+/// drifted pool accounting.
+#[test]
+fn cross_diff_gates_publications_and_accounting() {
+    if Command::new("python3").arg("--version").output().is_err() {
+        eprintln!("python3 unavailable; skipping cross-diff fixture test");
+        return;
+    }
+    let good = r#"{
+      "edges": [],
+      "publications": ["installed"],
+      "accounting": {"pool": {"outstanding": 1, "retained": 1}}
+    }"#;
+    let (code, out) = run_cross_diff("good", CROSS_DIFF_LINT_JSON, good);
+    assert_eq!(code, 0, "consistent reports must pass:\n{out}");
+    assert!(
+        out.contains("statically paired at INSTALLED"),
+        "pass output should attribute the publication:\n{out}"
+    );
+
+    let unpaired = r#"{
+      "edges": [],
+      "publications": ["ghost"],
+      "accounting": {}
+    }"#;
+    let (code, out) = run_cross_diff("unpaired", CROSS_DIFF_LINT_JSON, unpaired);
+    assert_ne!(
+        code, 0,
+        "a publication class with no statically paired location must fail:\n{out}"
+    );
+    assert!(
+        out.contains("ghost"),
+        "failure should name the unpaired class:\n{out}"
+    );
+
+    let drifted = r#"{
+      "edges": [],
+      "publications": [],
+      "accounting": {"pool": {"outstanding": 2, "retained": 1}}
+    }"#;
+    let (code, out) = run_cross_diff("drifted", CROSS_DIFF_LINT_JSON, drifted);
+    assert_ne!(code, 0, "drifted pool accounting must fail:\n{out}");
+    assert!(
+        out.contains("accounting drift"),
+        "failure should describe the drift:\n{out}"
     );
 }
 
