@@ -122,9 +122,10 @@ fn write_edges_json(
     edges: &BTreeSet<(String, String)>,
     publications: &BTreeSet<String>,
     accounting: &BTreeMap<&'static str, Vec<(String, u64)>>,
+    transitions: &BTreeSet<String>,
 ) -> std::io::Result<()> {
     let collapsed = collapse_parametric(edges);
-    let mut s = String::from("{\n  \"edges\": [");
+    let mut s = String::from("{\n  \"schema_version\": 1,\n  \"edges\": [");
     for (i, (from, to, ordering)) in collapsed.iter().enumerate() {
         if i > 0 {
             s.push(',');
@@ -156,7 +157,22 @@ fn write_edges_json(
             .collect();
         s.push_str(&format!("\n    \"{model}\": {{{}}}", rendered.join(", ")));
     }
-    s.push_str("\n  }\n}\n");
+    // Protocol.toml rows the models and the wire scenario actually
+    // drove — the fourth cross_diff.py gate (spec-legality plus
+    // coverage) reads this array. Emitted in spec-table order.
+    s.push_str("\n  },\n  \"transitions\": [");
+    let ordered: Vec<&str> = firefly_rpc::witness::TRANSITIONS
+        .iter()
+        .filter(|t| transitions.contains(**t))
+        .copied()
+        .collect();
+    for (i, row) in ordered.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    \"{row}\""));
+    }
+    s.push_str("\n  ]\n}\n");
     std::fs::write(path, s)
 }
 
@@ -262,6 +278,7 @@ fn main() -> ExitCode {
     let mut edges: BTreeSet<(String, String)> = BTreeSet::new();
     let mut publications: BTreeSet<String> = BTreeSet::new();
     let mut accounting: BTreeMap<&'static str, Vec<(String, u64)>> = BTreeMap::new();
+    let mut transitions: BTreeSet<String> = BTreeSet::new();
 
     if !args.bugs_only {
         println!(
@@ -285,6 +302,7 @@ fn main() -> ExitCode {
             all_ok &= summarize(&dfs, false, args.verbose);
             edges.extend(dfs.edges);
             publications.extend(dfs.publications);
+            transitions.extend(dfs.transitions);
             if !dfs.accounting.is_empty() {
                 accounting.insert(model.name, dfs.accounting);
             }
@@ -298,6 +316,7 @@ fn main() -> ExitCode {
             all_ok &= summarize(&rand, false, args.verbose);
             edges.extend(rand.edges);
             publications.extend(rand.publications);
+            transitions.extend(rand.transitions);
             if !rand.accounting.is_empty() {
                 accounting.insert(model.name, rand.accounting);
             }
@@ -315,14 +334,25 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &args.json_edges {
-        if let Err(e) = write_edges_json(path, &edges, &publications, &accounting) {
+        // The wire scenario drives a live endpoint through the
+        // server-side spec rows the models cannot reach; run it only
+        // when exporting (it is a coverage driver, not a check).
+        match firefly_check::scenario::wire_transitions() {
+            Ok(rows) => transitions.extend(rows),
+            Err(e) => {
+                eprintln!("firefly-check: {e}");
+                all_ok = false;
+            }
+        }
+        if let Err(e) = write_edges_json(path, &edges, &publications, &accounting, &transitions) {
             eprintln!("firefly-check: writing {path}: {e}");
             return ExitCode::from(2);
         }
         println!(
-            "firefly-check: {} observed lock edge(s), {} publication class(es) -> {path}",
+            "firefly-check: {} observed lock edge(s), {} publication class(es), {} protocol transition(s) -> {path}",
             edges.len(),
-            publications.len()
+            publications.len(),
+            transitions.len()
         );
     }
 

@@ -30,6 +30,7 @@
 pub mod args;
 pub mod models;
 pub mod races;
+pub mod scenario;
 pub mod sched;
 pub mod vc;
 
@@ -54,6 +55,12 @@ pub struct ModelRun {
     /// named counters (e.g. pool `outstanding` vs slot `retained`) that
     /// the binary exports for the static-vs-dynamic lifecycle diff.
     pub audit: Option<Box<dyn FnOnce() -> Vec<(String, u64)> + Send>>,
+    /// Optional protocol-transition readout, run after a clean finale
+    /// (and after `audit`): the protocol.toml rows this model's
+    /// structures actually drove, as canonical spec strings. The binary
+    /// unions them across models into `--json-edges` for the
+    /// scripts/cross_diff.py coverage gate.
+    pub transitions: Option<Box<dyn FnOnce() -> Vec<String> + Send>>,
 }
 
 /// A named model in the registry.
@@ -133,6 +140,11 @@ pub struct Outcome {
     /// The last passing schedule's audit readout (named counters),
     /// empty when the model declares no audit.
     pub accounting: Vec<(String, u64)>,
+    /// Protocol.toml transition rows observed across all passing
+    /// schedules (union). Deliberately *not* folded into `digest`: the
+    /// digest fingerprints schedules, and the transition set is a
+    /// coverage artifact, not a scheduling one.
+    pub transitions: BTreeSet<String>,
     /// FNV-1a digest over every passing schedule's event log: two runs
     /// with the same mode and seed must produce identical digests.
     pub digest: u64,
@@ -215,6 +227,7 @@ impl Explorer {
             edges: BTreeSet::new(),
             publications: BTreeSet::new(),
             accounting: Vec::new(),
+            transitions: BTreeSet::new(),
             digest: FNV_OFFSET,
         };
         let mut prefix: Vec<usize> = match mode {
@@ -231,7 +244,7 @@ impl Explorer {
                 Mode::Random { .. } => Some(firefly_rng::splitmix64(&mut seed_state)),
                 _ => None,
             };
-            let (result, finale_err, accounting) =
+            let (result, finale_err, accounting, transitions) =
                 self.run_one(model, prefix.clone(), schedule_seed.map(firefly_rng::Rng::new));
             let failure = result.failure.or_else(|| {
                 finale_err.map(|message| Failure::Invariant { message })
@@ -252,6 +265,9 @@ impl Explorer {
             outcome.publications.extend(result.publications);
             if let Some(accounting) = accounting {
                 outcome.accounting = accounting;
+            }
+            if let Some(transitions) = transitions {
+                outcome.transitions.extend(transitions);
             }
             for line in &result.trace {
                 outcome.digest = fnv_fold(outcome.digest, line.as_bytes());
@@ -324,6 +340,7 @@ impl Explorer {
             edges: BTreeSet::new(),
             publications: BTreeSet::new(),
             accounting: Vec::new(),
+            transitions: BTreeSet::new(),
             digest: FNV_OFFSET,
         };
         let mut nodes: Vec<Node> = Vec::new();
@@ -331,7 +348,7 @@ impl Explorer {
         let mut sleep: Vec<SleepEntry> = Vec::new();
         let mut sleep_from = usize::MAX;
         loop {
-            let (result, finale_err, accounting) =
+            let (result, finale_err, accounting, transitions) =
                 self.run_one_plan(model, prefix.clone(), None, sleep.clone(), sleep_from);
             if std::env::var_os("FIREFLY_DPOR_DEBUG").is_some() {
                 eprintln!(
@@ -368,6 +385,9 @@ impl Explorer {
                 outcome.publications.extend(result.publications.iter().cloned());
                 if let Some(accounting) = accounting {
                     outcome.accounting = accounting;
+                }
+                if let Some(transitions) = transitions {
+                    outcome.transitions.extend(transitions);
                 }
                 for line in &result.trace {
                     outcome.digest = fnv_fold(outcome.digest, line.as_bytes());
@@ -483,13 +503,14 @@ impl Explorer {
     }
 
     /// Runs exactly one schedule; returns the schedule result, any
-    /// finale panic message, and the audit readout (clean runs only).
+    /// finale panic message, and the audit and transition readouts
+    /// (clean runs only).
     fn run_one(
         &self,
         model: &Model,
         prefix: Vec<usize>,
         rng: Option<firefly_rng::Rng>,
-    ) -> (sched::ScheduleResult, Option<String>, Option<Vec<(String, u64)>>) {
+    ) -> RunReadout {
         self.run_one_plan(model, prefix, rng, Vec::new(), usize::MAX)
     }
 
@@ -501,7 +522,7 @@ impl Explorer {
         rng: Option<firefly_rng::Rng>,
         sleep: Vec<SleepEntry>,
         sleep_from: usize,
-    ) -> (sched::ScheduleResult, Option<String>, Option<Vec<(String, u64)>>) {
+    ) -> RunReadout {
         let run = (model.make)();
         let n = run.threads.len();
         self.sched
@@ -554,29 +575,50 @@ impl Explorer {
         // Finale: quiescent single-threaded asserts, no hook installed.
         // A sleep-set-redundant run was abandoned mid-flight, so its
         // quiescent invariants are meaningless — skip them. The audit
-        // readout only runs after a clean finale: its counters describe
-        // a state the invariants have just vouched for.
-        let (finale_err, accounting) = if result.failure.is_none() && !result.redundant {
+        // and transition readouts only run after a clean finale: they
+        // describe a state the invariants have just vouched for.
+        let (finale_err, accounting, transitions) = if result.failure.is_none() && !result.redundant
+        {
             let _ = SILENCED.try_with(|c| c.set(true));
             let r = catch_unwind(AssertUnwindSafe(run.finale));
             let out = match r {
-                Ok(()) => match run.audit {
-                    Some(audit) => match catch_unwind(AssertUnwindSafe(audit)) {
-                        Ok(counters) => (None, Some(counters)),
-                        Err(p) => (Some(panic_message(p.as_ref())), None),
-                    },
-                    None => (None, None),
-                },
-                Err(p) => (Some(panic_message(p.as_ref())), None),
+                Ok(()) => {
+                    let (audit_err, counters) = match run.audit {
+                        Some(audit) => match catch_unwind(AssertUnwindSafe(audit)) {
+                            Ok(counters) => (None, Some(counters)),
+                            Err(p) => (Some(panic_message(p.as_ref())), None),
+                        },
+                        None => (None, None),
+                    };
+                    let (err, rows) = match (audit_err, run.transitions) {
+                        (None, Some(hook)) => match catch_unwind(AssertUnwindSafe(hook)) {
+                            Ok(rows) => (None, Some(rows)),
+                            Err(p) => (Some(panic_message(p.as_ref())), None),
+                        },
+                        (e, _) => (e, None),
+                    };
+                    (err, counters, rows)
+                }
+                Err(p) => (Some(panic_message(p.as_ref())), None, None),
             };
             let _ = SILENCED.try_with(|c| c.set(false));
             out
         } else {
-            (None, None)
+            (None, None, None)
         };
-        (result, finale_err, accounting)
+        (result, finale_err, accounting, transitions)
     }
 }
+
+/// What one schedule hands back to the exploration loop: the scheduler
+/// result plus any finale panic and the clean-run audit / transition
+/// readouts.
+type RunReadout = (
+    sched::ScheduleResult,
+    Option<String>,
+    Option<Vec<(String, u64)>>,
+    Option<Vec<String>>,
+);
 
 impl Default for Explorer {
     fn default() -> Explorer {

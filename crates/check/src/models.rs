@@ -23,6 +23,7 @@ use firefly_pool::BufferPool;
 use firefly_rpc::calltable::{CallTable, Deliver, Wait};
 use firefly_rpc::packet::Packet;
 use firefly_rpc::trace::{TraceRecord, Tracer};
+use firefly_rpc::witness::{row, ProtocolWitness};
 use firefly_sync::atomic as checked_atomic;
 use firefly_sync::{channel, Condvar, Mutex};
 use firefly_wire::{ActivityId, FrameBuilder, PacketType};
@@ -116,6 +117,15 @@ fn make_calltable() -> ModelRun {
             );
         }) as Box<dyn FnOnce() + Send>
     };
+    let transitions = {
+        let table = Arc::clone(&table);
+        // The real CallTable records its protocol.toml rows itself: this
+        // model's accepted result is `caller-open Result last_fragment ->
+        // complete-call` and the late duplicate is `caller-orphan Result
+        // last_fragment -> recycle-orphan`.
+        Box::new(move || table.witness().observed().iter().map(|t| (*t).to_string()).collect())
+            as Box<dyn FnOnce() -> Vec<String> + Send>
+    };
     let finale = Box::new(move || {
         assert_eq!(table.outstanding(), 0, "call table entry leaked");
         assert_eq!(pool.stats().outstanding(), 0, "packet buffer leaked");
@@ -125,6 +135,7 @@ fn make_calltable() -> ModelRun {
         threads: vec![caller, demux],
         finale,
         audit: None,
+        transitions: Some(transitions),
     }
 }
 
@@ -188,6 +199,7 @@ fn make_pool() -> ModelRun {
         threads: vec![t0, t1, t2],
         finale,
         audit: Some(audit),
+        transitions: None,
     }
 }
 
@@ -234,6 +246,7 @@ fn make_trace_ring() -> ModelRun {
         threads: vec![t0, t1, t2],
         finale,
         audit: None,
+        transitions: None,
     }
 }
 
@@ -288,6 +301,7 @@ fn make_channel() -> ModelRun {
         threads: vec![s0, s1, r0, r1],
         finale,
         audit: None,
+        transitions: None,
     }
 }
 
@@ -331,6 +345,7 @@ fn make_bug_abba() -> ModelRun {
         threads: vec![t0, t1],
         finale: Box::new(|| {}),
         audit: None,
+        transitions: None,
     }
 }
 
@@ -373,6 +388,7 @@ fn make_bug_lost_wakeup() -> ModelRun {
         threads: vec![signaller, waiter],
         finale: Box::new(|| {}),
         audit: None,
+        transitions: None,
     }
 }
 
@@ -413,6 +429,7 @@ fn make_bug_double_release() -> ModelRun {
         threads: vec![t0, t1],
         finale,
         audit: None,
+        transitions: None,
     }
 }
 
@@ -459,6 +476,7 @@ fn make_gate() -> ModelRun {
         threads: vec![t0, t1, observer],
         finale,
         audit: None,
+        transitions: None,
     }
 }
 
@@ -641,6 +659,12 @@ fn make_sharded_calltable() -> ModelRun {
         threads: vec![t0, t1, stealer],
         finale,
         audit: None,
+        // The model proper runs on an abstract shard mirror, so the
+        // protocol rows its scenario stands for (caller-side Result /
+        // Ack / ProbeResponse handling, including every orphan shape)
+        // come from a deterministic drill over the real sharded table,
+        // run hook-free after the clean finale.
+        transitions: Some(Box::new(crate::scenario::caller_transitions)),
     }
 }
 
@@ -669,6 +693,10 @@ fn make_activity_retention() -> ModelRun {
     }
     let pool = BufferPool::new(2);
     let slot = Arc::new(Mutex::new(Slot::default()));
+    // Which protocol.toml rows each interleaving stands for. Plain std
+    // atomics inside: recording adds no scheduler events, so the DPOR
+    // schedule count is exactly what it was before instrumentation.
+    let witness = Arc::new(ProtocolWitness::new());
 
     let label = {
         let pool = pool.clone();
@@ -699,6 +727,7 @@ fn make_activity_retention() -> ModelRun {
     // and the duplicate is dropped (the caller will retransmit).
     let demux = {
         let slot = Arc::clone(&slot);
+        let witness = Arc::clone(&witness);
         Box::new(move || {
             let mut s = slot.lock();
             if s.last_seq == Some(0) {
@@ -707,7 +736,14 @@ fn make_activity_retention() -> ModelRun {
                 // after the ack already freed it is simply dropped.
                 if let Some(buf) = s.retained.take() {
                     s.retained = Some(buf);
+                    witness.record(row::DUP_RETAINED_BASE);
+                } else {
+                    witness.record(row::DUP_RELEASED_BASE);
                 }
+            } else {
+                // Result not installed yet: the server is still
+                // computing, which is the executing-duplicate drop.
+                witness.record(row::DUP_EXEC_DROP_LF);
             }
         }) as Box<dyn FnOnce() + Send>
     };
@@ -718,6 +754,7 @@ fn make_activity_retention() -> ModelRun {
     let acker = {
         let pool = pool.clone();
         let slot = Arc::clone(&slot);
+        let witness = Arc::clone(&witness);
         Box::new(move || {
             let taken = {
                 let mut s = slot.lock();
@@ -725,6 +762,7 @@ fn make_activity_retention() -> ModelRun {
             };
             if let Some(buf) = taken {
                 pool.recycle_to_receive_queue(buf);
+                witness.record(row::ACK_RELEASE);
             }
         }) as Box<dyn FnOnce() + Send>
     };
@@ -758,11 +796,17 @@ fn make_activity_retention() -> ModelRun {
             ]
         }) as Box<dyn FnOnce() -> Vec<(String, u64)> + Send>
     };
+    let transitions = {
+        let witness = Arc::clone(&witness);
+        Box::new(move || witness.observed().iter().map(|t| (*t).to_string()).collect())
+            as Box<dyn FnOnce() -> Vec<String> + Send>
+    };
     ModelRun {
         label,
         threads: vec![server, demux, acker],
         finale,
         audit: Some(audit),
+        transitions: Some(transitions),
     }
 }
 
@@ -792,6 +836,7 @@ fn make_bug_race_counter() -> ModelRun {
         threads: vec![t0, t1],
         finale: Box::new(|| {}),
         audit: None,
+        transitions: None,
     }
 }
 
@@ -834,6 +879,7 @@ fn make_bug_race_publish() -> ModelRun {
         threads: vec![writer, reader],
         finale: Box::new(|| {}),
         audit: None,
+        transitions: None,
     }
 }
 
@@ -887,6 +933,7 @@ fn make_bug_race_notify() -> ModelRun {
         threads: vec![signaller, waiter],
         finale: Box::new(|| {}),
         audit: None,
+        transitions: None,
     }
 }
 

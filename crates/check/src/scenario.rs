@@ -1,0 +1,418 @@
+//! Deterministic protocol-transition drills for `--json-edges`.
+//!
+//! Two drivers, both over the *real* production types, both recording
+//! through [`firefly_rpc::witness::ProtocolWitness`]:
+//!
+//! * [`caller_transitions`] — a scripted packet sequence against a real
+//!   [`ShardedCallTable`] that walks every caller-side row of
+//!   protocol.toml (Result completion/assembly in all flag shapes, Ack
+//!   quench/advance, ProbeResponse, and the six orphan shapes). It runs
+//!   as the `sharded-calltable` model's transition readout, hook-free,
+//!   after the model's own schedules all pass.
+//!
+//! * [`wire_transitions`] — a live [`Endpoint`] on a loopback station
+//!   poked by a raw-frame injector, driving every server-side row:
+//!   fresh dispatch and assembly, duplicates against an executing /
+//!   retained / released / stale activity, the three probe answers plus
+//!   the unknown-probe drop, and the result-ack advance/release/stale
+//!   rows. A gated Null service (each call waits for an explicit token)
+//!   pins the activity in the executing state while duplicates land.
+//!
+//! Everything observed flows into the `transitions` array of the
+//! `--json-edges` report, which scripts/cross_diff.py checks against the
+//! spec: observed rows must be legal, legal rows must be observed (or
+//! explicitly allowlisted). Synchronization leans on two facts: the
+//! demux processes one station's frames in arrival order, so a frame's
+//! effect is visible to every later frame without handshakes; and a
+//! result frame reaching the injector means the worker already installed
+//! the retained copy, so retention-dependent injections only need to
+//! await the result.
+
+use firefly_pool::BufferPool;
+use firefly_rpc::calltable::{Deliver, ShardedCallTable};
+use firefly_rpc::packet::Packet;
+use firefly_rpc::transport::{LoopbackNet, Transport};
+use firefly_rpc::witness::TRANSITIONS;
+use firefly_rpc::{Config, Endpoint, ServiceBuilder};
+use firefly_sync::channel;
+use firefly_wire::{ActivityId, FrameBuilder, PacketType, DATA_OFFSET, RPC_HEADER_LEN};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Flag shape of a drill packet; `ar`/`cf` are acks-result/call-failed.
+#[derive(Clone, Copy, Default)]
+struct Shape {
+    pa: bool,
+    lf_frag: (u16, u16),
+    ar: bool,
+    cf: bool,
+}
+
+/// Builds a pool-backed packet of the given type and shape. The drills
+/// only craft shapes the spec names, so parse failures are panics, not
+/// scenario outcomes.
+fn drill_packet(pool: &BufferPool, ty: PacketType, act: ActivityId, seq: u32, s: Shape) -> Packet {
+    let frame = FrameBuilder::new(ty)
+        .activity(act)
+        .call_seq(seq)
+        .fragment(s.lf_frag.0, s.lf_frag.1)
+        .please_ack(s.pa)
+        .acks_result(s.ar)
+        .call_failed(s.cf)
+        .build(&[])
+        .expect("drill frame");
+    let mut buf = pool.alloc().expect("drill pool");
+    buf.fill_from(frame.bytes());
+    Packet::from_buf(buf).expect("drill packet")
+}
+
+/// Walks a real [`ShardedCallTable`] through every caller-side spec row
+/// and returns the rows its witnesses recorded, in table order.
+///
+/// The script is a compressed history of one endpoint's bad afternoon:
+/// single- and multi-fragment results in every flag shape, a server ack
+/// and probe-response against an open call, then the same packet types
+/// again after the calls are gone (the orphan rows). Deterministic —
+/// single thread, fixed sequence — so the exported set is stable.
+pub fn caller_transitions() -> Vec<String> {
+    let table = ShardedCallTable::new(4);
+    let pool = BufferPool::new(32);
+    let act = |t: u16| ActivityId::new(11, 1, t);
+    // Entries stay registered for the whole drill (mirroring callers
+    // parked in wait); the table tears them down on drop.
+    let mut open = Vec::new();
+
+    let frag = |i, n, pa| Shape { pa, lf_frag: (i, n), ..Shape::default() };
+    let single = |pa| frag(0, 1, pa);
+
+    // caller-open Result, single packet: complete-call / fail-call.
+    open.push(table.register(act(1), 1));
+    let pkt = drill_packet(&pool, PacketType::Result, act(1), 1, single(false));
+    assert!(matches!(table.deliver(pkt), Deliver::Accepted));
+    open.push(table.register(act(2), 1));
+    let pkt = drill_packet(
+        &pool,
+        PacketType::Result,
+        act(2),
+        1,
+        Shape { cf: true, lf_frag: (0, 1), ..Shape::default() },
+    );
+    assert!(matches!(table.deliver(pkt), Deliver::Accepted));
+
+    // Early final fragment (assemble), then a please-ack non-final
+    // completes: complete-ack without last-fragment.
+    open.push(table.register(act(3), 1));
+    let pkt = drill_packet(&pool, PacketType::Result, act(3), 1, frag(1, 2, false));
+    assert!(matches!(table.deliver(pkt), Deliver::Accepted));
+    let pkt = drill_packet(&pool, PacketType::Result, act(3), 1, frag(0, 2, true));
+    assert!(matches!(table.deliver(pkt), Deliver::AcceptedNeedsAck(_)));
+
+    // Non-final first (assemble-ack), then a please-ack final completes:
+    // complete-ack with last-fragment.
+    open.push(table.register(act(4), 1));
+    let pkt = drill_packet(&pool, PacketType::Result, act(4), 1, frag(0, 2, false));
+    assert!(matches!(table.deliver(pkt), Deliver::AcceptedNeedsAck(_)));
+    let pkt = drill_packet(&pool, PacketType::Result, act(4), 1, frag(1, 2, true));
+    assert!(matches!(table.deliver(pkt), Deliver::AcceptedNeedsAck(_)));
+
+    // Still-assembling shapes with please-ack: non-final and reordered
+    // final (three fragments, so neither delivery completes).
+    open.push(table.register(act(5), 1));
+    let pkt = drill_packet(&pool, PacketType::Result, act(5), 1, frag(0, 3, true));
+    assert!(matches!(table.deliver(pkt), Deliver::AcceptedNeedsAck(_)));
+    let pkt = drill_packet(&pool, PacketType::Result, act(5), 1, frag(2, 3, true));
+    assert!(matches!(table.deliver(pkt), Deliver::AcceptedNeedsAck(_)));
+
+    // Server ack (quench / fragment-advance) and probe-response against
+    // an open call that has not produced a result yet.
+    open.push(table.register(act(6), 1));
+    let pkt = drill_packet(&pool, PacketType::Ack, act(6), 1, single(false));
+    assert!(matches!(table.deliver(pkt), Deliver::Accepted));
+    let pkt = drill_packet(&pool, PacketType::Ack, act(6), 1, frag(0, 2, false));
+    assert!(matches!(table.deliver(pkt), Deliver::Accepted));
+    let pkt = drill_packet(&pool, PacketType::ProbeResponse, act(6), 1, single(false));
+    assert!(matches!(table.deliver(pkt), Deliver::Accepted));
+
+    // The orphan shapes: the same packets against an activity nobody
+    // registered (a caller long since timed out and moved on).
+    for shape in [
+        (PacketType::Result, single(false)),
+        (PacketType::Result, frag(0, 2, true)),
+        (PacketType::Result, Shape { cf: true, lf_frag: (0, 1), ..Shape::default() }),
+        (PacketType::Ack, single(false)),
+        (PacketType::Ack, frag(0, 2, false)),
+        (PacketType::ProbeResponse, single(false)),
+    ] {
+        let pkt = drill_packet(&pool, shape.0, act(9), 1, shape.1);
+        assert!(matches!(table.deliver(pkt), Deliver::Orphan(_)));
+    }
+
+    let mut rows = BTreeSet::new();
+    table.merge_witnesses(&mut rows);
+    let out: Vec<String> = TRANSITIONS
+        .iter()
+        .filter(|t| rows.contains(*t))
+        .map(|t| (*t).to_string())
+        .collect();
+    // The drill's contract: every caller-side row, nothing server-side.
+    let want: Vec<&str> = TRANSITIONS[32..].to_vec();
+    assert_eq!(out, want, "caller drill no longer covers the caller rows");
+    out
+}
+
+/// Spins until `done` holds; the drills are local and lock-free waits,
+/// so a deadline this long only ever fires on a real bug.
+fn wait_for(what: &str, mut done: impl FnMut() -> bool) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !done() {
+        if Instant::now() > deadline {
+            return Err(format!("wire scenario: timed out waiting for {what}"));
+        }
+        std::thread::yield_now();
+    }
+    Ok(())
+}
+
+/// Drives a live server endpoint through every server-side spec row by
+/// injecting raw frames from a second loopback station, and returns the
+/// rows the endpoint's witness recorded.
+pub fn wire_transitions() -> Result<Vec<String>, String> {
+    let net = LoopbackNet::new();
+    let endpoint = Endpoint::new(net.station(1), Config::default())
+        .map_err(|e| format!("wire scenario: endpoint: {e}"))?;
+    let injector = net.station(99);
+
+    // A Null service gated per call: the handler signals entry, then
+    // blocks until the scenario feeds it a token — that window is the
+    // protocol's "executing" state, held open while duplicates and
+    // probes land. Dropping the sender unblocks any leftover handler,
+    // so an early error cannot wedge the endpoint's worker join.
+    let entered = Arc::new(AtomicUsize::new(0));
+    let (token_tx, token_rx) = channel::unbounded::<()>();
+    let service = {
+        let entered = Arc::clone(&entered);
+        ServiceBuilder::new(firefly_idl::test_interface())
+            .on_call("Null", move |_args, _w| {
+                entered.fetch_add(1, Ordering::SeqCst);
+                let _ = token_rx.recv();
+                Ok(())
+            })
+            .on_call("MaxResult", |_args, _w| Ok(()))
+            .on_call("MaxArg", |_args, _w| Ok(()))
+            .build()
+            .map_err(|e| format!("wire scenario: service: {e}"))?
+    };
+    endpoint
+        .export(service)
+        .map_err(|e| format!("wire scenario: export: {e}"))?;
+
+    let result = drive_server_rows(&endpoint, injector.as_ref(), &token_tx, &entered);
+    // Unblock any still-gated handler before the endpoint joins its
+    // workers (a dropped sender makes the handler's recv return Err).
+    drop(token_tx);
+    endpoint.shutdown();
+    result?;
+
+    let rows: Vec<String> = endpoint
+        .protocol_transitions()
+        .iter()
+        .map(|t| (*t).to_string())
+        .collect();
+    for want in &TRANSITIONS[..32] {
+        if !rows.iter().any(|r| r == want) {
+            return Err(format!("wire scenario: server row not driven: {want}"));
+        }
+    }
+    Ok(rows)
+}
+
+/// The injection script proper. Separated out so the caller can always
+/// release the service gate and shut the endpoint down, whichever step
+/// failed.
+fn drive_server_rows(
+    endpoint: &Endpoint,
+    injector: &dyn Transport,
+    token_tx: &channel::Sender<()>,
+    entered: &AtomicUsize,
+) -> Result<(), String> {
+    let dst = endpoint.address();
+    let iface = firefly_idl::test_interface();
+    let act = |t: u16| ActivityId::new(77, 1, t);
+
+    let inject = |frame: Vec<u8>| -> Result<(), String> {
+        injector
+            .send(&frame, dst)
+            .map_err(|e| format!("wire scenario: inject: {e}"))
+    };
+    let call = |a: ActivityId, seq: u32, frag: (u16, u16), pa: bool| -> Vec<u8> {
+        FrameBuilder::new(PacketType::Call)
+            .activity(a)
+            .call_seq(seq)
+            .fragment(frag.0, frag.1)
+            .please_ack(pa)
+            .interface(iface.uid(), iface.version())
+            .procedure(0)
+            .build(&[])
+            .expect("call frame")
+            .into_bytes()
+    };
+    let probe = |a: ActivityId, seq: u32| -> Vec<u8> {
+        FrameBuilder::new(PacketType::Probe)
+            .activity(a)
+            .call_seq(seq)
+            .fragment(0, 1)
+            .build(&[])
+            .expect("probe frame")
+            .into_bytes()
+    };
+    let result_ack = |a: ActivityId, seq: u32, frag: (u16, u16)| -> Vec<u8> {
+        FrameBuilder::new(PacketType::Ack)
+            .activity(a)
+            .call_seq(seq)
+            .fragment(frag.0, frag.1)
+            .acks_result(true)
+            .build(&[])
+            .expect("ack frame")
+            .into_bytes()
+    };
+    // Wait until the endpoint's witness shows `row` — the demux handles
+    // injected frames in order, so the row appearing also means every
+    // earlier injection was fully classified.
+    let expect_row = |row: &'static str| -> Result<(), String> {
+        wait_for(row, || {
+            endpoint.protocol_transitions().iter().any(|t| *t == row)
+        })
+    };
+    // Drain injector-bound frames until a Result arrives. The worker
+    // installs the retained copy before the result frame is flushed, so
+    // this doubles as the retention barrier.
+    let await_result = || -> Result<(), String> {
+        let mut buf = [0u8; 2048];
+        wait_for("a result frame", || loop {
+            match injector.try_recv(&mut buf) {
+                Ok(Some((n, _))) => {
+                    if n > DATA_OFFSET - RPC_HEADER_LEN
+                        && buf[DATA_OFFSET - RPC_HEADER_LEN] == PacketType::Result as u8
+                    {
+                        return true;
+                    }
+                }
+                _ => return false,
+            }
+        })
+    };
+    let token = || token_tx.send(()).map_err(|_| "gate closed".to_string());
+
+    // Fresh single-packet dispatch, bare and please-ack.
+    token()?;
+    inject(call(act(1), 1, (0, 1), false))?;
+    await_result()?;
+    token()?;
+    inject(call(act(2), 1, (0, 1), true))?;
+    await_result()?;
+
+    // Assembly of two-fragment calls: non-final first (assemble-ack,
+    // both shapes), and the final fragment arriving early (assemble,
+    // both shapes) — none of these dispatch yet.
+    inject(call(act(3), 1, (0, 2), true))?;
+    inject(call(act(4), 1, (0, 2), false))?;
+    inject(call(act(5), 1, (1, 2), false))?;
+    inject(call(act(6), 1, (1, 2), true))?;
+
+    // Completion by a *non-final* fragment (the final arrived above):
+    // dispatch-ack, with and without please-ack.
+    token()?;
+    inject(call(act(5), 1, (0, 2), true))?;
+    await_result()?;
+    token()?;
+    inject(call(act(6), 1, (0, 2), false))?;
+    await_result()?;
+
+    // Pin act(7) in the executing state: no token, so the handler sits
+    // in the gate once entered, and every duplicate below classifies
+    // against an in-progress, not-yet-retained call.
+    inject(call(act(7), 1, (0, 1), false))?;
+    wait_for("the gated call to start executing", || {
+        entered.load(Ordering::SeqCst) == 5
+    })?;
+    inject(call(act(7), 1, (0, 1), true))?; // ack-executing, +last_fragment
+    inject(call(act(7), 1, (0, 2), true))?; // ack-executing
+    inject(call(act(7), 1, (0, 1), false))?; // drop-duplicate, +last_fragment
+    inject(call(act(7), 1, (0, 2), false))?; // drop-duplicate
+    inject(probe(act(7), 1))?; // probe-response
+    expect_row("server-dup-executing Call please_ack -> ack-executing")?;
+    expect_row("server-dup-executing Call - -> drop-duplicate")?;
+    expect_row("server-executing Probe last_fragment -> probe-response")?;
+
+    // Release the gate; the result frame's arrival proves the retained
+    // copy is installed, and the same duplicates now retransmit it.
+    token()?;
+    await_result()?;
+    inject(call(act(7), 1, (0, 1), false))?;
+    inject(call(act(7), 1, (0, 1), true))?;
+    inject(call(act(7), 1, (0, 2), true))?;
+    inject(call(act(7), 1, (0, 2), false))?;
+    inject(probe(act(7), 1))?; // retained probe also retransmits
+    expect_row("server-dup-retained Call - -> retransmit-result")?;
+    expect_row("server-retained Probe last_fragment -> retransmit-result")?;
+
+    // Explicit result acks: a fragment advance, then the final ack that
+    // releases the retained result.
+    inject(result_ack(act(7), 1, (0, 2)))?;
+    inject(result_ack(act(7), 1, (0, 1)))?;
+    expect_row("server-known Ack acks_result -> advance-fragment")?;
+    expect_row("server-known Ack last_fragment+acks_result -> release-retained")?;
+
+    // With the retention released and nothing executing, the same four
+    // duplicate shapes are dropped, and a probe goes silent.
+    inject(call(act(7), 1, (0, 1), false))?;
+    inject(call(act(7), 1, (0, 1), true))?;
+    inject(call(act(7), 1, (0, 2), true))?;
+    inject(call(act(7), 1, (0, 2), false))?;
+    inject(probe(act(7), 1))?;
+    expect_row("server-dup-released Call - -> drop-duplicate")?;
+    expect_row("server-released Probe last_fragment -> drop-silent")?;
+
+    // A probe and result-acks for a call this server never saw.
+    inject(probe(act(8), 5))?;
+    inject(result_ack(act(8), 5, (0, 2)))?;
+    inject(result_ack(act(8), 5, (0, 1)))?;
+    expect_row("server-unknown Probe last_fragment -> drop-silent")?;
+    expect_row("server-unknown Ack acks_result -> drop-stale")?;
+    expect_row("server-unknown Ack last_fragment+acks_result -> drop-stale")?;
+
+    // A second call on act(7) advances last_seq; retransmissions of the
+    // first call are now stale in all four shapes. The demux orders the
+    // new call before the stale ones, so no barrier is needed between.
+    token()?;
+    inject(call(act(7), 2, (0, 1), false))?;
+    inject(call(act(7), 1, (0, 1), false))?;
+    inject(call(act(7), 1, (0, 1), true))?;
+    inject(call(act(7), 1, (0, 2), true))?;
+    inject(call(act(7), 1, (0, 2), false))?;
+    expect_row("server-stale Call - -> drop-stale")?;
+    await_result()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caller_drill_covers_every_caller_row() {
+        let rows = caller_transitions();
+        assert_eq!(rows.len(), TRANSITIONS.len() - 32);
+        assert!(rows.iter().all(|r| TRANSITIONS.contains(&r.as_str())));
+    }
+
+    #[test]
+    fn wire_scenario_covers_every_server_row() {
+        let rows = wire_transitions().expect("wire scenario drives cleanly");
+        for want in &TRANSITIONS[..32] {
+            assert!(rows.contains(&(*want).to_string()), "missing {want}");
+        }
+    }
+}

@@ -16,7 +16,8 @@
 //! intermediate datalink thread.
 
 use crate::packet::{Assembled, Packet};
-use firefly_wire::{ActivityId, PacketType, RpcHeader};
+use crate::witness::{row, ProtocolWitness};
+use firefly_wire::{ActivityId, PacketFlags, PacketType, RpcHeader};
 use firefly_sync::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -154,12 +155,36 @@ impl CallEntry {
 #[derive(Debug, Default)]
 pub struct CallTable {
     entries: Mutex<HashMap<ActivityId, Arc<CallEntry>>>,
+    /// Caller-side protocol-transition witness: which protocol.toml rows
+    /// this table's [`CallTable::deliver`] has taken. Relaxed counters.
+    witness: ProtocolWitness,
+}
+
+/// The spec row an orphaned caller-bound packet matches, if its exact
+/// `(type, flags)` shape is one the protocol table names. Shapes the
+/// legal senders never produce (e.g. a malformed fragment index) record
+/// nothing: the witness only reports rows the spec knows.
+fn orphan_row(pkt_type: PacketType, f: PacketFlags) -> Option<usize> {
+    match (pkt_type, f.please_ack, f.last_fragment, f.acks_result, f.call_failed) {
+        (PacketType::Result, false, true, false, false) => Some(row::CALLER_ORPHAN_RESULT_LF),
+        (PacketType::Result, true, false, false, false) => Some(row::CALLER_ORPHAN_RESULT_PA),
+        (PacketType::Result, false, true, false, true) => Some(row::CALLER_ORPHAN_RESULT_CF),
+        (PacketType::Ack, false, true, false, false) => Some(row::CALLER_ORPHAN_ACK_LF),
+        (PacketType::Ack, false, false, false, false) => Some(row::CALLER_ORPHAN_ACK),
+        (PacketType::ProbeResponse, false, true, false, false) => Some(row::CALLER_ORPHAN_PR),
+        _ => None,
+    }
 }
 
 impl CallTable {
     /// Creates an empty table.
     pub fn new() -> CallTable {
         CallTable::default()
+    }
+
+    /// The protocol-transition witness for this table.
+    pub fn witness(&self) -> &ProtocolWitness {
+        &self.witness
     }
 
     /// Labels the table lock for `firefly-check` with its lint
@@ -206,13 +231,21 @@ impl CallTable {
             let entries = self.entries.lock();
             match entries.get(&pkt.rpc.activity) {
                 Some(e) => Arc::clone(e),
-                None => return Deliver::Orphan(pkt),
+                None => {
+                    if let Some(r) = orphan_row(pkt.rpc.packet_type, pkt.rpc.flags) {
+                        self.witness.record(r);
+                    }
+                    return Deliver::Orphan(pkt);
+                }
             }
         };
         let mut st = entry.state.lock();
         if pkt.rpc.call_seq != st.seq || st.outcome.is_some() {
             // A late duplicate from an earlier transmission round.
             drop(st);
+            if let Some(r) = orphan_row(pkt.rpc.packet_type, pkt.rpc.flags) {
+                self.witness.record(r);
+            }
             return Deliver::Orphan(pkt);
         }
         match pkt.rpc.packet_type {
@@ -222,13 +255,28 @@ impl CallTable {
                 st.acked = Some((pkt.rpc.fragment, last));
                 drop(st);
                 entry.cond.notify_one();
+                if pkt.rpc.packet_type == PacketType::ProbeResponse {
+                    self.witness.record(row::CALLER_PROBE_RESPONSE);
+                } else if pkt.rpc.flags.last_fragment {
+                    self.witness.record(row::CALLER_ACK_QUENCH);
+                } else {
+                    self.witness.record(row::CALLER_ACK_ADVANCE);
+                }
                 Deliver::Accepted
             }
             PacketType::Result => {
                 if pkt.rpc.fragment_count <= 1 {
+                    let flags = pkt.rpc.flags;
                     st.outcome = Some(Assembled::Single(pkt));
                     drop(st);
                     entry.cond.notify_one();
+                    if flags.last_fragment && !flags.please_ack {
+                        self.witness.record(if flags.call_failed {
+                            row::CALLER_FAIL
+                        } else {
+                            row::CALLER_COMPLETE
+                        });
+                    }
                     return Deliver::Accepted;
                 }
                 // Multi-packet result: buffer the fragment.
@@ -270,14 +318,44 @@ impl CallTable {
                     // The final fragment needs no explicit ack unless asked:
                     // the next call from this activity implicitly acks it.
                     if rpc.flags.please_ack {
+                        self.witness.record(if rpc.flags.last_fragment {
+                            row::CALLER_COMPLETE_ACK_PA_LF
+                        } else {
+                            row::CALLER_COMPLETE_ACK_PA
+                        });
                         return Deliver::AcceptedNeedsAck(ack);
+                    }
+                    if rpc.flags.last_fragment {
+                        self.witness.record(if rpc.flags.call_failed {
+                            row::CALLER_FAIL
+                        } else {
+                            row::CALLER_COMPLETE
+                        });
                     }
                     return Deliver::Accepted;
                 }
                 drop(st);
                 // Non-final fragments are always acknowledged explicitly
-                // (Birrell–Nelson stop-and-wait for multi-packet bodies).
-                Deliver::AcceptedNeedsAck(ack)
+                // (Birrell–Nelson stop-and-wait for multi-packet bodies),
+                // as is any fragment that asks. A reordered *final*
+                // fragment arriving before the rest must NOT be acked
+                // unless it asks: an ack carrying last-fragment tells the
+                // server the whole result got through, and it would
+                // release the retained result while earlier fragments are
+                // still in flight — a lost fragment then strands the call
+                // until the server-side retransmission path recovers it.
+                if rpc.flags.please_ack || !rpc.flags.last_fragment {
+                    self.witness.record(if rpc.flags.last_fragment {
+                        row::CALLER_ASSEMBLE_ACK_PA_LF
+                    } else if rpc.flags.please_ack {
+                        row::CALLER_ASSEMBLE_ACK_PA
+                    } else {
+                        row::CALLER_ASSEMBLE_ACK
+                    });
+                    return Deliver::AcceptedNeedsAck(ack);
+                }
+                self.witness.record(row::CALLER_ASSEMBLE_LF);
+                Deliver::Accepted
             }
             PacketType::Call | PacketType::Probe => {
                 // Caller-bound routing never sees these.
@@ -395,6 +473,13 @@ impl ShardedCallTable {
     pub fn deliver(&self, pkt: Packet) -> Deliver {
         self.shards[shard_for(pkt.rpc.activity, self.shards.len())].deliver(pkt)
     }
+
+    /// Unions every shard's protocol-transition witness into `out`.
+    pub fn merge_witnesses(&self, out: &mut std::collections::BTreeSet<&'static str>) {
+        for s in &self.shards {
+            s.witness().merge_into(out);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -460,9 +545,12 @@ mod tests {
         // (the old expect()-based code assumed a clean interleaving).
         let table = CallTable::new();
         let entry = table.register(activity(), 9);
+        // A reordered final fragment arriving first is buffered but NOT
+        // acked (it carries last-fragment without please-ack; acking it
+        // would tell the server the whole result arrived).
         assert!(matches!(
             table.deliver(result_packet(9, &[30, 31], 2, 3)),
-            Deliver::AcceptedNeedsAck(_)
+            Deliver::Accepted
         ));
         assert!(matches!(
             table.deliver(result_packet(9, &[10, 11], 0, 3)),
@@ -623,6 +711,53 @@ mod tests {
                 assert!(ack.flags.acks_result);
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn early_final_fragment_acked_only_when_asked() {
+        // Without please-ack, a reordered final fragment buffers
+        // silently: an ack would carry last-fragment and the server
+        // would release its retained result prematurely.
+        let table = CallTable::new();
+        let _entry = table.register(activity(), 6);
+        assert!(matches!(
+            table.deliver(result_packet(6, &[9], 1, 2)),
+            Deliver::Accepted
+        ));
+        // With please-ack the sender explicitly wants the fragment
+        // confirmed, so the ack goes out.
+        let table2 = CallTable::new();
+        let _entry2 = table2.register(activity(), 6);
+        let frame = FrameBuilder::new(PacketType::Result)
+            .activity(activity())
+            .call_seq(6)
+            .fragment(1, 2)
+            .please_ack(true)
+            .build(&[9])
+            .unwrap();
+        let pool = BufferPool::new(1);
+        let mut buf = pool.alloc().unwrap();
+        buf.fill_from(frame.bytes());
+        assert!(matches!(
+            table2.deliver(Packet::from_buf(buf).unwrap()),
+            Deliver::AcceptedNeedsAck(_)
+        ));
+    }
+
+    #[test]
+    fn deliver_records_spec_transitions() {
+        let table = CallTable::new();
+        let _entry = table.register(activity(), 5);
+        let _ = table.deliver(result_packet(5, &[1], 0, 1));
+        // A duplicate of the completed result orphans.
+        let _ = table.deliver(result_packet(5, &[1], 0, 1));
+        let observed = table.witness().observed();
+        assert!(observed.contains(&"caller-open Result last_fragment -> complete-call"));
+        assert!(observed.contains(&"caller-orphan Result last_fragment -> recycle-orphan"));
+        // Every observed row is a spec row by construction.
+        for t in &observed {
+            assert!(crate::witness::TRANSITIONS.contains(t));
         }
     }
 

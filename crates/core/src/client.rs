@@ -631,7 +631,14 @@ impl Drop for ClientInner {
         let slots = std::mem::take(&mut *self.activities.free.lock());
         for slot in slots {
             if let Some(res) = slot.last_result {
-                let ack = firefly_wire::RpcHeader::ack_for(&res);
+                let mut ack = firefly_wire::RpcHeader::ack_for(&res);
+                // The retained result may be multi-packet and the slot
+                // remembers whichever fragment's header completed the
+                // call. The teardown ack must name the final fragment
+                // with last-fragment set, or the server treats it as a
+                // mid-transfer fragment ack and never frees retention.
+                ack.fragment = ack.fragment_count.saturating_sub(1);
+                ack.flags.last_fragment = true;
                 let _ = self.shared.ctx.send_ack(&ack, self.remote);
             }
         }

@@ -221,6 +221,22 @@ impl Endpoint {
         &self.shared.ctx.pool
     }
 
+    /// The distinct protocol.toml transition rows this endpoint has
+    /// taken so far, across its server demux (send-context witness) and
+    /// every caller call-table shard. This is what `firefly-check`'s
+    /// wire scenario exports for the cross-diff coverage gate.
+    pub fn protocol_transitions(&self) -> Vec<&'static str> {
+        let mut rows = std::collections::BTreeSet::new();
+        self.shared.ctx.witness.merge_into(&mut rows);
+        self.shared.calls.merge_witnesses(&mut rows);
+        // Table order reads better than BTreeSet's lexicographic order.
+        crate::witness::TRANSITIONS
+            .iter()
+            .copied()
+            .filter(|t| rows.contains(t))
+            .collect()
+    }
+
     /// Stops the demux and server threads and unblocks the transport.
     pub fn shutdown(&self) {
         self.shared.ctx.transport.shutdown();
@@ -418,8 +434,17 @@ fn process_frame(
 ) {
     let pkt = match Packet::from_buf(buf) {
         Ok(p) => p,
-        Err(_) => {
-            RpcStats::bump(&stats.validation_drops);
+        Err(e) => {
+            // A garbage packet-type byte is counted apart from other
+            // validation failures: it is the shape a version-skewed or
+            // hostile peer produces, and the chaos garbage-frame mix
+            // asserts it never errors the demux loop.
+            match e {
+                crate::RpcError::Wire(firefly_wire::WireError::BadPacketType(_)) => {
+                    RpcStats::bump(&stats.unknown_type_drops);
+                }
+                _ => RpcStats::bump(&stats.validation_drops),
+            }
             return;
         }
     };
@@ -452,11 +477,18 @@ fn process_frame(
                 pkt.into_buf().recycle();
             } else {
                 RpcStats::bump(&stats.acks_received);
+                let is_probe_response = pkt.rpc.packet_type == PacketType::ProbeResponse;
                 match shared.calls.deliver(pkt) {
                     Deliver::Accepted | Deliver::AcceptedNeedsAck(_) => {
                         RpcStats::bump(&stats.direct_wakeups);
                     }
                     Deliver::Orphan(pkt) => {
+                        // A ProbeResponse with no outstanding probe (the
+                        // probing call already completed, or the probe was
+                        // a duplicate) is protocol noise, not an error.
+                        if is_probe_response {
+                            RpcStats::bump(&stats.stray_probe_responses);
+                        }
                         pkt.into_buf().recycle();
                     }
                 }

@@ -99,6 +99,7 @@ pub mod shard;
 pub mod stats;
 pub mod trace;
 pub mod transport;
+pub mod witness;
 
 pub use client::Client;
 pub use config::Config;

@@ -63,6 +63,10 @@ pub(crate) struct SendCtx {
     pub checksum: bool,
     pub src_mac: MacAddr,
     pub src_ip: Ipv4Addr,
+    /// Server-side protocol-transition witness (protocol.toml rows the
+    /// demux/server handlers took); the caller-side rows live on the
+    /// call-table shards. Relaxed counters, safe under any lock.
+    pub witness: crate::witness::ProtocolWitness,
     ip_ident: AtomicU16,
     combiner: Mutex<Combined>,
     /// Set when the last combiner drain shipped more than one frame —
@@ -89,6 +93,7 @@ impl SendCtx {
             pool,
             stats,
             tracer: Tracer::new(trace_capacity),
+            witness: crate::witness::ProtocolWitness::new(),
             checksum,
             ip_ident: AtomicU16::new(1),
             combiner: Mutex::new(Combined {

@@ -17,6 +17,7 @@ use crate::send::SendCtx;
 use crate::service::Service;
 use crate::shard::WorkQueues;
 use crate::stats::RpcStats;
+use crate::witness::{call_slot, row};
 use crate::{Result, RpcError};
 use firefly_idl::{engines_for_interface, StubEngine, StubStyle, Written};
 use firefly_pool::PacketBuf;
@@ -295,6 +296,16 @@ impl ServerSide {
         }))
     }
 
+    /// The duplicate-group slot of a call's flag shape, or `None` for a
+    /// shape no legal sender produces (stray ack/failed bits on a Call):
+    /// the witness records only rows the spec names.
+    fn call_witness_slot(rpc: &RpcHeader) -> Option<usize> {
+        if rpc.flags.acks_result || rpc.flags.call_failed {
+            return None;
+        }
+        Some(call_slot(rpc.flags.please_ack, rpc.flags.last_fragment))
+    }
+
     /// Interrupt-level handling of an incoming call packet.
     pub fn handle_call_packet(&self, pkt: Packet, src: SocketAddr) {
         // Stamp receipt first, before any protocol work, so the server
@@ -303,12 +314,16 @@ impl ServerSide {
         let stats = &self.ctx.stats;
         RpcStats::bump(&stats.calls_received);
         let rpc = pkt.rpc;
+        let slot = Self::call_witness_slot(&rpc);
         let act = self.activity(rpc.activity);
         let mut st = act.state.lock();
         st.last_used = Instant::now();
 
         if rpc.call_seq < st.last_seq {
             // A stale call from a past round; drop and recycle.
+            if let Some(s) = slot {
+                self.ctx.witness.record(row::STALE_BASE + s);
+            }
             self.recycle(pkt);
             return;
         }
@@ -319,11 +334,15 @@ impl ServerSide {
             // touching the wire — a transport send can block, and
             // blocking under the activity lock stalls the demux.
             let retained = std::mem::replace(&mut st.retained, Retained::None);
-            let ack_executing = retained.is_none() && st.in_progress && rpc.flags.please_ack;
+            let executing = st.in_progress;
+            let ack_executing = retained.is_none() && executing && rpc.flags.please_ack;
             drop(st);
             if !retained.is_none() {
                 // "the last result packet … must be retained for possible
                 // retransmission": answer the duplicate from it.
+                if let Some(s) = slot {
+                    self.ctx.witness.record(row::DUP_RETAINED_BASE + s);
+                }
                 retained.for_each_frame(|frame| {
                     let _ = self.ctx.transport.send(frame, src);
                 });
@@ -332,7 +351,26 @@ impl ServerSide {
             } else if ack_executing {
                 // The call is executing; tell the caller to stop
                 // retransmitting.
+                if slot.is_some() {
+                    self.ctx.witness.record(if rpc.flags.last_fragment {
+                        row::DUP_EXEC_ACK_PA_LF
+                    } else {
+                        row::DUP_EXEC_ACK_PA
+                    });
+                }
                 let _ = self.ctx.send_ack(&RpcHeader::ack_for(&rpc), src);
+            } else if let Some(s) = slot {
+                // Dropped without answer: still executing (no ack asked),
+                // or the result was already delivered and released.
+                if executing {
+                    self.ctx.witness.record(if rpc.flags.last_fragment {
+                        row::DUP_EXEC_DROP_LF
+                    } else {
+                        row::DUP_EXEC_DROP
+                    });
+                } else {
+                    self.ctx.witness.record(row::DUP_RELEASED_BASE + s);
+                }
             }
             self.recycle(pkt);
             return;
@@ -371,6 +409,20 @@ impl ServerSide {
             // the activity guard drops, since the ack hits the wire.
             let ack_fragment = !rpc.flags.last_fragment;
             if !complete {
+                if slot.is_some() {
+                    self.ctx.witness.record(if rpc.flags.last_fragment {
+                        // Early-arriving final fragment: assembly goes on.
+                        if rpc.flags.please_ack {
+                            row::NEW_ASSEMBLE_PA
+                        } else {
+                            row::NEW_ASSEMBLE
+                        }
+                    } else if rpc.flags.please_ack {
+                        row::NEW_ASSEMBLE_ACK_PA
+                    } else {
+                        row::NEW_ASSEMBLE_ACK
+                    });
+                }
                 drop(st);
                 if ack_fragment {
                     let _ = self.ctx.send_ack(&RpcHeader::ack_for(&rpc), src);
@@ -386,6 +438,21 @@ impl ServerSide {
                 return;
             };
             let data: Vec<u8> = parts.received.into_iter().flatten().flatten().collect();
+            if slot.is_some() {
+                self.ctx.witness.record(if ack_fragment {
+                    // A non-final fragment completed the call (the final
+                    // one arrived early): ack it, then dispatch.
+                    if rpc.flags.please_ack {
+                        row::NEW_DISPATCH_ACK_PA
+                    } else {
+                        row::NEW_DISPATCH_ACK
+                    }
+                } else if rpc.flags.please_ack {
+                    row::NEW_DISPATCH_PA
+                } else {
+                    row::NEW_DISPATCH
+                });
+            }
             self.begin_call(&mut st, rpc.call_seq);
             drop(st);
             if ack_fragment {
@@ -403,6 +470,13 @@ impl ServerSide {
             return;
         }
 
+        if slot.is_some() && rpc.flags.last_fragment {
+            self.ctx.witness.record(if rpc.flags.please_ack {
+                row::NEW_DISPATCH_PA
+            } else {
+                row::NEW_DISPATCH
+            });
+        }
         self.begin_call(&mut st, rpc.call_seq);
         drop(st);
         self.enqueue(
@@ -452,9 +526,18 @@ impl ServerSide {
     /// is unknown — stay silent and let the caller's transmission budget
     /// expire.
     pub fn handle_probe(&self, rpc: &RpcHeader, src: SocketAddr) {
+        // Probes on the wire carry exactly last-fragment; the witness
+        // records only that spec shape.
+        let spec_probe = rpc.flags.last_fragment
+            && !rpc.flags.please_ack
+            && !rpc.flags.acks_result
+            && !rpc.flags.call_failed;
         let act = self.activity(rpc.activity);
         let mut st = act.state.lock();
         if st.last_seq != rpc.call_seq {
+            if spec_probe {
+                self.ctx.witness.record(row::PROBE_UNKNOWN);
+            }
             return;
         }
         // As in the duplicate path: take the result out and drop the
@@ -464,6 +547,9 @@ impl ServerSide {
         let executing = st.in_progress;
         drop(st);
         if !retained.is_none() {
+            if spec_probe {
+                self.ctx.witness.record(row::PROBE_RETAINED);
+            }
             retained.for_each_frame(|frame| {
                 let _ = self.ctx.transport.send(frame, src);
             });
@@ -473,6 +559,9 @@ impl ServerSide {
             return;
         }
         if executing {
+            if spec_probe {
+                self.ctx.witness.record(row::PROBE_EXECUTING);
+            }
             let response = RpcHeader {
                 packet_type: PacketType::ProbeResponse,
                 data_len: 0,
@@ -482,6 +571,10 @@ impl ServerSide {
                 .ctx
                 .send_built(&self.ctx.builder_from(&response, src), &[], src);
             RpcStats::bump(&self.ctx.stats.probes_answered);
+        } else if spec_probe {
+            // Result delivered and released: stay silent (the caller's
+            // next call starts a fresh round).
+            self.ctx.witness.record(row::PROBE_RELEASED);
         }
     }
 
@@ -489,10 +582,31 @@ impl ServerSide {
     /// fragments.
     pub fn handle_result_ack(&self, rpc: &RpcHeader) {
         RpcStats::bump(&self.ctx.stats.acks_received);
+        // Caller result-acks carry acks-result, optionally with
+        // last-fragment for the final (releasing) ack; anything else is
+        // off-spec and goes unrecorded.
+        let spec_ack = rpc.packet_type == PacketType::Ack
+            && rpc.flags.acks_result
+            && !rpc.flags.please_ack
+            && !rpc.flags.call_failed;
         let act = self.activity(rpc.activity);
         let mut st = act.state.lock();
         if rpc.call_seq != st.last_seq {
+            if spec_ack {
+                self.ctx.witness.record(if rpc.flags.last_fragment {
+                    row::ACK_STALE_LF
+                } else {
+                    row::ACK_STALE
+                });
+            }
             return;
+        }
+        if spec_ack {
+            self.ctx.witness.record(if rpc.flags.last_fragment {
+                row::ACK_RELEASE
+            } else {
+                row::ACK_ADVANCE
+            });
         }
         st.acked_frag = Some((rpc.call_seq, rpc.fragment));
         if rpc.flags.last_fragment {
@@ -588,15 +702,12 @@ impl ServerSide {
                 drop(st);
                 let msg = e.to_string();
                 let data = &msg.as_bytes()[..msg.len().min(MAX_SINGLE_PACKET_DATA)];
-                let header = RpcHeader {
-                    packet_type: PacketType::Result,
-                    ..rpc
-                };
-                let builder = self
-                    .ctx
-                    .builder_from(&header, src)
-                    .call_failed(true)
-                    .fragment(0, 1);
+                // `result_for` resets the flag word to the single-packet
+                // shape; spelling the header as `..rpc` here used to leak
+                // the call's please-ack bit into the error result, making
+                // the caller send an ack nobody consumed.
+                let header = RpcHeader::result_for(&rpc, data.len());
+                let builder = self.ctx.builder_from(&header, src).call_failed(true);
                 let _ = self.ctx.send_built(&builder, data, src);
                 let mut st = act.state.lock();
                 if st.last_seq == rpc.call_seq {

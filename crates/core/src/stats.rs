@@ -58,6 +58,12 @@ counters! {
     probes_answered,
     /// Frames dropped because validation failed (bad checksum, bad header).
     validation_drops,
+    /// Frames dropped because the packet-type byte is not a known type.
+    /// Split from `validation_drops` so the chaos garbage-frame mix can
+    /// prove unknown types are counted and dropped, never demux errors.
+    unknown_type_drops,
+    /// ProbeResponse packets with no outstanding probe, dropped silently.
+    stray_probe_responses,
     /// Packets handed directly to a waiting thread (the fast path).
     direct_wakeups,
     /// Call packets queued because no server thread was waiting (slow path).

@@ -207,6 +207,82 @@ fn sharded_dispatch_survives_fault_mix_exactly_once() {
     });
 }
 
+/// Garbage on the wire must never wedge the demultiplexer: a frame whose
+/// packet-type byte is not a known type is counted (`unknown_type_drops`)
+/// and dropped, a ProbeResponse for a call nobody is waiting on is
+/// counted (`stray_probe_responses`) and dropped, and real calls keep
+/// succeeding throughout. Every protocol transition the endpoints take
+/// while being poked stays inside the declared spec table.
+#[test]
+fn garbage_frames_are_counted_dropped_and_harmless() {
+    use firefly_rpc::transport::Transport;
+    use firefly_wire::{
+        ActivityId, FrameBuilder, PacketType, DATA_OFFSET, RPC_HEADER_LEN,
+    };
+
+    let net = LoopbackNet::new();
+    let (server, caller, client) = echo_setup(&net);
+    let injector = net.station(99);
+
+    let r = client.call("Twice", &[Value::Integer(21)]).unwrap();
+    assert_eq!(r[0].clone(), Value::Integer(42));
+
+    // An otherwise well-formed frame whose RPC packet-type byte is 0xee.
+    // The checksum is disabled so validation reaches the type decoder
+    // instead of rejecting the frame one layer earlier.
+    let mut bad_type = FrameBuilder::new(PacketType::Call)
+        .activity(ActivityId::new(77, 1, 1))
+        .call_seq(1)
+        .with_checksum(false)
+        .build(&[])
+        .unwrap()
+        .into_bytes();
+    bad_type[DATA_OFFSET - RPC_HEADER_LEN] = 0xee;
+
+    // A valid ProbeResponse for an activity with no outstanding call.
+    let stray_pr = FrameBuilder::new(PacketType::ProbeResponse)
+        .activity(ActivityId::new(88, 2, 2))
+        .call_seq(9)
+        .build(&[])
+        .unwrap();
+
+    const GARBAGE: u64 = 5;
+    for _ in 0..GARBAGE {
+        injector.send(&bad_type, server.address()).unwrap();
+        injector.send(&bad_type, caller.address()).unwrap();
+        injector.send(stray_pr.bytes(), caller.address()).unwrap();
+    }
+
+    // Delivery is asynchronous through each endpoint's demux thread.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while (server.stats().unknown_type_drops() < GARBAGE
+        || caller.stats().unknown_type_drops() < GARBAGE
+        || caller.stats().stray_probe_responses() < GARBAGE)
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(server.stats().unknown_type_drops(), GARBAGE);
+    assert_eq!(caller.stats().unknown_type_drops(), GARBAGE);
+    assert_eq!(caller.stats().stray_probe_responses(), GARBAGE);
+
+    // The demux survived: calls still complete, and nothing was
+    // misrouted into the real-protocol counters.
+    for i in 0..5i32 {
+        let r = client.call("Twice", &[Value::Integer(i)]).unwrap();
+        assert_eq!(r[0].clone(), Value::Integer(2 * i));
+    }
+    assert_eq!(server.stats().validation_drops(), 0);
+
+    // Whatever rows the endpoints took, each is a declared spec row —
+    // the exporter filters through the table, so an out-of-table row
+    // can only mean a recording bug; the dispatch row must be present.
+    let observed = server.protocol_transitions();
+    assert!(observed.contains(&"server-new Call last_fragment -> dispatch"));
+    let caller_rows = caller.protocol_transitions();
+    assert!(caller_rows.contains(&"caller-open Result last_fragment -> complete-call"));
+}
+
 /// Tracing stays truthful under chaos: fragmented calls through loss and
 /// duplication still reassemble byte-exactly, and every trace record the
 /// run produces is internally sane — complete, no step going backwards,

@@ -101,7 +101,9 @@ fn print_json(analysis: &Analysis, config: &firefly_lint::config::Config) {
         .filter(|c| c.parametric)
         .map(|c| c.name.clone())
         .collect();
-    let mut s = String::from("{\n  \"diagnostics\": [");
+    // schema_version gates the cross-diff: scripts/cross_diff.py
+    // refuses to compare reports whose schema it does not know.
+    let mut s = String::from("{\n  \"schema_version\": 1,\n  \"diagnostics\": [");
     for (i, d) in analysis.diagnostics.iter().enumerate() {
         if i > 0 {
             s.push(',');
@@ -220,6 +222,37 @@ fn print_json(analysis: &Analysis, config: &firefly_lint::config::Config) {
         "\n    ]\n  }},\n  \"pool_lifecycle\": {{\"buffer_defs\": {}, \"violations\": {}}},",
         analysis.dataflow.buffer_defs, analysis.dataflow.buffer_violations
     ));
+    // The protocol spec as the engine loaded it: the legal transition
+    // table and coverage allowlist verbatim (scripts/cross_diff.py's
+    // fourth gate diffs them against firefly-check's observed
+    // transitions) plus the extracted-site counts.
+    s.push_str("\n  \"protocol\": {\n    \"types\": ");
+    s.push_str(&json_strings(&analysis.protocol.types));
+    s.push_str(",\n    \"transitions\": [");
+    for (i, t) in analysis.protocol.transitions.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n      \"{}\"", esc(t)));
+    }
+    s.push_str("\n    ],\n    \"coverage_allowlist\": ");
+    s.push_str(&json_strings(&analysis.protocol.coverage_allowlist));
+    s.push_str(&format!(
+        ",\n    \"construction_sites\": {}, \"dispatch_sites\": {}, \
+         \"flag_read_sites\": {}, \"ack_sites\": {}\n  }},",
+        analysis.protocol.construction_sites,
+        analysis.protocol.dispatch_sites,
+        analysis.protocol.flag_read_sites,
+        analysis.protocol.ack_sites
+    ));
+    s.push_str("\n  \"timings_us\": {");
+    for (i, (stage, us)) in analysis.timings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    \"{}\": {}", esc(stage), us));
+    }
+    s.push_str("\n  },");
     s.push_str("\n  \"suppressions\": [");
     for (i, a) in analysis.suppressions.iter().enumerate() {
         if i > 0 {
@@ -255,10 +288,17 @@ fn print_summary(analysis: &Analysis) {
             .collect::<Vec<_>>()
             .join(" ")
     };
+    let timing_part = analysis
+        .timings
+        .iter()
+        .map(|(stage, us)| format!("{stage}:{us}us"))
+        .collect::<Vec<_>>()
+        .join(" ");
     println!(
         "firefly-lint: {} diagnostic(s) [{}] | fast-path {} fns/{} files | \
          lock edges {} | condvar pairs {} | atomic locations {} | \
-         pool defs {} | suppressions {}",
+         pool defs {} | protocol transitions {} | suppressions {} | \
+         timings {timing_part}",
         analysis.diagnostics.len(),
         family_part,
         analysis.fast_path_functions.len(),
@@ -267,6 +307,7 @@ fn print_summary(analysis: &Analysis) {
         analysis.dataflow.condvar_pairs.len(),
         analysis.dataflow.locations.len(),
         analysis.dataflow.buffer_defs,
+        analysis.protocol.transitions.len(),
         analysis.suppressions.len()
     );
 }

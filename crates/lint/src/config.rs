@@ -129,6 +129,7 @@ impl Default for Config {
                 "crates/core/src/shard.rs".into(),
                 "crates/core/src/trace.rs".into(),
                 "crates/core/src/stats.rs".into(),
+                "crates/core/src/witness.rs".into(),
                 "crates/pool/src/lib.rs".into(),
                 "crates/sync/src/lib.rs".into(),
                 "crates/sync/src/hook.rs".into(),
@@ -358,8 +359,9 @@ impl Config {
 }
 
 /// `[section] → key → list-of-strings` (a bare string parses as a
-/// one-element list).
-fn parse_sections(text: &str) -> HashMap<String, HashMap<String, Vec<String>>> {
+/// one-element list). Shared with the protocol-conformance pass, whose
+/// `protocol.toml` uses the same TOML subset.
+pub(crate) fn parse_sections(text: &str) -> HashMap<String, HashMap<String, Vec<String>>> {
     let mut sections: HashMap<String, HashMap<String, Vec<String>>> = HashMap::new();
     let mut current = String::new();
     let mut lines = text.lines().peekable();

@@ -35,6 +35,7 @@ pub mod callgraph;
 pub mod config;
 pub mod dataflow;
 pub mod lockgraph;
+pub mod protocol;
 pub mod rules;
 pub mod scope;
 pub mod source;
@@ -111,6 +112,8 @@ pub struct Facts {
     pub call_graph: CallGraph,
     /// Def-use sites for the dataflow rule families.
     pub dataflow: dataflow::DataflowFacts,
+    /// Packet-protocol facts for the conformance rules.
+    pub protocol: protocol::ProtocolFacts,
 }
 
 impl Facts {
@@ -120,6 +123,7 @@ impl Facts {
         self.lock_graph.merge(other.lock_graph);
         self.call_graph.merge(other.call_graph);
         self.dataflow.merge(other.dataflow);
+        self.protocol.merge(other.protocol);
     }
 }
 
@@ -140,27 +144,49 @@ pub struct Analysis {
     pub dataflow: dataflow::Summary,
     /// Every `lint:allow` marker in the workspace.
     pub suppressions: Vec<SuppressionInfo>,
+    /// Protocol-conformance aggregates: the spec's transition table and
+    /// allowlist (verbatim, for the verify.sh fourth gate) plus the
+    /// extracted-site counts. Empty when no `protocol.toml` is loaded.
+    pub protocol: protocol::Report,
+    /// Wall-clock per analysis stage, microseconds, in execution order.
+    /// Stage names match rule families where one stage implements one
+    /// family (`locking`, `fast-path`, `dataflow`,
+    /// `protocol-conformance`).
+    pub timings: Vec<(String, u128)>,
 }
 
 /// The rule engine: configuration plus the workspace walker.
 pub struct Engine {
     pub config: Config,
+    /// The packet-protocol spec, when the root has a `protocol.toml`.
+    /// Without it the protocol-conformance rules are inert.
+    pub protocol: Option<protocol::ProtocolSpec>,
 }
 
 impl Engine {
-    /// An engine with the given configuration.
+    /// An engine with the given configuration and no protocol spec.
     pub fn new(config: Config) -> Engine {
-        Engine { config }
+        Engine {
+            config,
+            protocol: None,
+        }
     }
 
-    /// An engine configured from `<root>/lint.toml` when present,
-    /// compiled-in defaults otherwise.
+    /// An engine configured from `<root>/lint.toml` and
+    /// `<root>/protocol.toml` when present, compiled-in defaults (and
+    /// no protocol spec) otherwise.
     pub fn for_root(root: &Path) -> Engine {
         let config = match fs::read_to_string(root.join("lint.toml")) {
             Ok(text) => Config::from_toml(&text),
             Err(_) => Config::default(),
         };
-        Engine::new(config)
+        let protocol = fs::read_to_string(root.join("protocol.toml"))
+            .ok()
+            .map(|text| protocol::ProtocolSpec::from_toml(&text));
+        Engine {
+            config,
+            protocol,
+        }
     }
 
     /// Lints one Rust source file given its workspace-relative path.
@@ -188,6 +214,9 @@ impl Engine {
             .into_iter()
             .filter(|d| !is_suppressed(d, &allows))
             .collect();
+        if let Some(spec) = &self.protocol {
+            protocol::scan_file(&file, spec, &mut facts.protocol);
+        }
         for allow in &allows {
             if !allow.justified {
                 out.push(file.diagnostic(
@@ -224,6 +253,12 @@ impl Engine {
     pub fn analyze(&self, root: &Path) -> io::Result<Analysis> {
         let mut diags = Vec::new();
         let mut facts = Facts::default();
+        let mut timings: Vec<(String, u128)> = Vec::new();
+        let mut stage_start = std::time::Instant::now();
+        let mut stamp = |timings: &mut Vec<(String, u128)>, name: &str| {
+            timings.push((name.to_string(), stage_start.elapsed().as_micros()));
+            stage_start = std::time::Instant::now();
+        };
         // Walk first (sequential, sorted): collect source texts so the
         // per-file pass can fan out across workers below.
         let mut rs_files: Vec<(String, String)> = Vec::new();
@@ -257,6 +292,7 @@ impl Engine {
                 }
             }
         }
+        stamp(&mut timings, "walk");
         // Per-file pass, parallel across workers. Each slot is owned by
         // exactly one worker; folding the slots back in file-index order
         // keeps the report (and every derived fact) deterministic
@@ -291,6 +327,7 @@ impl Engine {
             allows_by_path.push((rel.clone(), allows));
             facts.merge(file_facts);
         }
+        stamp(&mut timings, "per-file");
         let suppressed = |d: &Diagnostic| {
             allows_by_path
                 .iter()
@@ -316,6 +353,8 @@ impl Engine {
                 diags.push(d);
             }
         }
+
+        stamp(&mut timings, "locking");
 
         // Workspace rule: stale-scope (skipped when no entry point
         // resolves, e.g. on fixture trees that configure none).
@@ -365,6 +404,8 @@ impl Engine {
             }
         }
 
+        stamp(&mut timings, "fast-path");
+
         // Workspace rules: the dataflow families (condvar protocol,
         // atomic publication, pool lifecycle) evaluate over the merged
         // facts so pairings resolve across files.
@@ -374,6 +415,21 @@ impl Engine {
                 diags.push(d);
             }
         }
+        stamp(&mut timings, "dataflow");
+
+        // Workspace rules: protocol-conformance — the extracted packet
+        // state machine diffed against protocol.toml. Inert (empty
+        // report) when the root has no spec.
+        let (proto_diags, proto_report) = match &self.protocol {
+            Some(spec) => protocol::evaluate(&facts.protocol, spec),
+            None => (Vec::new(), protocol::Report::default()),
+        };
+        for d in proto_diags {
+            if !suppressed(&d) {
+                diags.push(d);
+            }
+        }
+        stamp(&mut timings, "protocol-conformance");
 
         let mut suppressions: Vec<SuppressionInfo> = allows_by_path
             .iter()
@@ -399,6 +455,8 @@ impl Engine {
             lock_edges,
             dataflow: df_summary,
             suppressions,
+            protocol: proto_report,
+            timings,
         })
     }
 }

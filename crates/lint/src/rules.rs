@@ -40,6 +40,18 @@ pub mod name {
     pub const ATOMIC_PUBLICATION: &str = "atomic-publication";
     /// A pool buffer that escapes the alloc→recycle/return lifecycle.
     pub const POOL_LIFECYCLE: &str = "pool-lifecycle";
+    /// A packet type declared in protocol.toml with no construction
+    /// site or no dispatch arm in the scanned sources.
+    pub const PROTOCOL_UNHANDLED_TYPE: &str = "protocol-unhandled-type";
+    /// A `match` over a packet type that neither names every declared
+    /// type nor carries a `_` wildcard.
+    pub const PROTOCOL_MISSING_ARM: &str = "protocol-missing-arm";
+    /// A flag set but undeclared in [flag-reads] (dead on the wire), or
+    /// declared but never read by the type's handlers.
+    pub const PROTOCOL_UNREAD_FLAG: &str = "protocol-unread-flag";
+    /// An `ack_for` outside the allowed callers, or a gutted/missing
+    /// retransmission function.
+    pub const PROTOCOL_ACK_DISCIPLINE: &str = "protocol-ack-discipline";
 }
 
 /// The rule family a diagnostic belongs to, for the `--json` report's
@@ -51,13 +63,17 @@ pub fn family(rule: &str) -> &'static str {
         name::POOL_LIFECYCLE => "pool-lifecycle",
         name::LOCK_ORDER | name::LOCK_CYCLE | name::NO_BLOCKING => "locking",
         name::NO_PANIC | name::NO_ALLOC | name::STALE_SCOPE => "fast-path",
+        name::PROTOCOL_UNHANDLED_TYPE
+        | name::PROTOCOL_MISSING_ARM
+        | name::PROTOCOL_UNREAD_FLAG
+        | name::PROTOCOL_ACK_DISCIPLINE => "protocol-conformance",
         _ => "hygiene",
     }
 }
 
 /// True for files that are test-only by location: integration tests,
 /// benches, and examples never sit on the fast path.
-fn is_test_path(rel_path: &str) -> bool {
+pub(crate) fn is_test_path(rel_path: &str) -> bool {
     rel_path.starts_with("tests/")
         || rel_path.contains("/tests/")
         || rel_path.starts_with("benches/")

@@ -1,0 +1,27 @@
+// Seeded defect: `rogue` builds an ack but is not in the spec's
+// [ack-discipline].allowed-callers — protocol-ack-discipline must fire.
+fn handle_call(rpc: &RpcHeader) {
+    if rpc.flags.last_fragment {
+        dispatch();
+    }
+    let a = RpcHeader::ack_for(rpc);
+}
+fn rogue(rpc: &RpcHeader) {
+    let a = RpcHeader::ack_for(rpc);
+}
+fn deliver(pkt: Packet) {
+    match pkt.rpc.packet_type {
+        PacketType::Call => route(pkt),
+        PacketType::Result => accept(pkt),
+    }
+}
+fn transact() {
+    let mut attempts = 0;
+    send_built(&b);
+}
+fn build() -> RpcHeader {
+    RpcHeader { packet_type: PacketType::Call, flags: f(), last_fragment: true }
+}
+fn build_res() -> RpcHeader {
+    RpcHeader { packet_type: PacketType::Result, data_len: 0 }
+}

@@ -1,0 +1,26 @@
+// A minimal implementation conforming to protocol_spec.toml: both
+// declared packet types are constructed and dispatched, the declared
+// flag is read in the Call handler, acks are built only by the allowed
+// caller, and the retransmit loop is intact.
+fn handle_call(rpc: &RpcHeader) {
+    if rpc.flags.last_fragment {
+        dispatch();
+    }
+    let a = RpcHeader::ack_for(rpc);
+}
+fn deliver(pkt: Packet) {
+    match pkt.rpc.packet_type {
+        PacketType::Call => route(pkt),
+        PacketType::Result => accept(pkt),
+    }
+}
+fn transact() {
+    let mut attempts = 0;
+    send_built(&b);
+}
+fn build() -> RpcHeader {
+    RpcHeader { packet_type: PacketType::Call, flags: f(), last_fragment: true }
+}
+fn build_res() -> RpcHeader {
+    RpcHeader { packet_type: PacketType::Result, data_len: 0 }
+}

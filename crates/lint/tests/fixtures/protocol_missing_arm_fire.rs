@@ -1,0 +1,23 @@
+// Seeded defect: the dispatch match routes `Call` but has no `Result`
+// arm and no `_` wildcard — protocol-missing-arm must fire at it.
+fn handle_call(rpc: &RpcHeader) {
+    if rpc.flags.last_fragment {
+        dispatch();
+    }
+    let a = RpcHeader::ack_for(rpc);
+}
+fn deliver(pkt: Packet) {
+    match pkt.rpc.packet_type {
+        PacketType::Call => route(pkt),
+    }
+}
+fn transact() {
+    let mut attempts = 0;
+    send_built(&b);
+}
+fn build() -> RpcHeader {
+    RpcHeader { packet_type: PacketType::Call, flags: f(), last_fragment: true }
+}
+fn build_res() -> RpcHeader {
+    RpcHeader { packet_type: PacketType::Result, data_len: 0 }
+}

@@ -1,0 +1,21 @@
+// Seeded defect: `Result` is declared in the spec and dispatched, but
+// no construction site builds one — protocol-unhandled-type must fire.
+fn handle_call(rpc: &RpcHeader) {
+    if rpc.flags.last_fragment {
+        dispatch();
+    }
+    let a = RpcHeader::ack_for(rpc);
+}
+fn deliver(pkt: Packet) {
+    match pkt.rpc.packet_type {
+        PacketType::Call => route(pkt),
+        PacketType::Result => accept(pkt),
+    }
+}
+fn transact() {
+    let mut attempts = 0;
+    send_built(&b);
+}
+fn build() -> RpcHeader {
+    RpcHeader { packet_type: PacketType::Call, flags: f(), last_fragment: true }
+}

@@ -1,0 +1,25 @@
+// Seeded defect: the Call construction site sets `please_ack`, but the
+// spec's [flag-reads].Call declares only `last_fragment` — the bit is
+// dead on the wire, so protocol-unread-flag must fire at the builder.
+fn handle_call(rpc: &RpcHeader) {
+    if rpc.flags.last_fragment {
+        dispatch();
+    }
+    let a = RpcHeader::ack_for(rpc);
+}
+fn deliver(pkt: Packet) {
+    match pkt.rpc.packet_type {
+        PacketType::Call => route(pkt),
+        PacketType::Result => accept(pkt),
+    }
+}
+fn transact() {
+    let mut attempts = 0;
+    send_built(&b);
+}
+fn build() -> RpcHeader {
+    RpcHeader { packet_type: PacketType::Call, please_ack: true, last_fragment: true }
+}
+fn build_res() -> RpcHeader {
+    RpcHeader { packet_type: PacketType::Result, data_len: 0 }
+}

@@ -49,6 +49,29 @@ pub enum PacketType {
 }
 
 impl PacketType {
+    /// Every packet type, in wire-byte order. Introspection surface for
+    /// the protocol-conformance tooling: protocol.toml must list each of
+    /// these (verify.sh's spec-drift check), and the witness/export code
+    /// iterates this rather than hand-maintaining a parallel list.
+    pub const ALL: [PacketType; 5] = [
+        PacketType::Call,
+        PacketType::Result,
+        PacketType::Ack,
+        PacketType::Probe,
+        PacketType::ProbeResponse,
+    ];
+
+    /// The spec name of this type, exactly as protocol.toml spells it.
+    pub fn name(self) -> &'static str {
+        match self {
+            PacketType::Call => "Call",
+            PacketType::Result => "Result",
+            PacketType::Ack => "Ack",
+            PacketType::Probe => "Probe",
+            PacketType::ProbeResponse => "ProbeResponse",
+        }
+    }
+
     /// Interprets a wire byte.
     pub fn from_u8(v: u8) -> Result<Self> {
         Ok(match v {
@@ -84,6 +107,35 @@ impl PacketFlags {
     const LAST_FRAGMENT: u8 = 0b0000_0010;
     const ACKS_RESULT: u8 = 0b0000_0100;
     const CALL_FAILED: u8 = 0b0000_1000;
+
+    /// Flag names in the canonical rendering order used by
+    /// protocol.toml's `[flags].order` and the transition table.
+    pub const NAMES: [&'static str; 4] =
+        ["please_ack", "last_fragment", "acks_result", "call_failed"];
+
+    /// Renders the set flags in canonical order, `+`-joined; `-` when
+    /// none is set. This is the flags column of a spec transition row.
+    pub fn canonical(self) -> String {
+        let set = [
+            self.please_ack,
+            self.last_fragment,
+            self.acks_result,
+            self.call_failed,
+        ];
+        let mut out = String::new();
+        for (name, on) in Self::NAMES.iter().zip(set) {
+            if on {
+                if !out.is_empty() {
+                    out.push('+');
+                }
+                out.push_str(name);
+            }
+        }
+        if out.is_empty() {
+            out.push('-');
+        }
+        out
+    }
 
     /// Flags for an ordinary single-packet call or result.
     pub fn single_packet() -> Self {
@@ -231,7 +283,14 @@ impl RpcHeader {
             packet_type: PacketType::Ack,
             flags: PacketFlags {
                 please_ack: false,
-                last_fragment: true,
+                // Echo the acknowledged fragment's position: acking a
+                // non-final fragment must not read as acking the whole
+                // call/result, or the sender would release retained
+                // state early. (On the wire the frame layer re-derives
+                // this from the fragment fields; keeping the in-memory
+                // header consistent matters for paths that inspect the
+                // ack before encoding, e.g. the teardown ack.)
+                last_fragment: pkt.flags.last_fragment,
                 acks_result: pkt.packet_type == PacketType::Result,
                 call_failed: false,
             },
@@ -413,15 +472,56 @@ mod tests {
 
     #[test]
     fn all_packet_types_round_trip() {
-        for t in [
-            PacketType::Call,
-            PacketType::Result,
-            PacketType::Ack,
-            PacketType::Probe,
-            PacketType::ProbeResponse,
-        ] {
+        for t in PacketType::ALL {
             assert_eq!(PacketType::from_u8(t as u8).unwrap(), t);
         }
+    }
+
+    #[test]
+    fn type_names_are_distinct_and_spec_spelled() {
+        let names: Vec<&str> = PacketType::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(
+            names,
+            ["Call", "Result", "Ack", "Probe", "ProbeResponse"]
+        );
+    }
+
+    #[test]
+    fn canonical_flags_render_in_spec_order() {
+        assert_eq!(PacketFlags::default().canonical(), "-");
+        assert_eq!(PacketFlags::single_packet().canonical(), "last_fragment");
+        let all = PacketFlags::from_u8(0x0f);
+        assert_eq!(
+            all.canonical(),
+            "please_ack+last_fragment+acks_result+call_failed"
+        );
+        let ack = PacketFlags {
+            acks_result: true,
+            last_fragment: true,
+            ..PacketFlags::default()
+        };
+        assert_eq!(ack.canonical(), "last_fragment+acks_result");
+    }
+
+    #[test]
+    fn ack_echoes_fragment_finality() {
+        // Acking a non-final fragment must not claim last-fragment: the
+        // receiver of the ack uses that bit to decide whether the whole
+        // result is acknowledged (retention release) or just one
+        // fragment (advance).
+        let mut frag = sample_call();
+        frag.fragment = 0;
+        frag.fragment_count = 3;
+        frag.flags.last_fragment = false;
+        frag.flags.please_ack = true;
+        let ack = RpcHeader::ack_for(&frag);
+        assert!(!ack.flags.last_fragment);
+        assert_eq!((ack.fragment, ack.fragment_count), (0, 3));
+
+        let mut last = frag;
+        last.fragment = 2;
+        last.flags.last_fragment = true;
+        assert!(RpcHeader::ack_for(&last).flags.last_fragment);
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Wire-level edges of the packet state machine: every flag shape the
+//! protocol table names must survive encode/decode byte-exactly, the
+//! parser must reject anything shorter than the 74-byte minimum, and the
+//! 74-/1514-byte boundary frames must be exactly representable.
+
+use firefly_propcheck::{check, prop_assert, prop_assert_eq};
+use firefly_wire::{
+    ActivityId, Frame, FrameBuilder, MacAddr, PacketFlags, PacketType, RpcHeader, WireError,
+    MAX_FRAME_LEN, MAX_SINGLE_PACKET_DATA, MIN_FRAME_LEN, RPC_HEADER_LEN,
+};
+use std::net::Ipv4Addr;
+
+fn base_builder(t: PacketType) -> FrameBuilder {
+    FrameBuilder::new(t)
+        .macs(MacAddr::from_host_id(3), MacAddr::from_host_id(4))
+        .ips(Ipv4Addr::new(10, 2, 0, 1), Ipv4Addr::new(10, 2, 0, 2))
+        .activity(ActivityId::new(5, 6, 7))
+        .call_seq(42)
+        .interface(0xfeed_face_dead_beef, 2)
+        .procedure(3)
+}
+
+/// All 16 flag combinations × all 5 packet types round-trip through the
+/// 32-byte header codec. The header layer is deliberately agnostic about
+/// which combinations the protocol declares legal — conformance is the
+/// lint/cross-diff layer's job, so the codec must not lose or launder
+/// any bit pattern on the way there.
+#[test]
+fn every_flag_shape_round_trips_for_every_type() {
+    check("every_flag_shape_round_trips", 80, |g| {
+        let t = PacketType::ALL[g.usize_in(0..PacketType::ALL.len())];
+        let bits = g.usize_in(0..16) as u8;
+        let flags = PacketFlags::from_u8(bits);
+        let header = RpcHeader {
+            packet_type: t,
+            flags,
+            activity: ActivityId::new(g.u32(), g.u16(), g.u16()),
+            call_seq: g.u32(),
+            fragment: 0,
+            fragment_count: 1,
+            interface_uid: g.u64(),
+            interface_version: g.u16(),
+            procedure: g.u16(),
+            data_len: 0,
+        };
+        let mut buf = [0u8; RPC_HEADER_LEN];
+        header.encode(&mut buf).unwrap();
+        let decoded = RpcHeader::decode(&buf).unwrap();
+        prop_assert_eq!(decoded, header);
+        prop_assert_eq!(decoded.flags.to_u8(), bits);
+        prop_assert_eq!(decoded.packet_type.name(), t.name());
+        Ok(())
+    });
+    // The random sweep above is backed by the exhaustive grid: no shape
+    // escapes just because the generator never drew it.
+    for t in PacketType::ALL {
+        for bits in 0u8..16 {
+            let header = RpcHeader {
+                packet_type: t,
+                flags: PacketFlags::from_u8(bits),
+                ..RpcHeader::call(ActivityId::new(1, 2, 3), 7, 0x99, 1, 0, 0)
+            };
+            let mut buf = [0u8; RPC_HEADER_LEN];
+            header.encode(&mut buf).unwrap();
+            assert_eq!(RpcHeader::decode(&buf).unwrap(), header, "{t:?} bits {bits:04b}");
+        }
+    }
+}
+
+/// Flag shapes survive the full frame stack too: the builder re-derives
+/// last-fragment from the fragment position, so each shape is driven
+/// through a position that produces it.
+#[test]
+fn flag_shapes_survive_full_frames() {
+    for t in PacketType::ALL {
+        for bits in 0u8..16 {
+            let want = PacketFlags::from_u8(bits);
+            let (frag, count) = if want.last_fragment { (1, 2) } else { (0, 2) };
+            let frame = base_builder(t)
+                .fragment(frag, count)
+                .please_ack(want.please_ack)
+                .acks_result(want.acks_result)
+                .call_failed(want.call_failed)
+                .build(&[])
+                .unwrap();
+            let parsed = Frame::parse(frame.bytes()).unwrap();
+            assert_eq!(parsed.rpc.packet_type, t, "type for bits {bits:04b}");
+            assert_eq!(parsed.rpc.flags, want, "{t:?} bits {bits:04b}");
+        }
+    }
+}
+
+/// Every prefix of a frame shorter than the full header stack is
+/// rejected — no length leaves the parser reading past its input or
+/// accepting a frame with a truncated RPC header.
+#[test]
+fn truncated_headers_always_rejected() {
+    let frame = base_builder(PacketType::Call).build(&[]).unwrap();
+    assert_eq!(frame.len(), MIN_FRAME_LEN);
+    for cut in 0..MIN_FRAME_LEN {
+        assert!(
+            Frame::parse(&frame.bytes()[..cut]).is_err(),
+            "accepted a {cut}-byte prefix of the 74-byte minimum frame"
+        );
+    }
+    // The bare header codec enforces its own floor with an exact error.
+    for cut in 0..RPC_HEADER_LEN {
+        assert_eq!(
+            RpcHeader::decode(&frame.bytes()[MIN_FRAME_LEN - RPC_HEADER_LEN..][..cut]),
+            Err(WireError::Truncated {
+                needed: RPC_HEADER_LEN,
+                available: cut
+            })
+        );
+    }
+}
+
+/// The paper's two boundary frames are exactly representable and
+/// exactly the boundary: a data-free packet is 74 bytes, a maximal
+/// single packet is 1514, and one byte beyond either edge is an error.
+#[test]
+fn boundary_frames_are_exact() {
+    let min = base_builder(PacketType::Call).build(&[]).unwrap();
+    assert_eq!(min.len(), 74);
+    assert_eq!(min.len(), MIN_FRAME_LEN);
+    let parsed = Frame::parse(min.bytes()).unwrap();
+    assert!(parsed.data.is_empty());
+    assert_eq!(parsed.wire_len(), MIN_FRAME_LEN);
+
+    let data = vec![0x5au8; MAX_SINGLE_PACKET_DATA];
+    let max = base_builder(PacketType::Result).build(&data).unwrap();
+    assert_eq!(max.len(), 1514);
+    assert_eq!(max.len(), MAX_FRAME_LEN);
+    let parsed = Frame::parse(max.bytes()).unwrap();
+    assert_eq!(parsed.data, data);
+
+    // 1441 data bytes cannot be built...
+    let over = vec![0u8; MAX_SINGLE_PACKET_DATA + 1];
+    assert_eq!(
+        base_builder(PacketType::Result).build(&over).unwrap_err(),
+        WireError::PayloadTooLarge(MAX_SINGLE_PACKET_DATA + 1)
+    );
+    // ...and a 1515-byte frame cannot be parsed.
+    let mut long = max.into_bytes();
+    long.push(0);
+    assert_eq!(Frame::parse(&long).unwrap_err(), WireError::FrameTooLong(1515));
+}
+
+/// Boundary frames under the property generator: whatever data size the
+/// generator draws, the frame length is exactly headers + data and the
+/// parse inverts the build.
+#[test]
+fn frame_length_is_always_headers_plus_data() {
+    check("frame_length_is_headers_plus_data", 128, |g| {
+        let len = g.usize_in(0..MAX_SINGLE_PACKET_DATA + 1);
+        let data = g.bytes(len..len + 1);
+        let frame = base_builder(PacketType::Call).build(&data).unwrap();
+        prop_assert_eq!(frame.len(), MIN_FRAME_LEN + data.len());
+        prop_assert!(frame.len() <= MAX_FRAME_LEN);
+        let parsed = Frame::parse(frame.bytes()).unwrap();
+        prop_assert_eq!(parsed.data, data);
+        Ok(())
+    });
+}

@@ -26,6 +26,21 @@ the first inconsistency:
    the pool's `outstanding` count equals the buffers retained in
    activity slots (the accounted-retention invariant the static
    pool-lifecycle rule admits).
+
+4. Protocol transitions: every `(state, packet-type, flags) -> action`
+   row the checker's models and wire scenario dynamically drove must be
+   in the spec's legal table (an off-spec observation means the runtime
+   took a transition protocol.toml does not allow), and every legal row
+   must have been observed -- a never-driven row is a coverage gap that
+   fails the diff unless protocol.toml's [coverage].allowlist names it
+   with a reason. Allowlist hygiene is enforced both ways: an
+   allowlisted row that *is* observed is stale, and an allowlisted row
+   the spec does not contain is invalid. The full per-row coverage
+   table is printed either way.
+
+Both reports must carry a compatible schema_version; the check report
+predating the `transitions` array fails fast rather than vacuously
+passing the coverage gate.
 """
 
 import json
@@ -119,6 +134,42 @@ def diff_accounting(accounting):
     return problems
 
 
+def diff_protocol(static_protocol, dynamic_transitions):
+    spec = static_protocol.get("transitions", [])
+    allowlist = static_protocol.get("coverage_allowlist", [])
+    spec_set = set(spec)
+    observed = set(dynamic_transitions)
+    allowed = set(allowlist)
+    problems = []
+    for row in sorted(observed - spec_set):
+        problems.append(f"observed protocol transition not in the spec's legal table: {row!r}")
+    for row in sorted(allowed - spec_set):
+        problems.append(f"coverage allowlist names a row the spec does not contain: {row!r}")
+    for row in sorted(allowed & observed):
+        problems.append(
+            f"stale coverage allowlist entry: {row!r} is now observed dynamically"
+        )
+    # The coverage table: every legal row, in spec order.
+    gaps = 0
+    for row in spec:
+        if row in observed:
+            mark = "observed"
+        elif row in allowed:
+            mark = "allowlisted (unexercised by design)"
+        else:
+            mark = "NOT OBSERVED"
+            gaps += 1
+            problems.append(
+                f"spec transition never observed dynamically (coverage gap): {row!r}"
+            )
+        print(f"    transition {row}: {mark}")
+    print(
+        f"    {len(spec)} legal transition(s): {len(observed & spec_set)} observed, "
+        f"{len(allowed - observed)} allowlisted, {gaps} gap(s)"
+    )
+    return problems
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit("usage: cross_diff.py LINT_REPORT CHECK_EDGES")
@@ -126,12 +177,22 @@ def main():
         lint = json.load(f)
     with open(sys.argv[2]) as f:
         check = json.load(f)
+    for name, report in (("lint", lint), ("check", check)):
+        version = report.get("schema_version")
+        if version != 1:
+            sys.exit(
+                f"{name} report schema_version {version!r} != 1 -- "
+                "regenerate both reports with the current binaries"
+            )
+    if "transitions" not in check:
+        sys.exit("check report lacks a 'transitions' array -- regenerate with --json-edges")
     problems = []
     problems += diff_lock_edges(lint["lock_graph"], check["edges"])
     problems += diff_publications(
         lint.get("atomic_publication", {}), check.get("publications", [])
     )
     problems += diff_accounting(check.get("accounting", {}))
+    problems += diff_protocol(lint.get("protocol", {}), check["transitions"])
     if problems:
         sys.exit("\n".join(problems))
 

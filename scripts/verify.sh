@@ -31,11 +31,38 @@ python3 -c '
 import json, sys
 with open("target/lint-report.json") as f:
     report = json.load(f)
-for key in ("diagnostics", "fast_path", "lock_graph"):
+for key in ("diagnostics", "fast_path", "lock_graph", "protocol"):
     if key not in report:
         sys.exit(f"lint JSON missing {key!r}")
 if not report["fast_path"]["files"]:
     sys.exit("lint JSON reports an empty fast-path file set")
+if len(report["protocol"]["transitions"]) < 32:
+    sys.exit("lint JSON protocol section lost the spec transition table")
+'
+
+# Spec drift: every PacketType variant declared in the wire crate must
+# be named in protocol.toml [packet-types] — adding a packet type
+# without extending the spec (and therefore the conformance pass and
+# the coverage gate) must fail loudly here, not rot silently.
+python3 -c '
+import re, sys
+src = open("crates/wire/src/rpc.rs").read()
+m = re.search(r"pub enum PacketType \{(.*?)\n\}", src, re.S)
+if not m:
+    sys.exit("cannot find PacketType enum in crates/wire/src/rpc.rs")
+declared = set(re.findall(r"^\s*([A-Z]\w*)\s*=\s*\d+", m[1], re.M))
+spec = open("protocol.toml").read()
+t = re.search(r"\[packet-types\]\s*\ntypes\s*=\s*\[(.*?)\]", spec, re.S)
+if not t:
+    sys.exit("protocol.toml lacks a [packet-types] types list")
+listed = set(re.findall(r"\"(\w+)\"", t[1]))
+missing = declared - listed
+if missing:
+    sys.exit(f"PacketType variant(s) {sorted(missing)} not declared in protocol.toml")
+extra = listed - declared
+if extra:
+    sys.exit(f"protocol.toml names packet type(s) {sorted(extra)} the wire crate lacks")
+print(f"    spec drift: {len(declared)} packet types match protocol.toml")
 '
 echo "    lint runtime: ${lint_elapsed_ms} ms ($(python3 -c 'import json; print(len(json.load(open("target/lint-report.json"))["fast_path"]["functions"]))') fast-path fns)"
 if (( lint_elapsed_ms >= 5000 )); then
@@ -64,10 +91,27 @@ fi
 # `class[index]` instances collapse to annotated class edges on both
 # sides); every release->acquire publication class the race detector
 # consumed must map to a statically paired atomic location (via the
-# [publication-labels] table in lint.toml); and every auditing model's
-# quiescent pool accounting must balance outstanding against retained.
-echo "==> static-vs-dynamic cross-diff (lock edges, publications, accounting)"
+# [publication-labels] table in lint.toml); every auditing model's
+# quiescent pool accounting must balance outstanding against retained;
+# and every protocol transition observed dynamically must be spec-legal
+# while every legal row is observed or allowlisted (the fourth gate).
+echo "==> static-vs-dynamic cross-diff (lock edges, publications, accounting, protocol)"
 python3 scripts/cross_diff.py target/lint-report.json target/check-edges.json
+
+# The fourth gate must have teeth: a doctored check report claiming a
+# transition outside the spec's legal table must fail the cross-diff.
+echo "==> cross-diff negative fixture (doctored illegal transition)"
+python3 -c '
+import json
+report = json.load(open("target/check-edges.json"))
+report["transitions"].append("server-new Call - -> explode")
+json.dump(report, open("target/check-edges-doctored.json", "w"))
+'
+if python3 scripts/cross_diff.py target/lint-report.json target/check-edges-doctored.json >/dev/null 2>&1; then
+    echo "verify: FAIL — cross_diff.py accepted an off-spec protocol transition" >&2
+    exit 1
+fi
+echo "    doctored report rejected as expected"
 
 # Partial-order reduction gate: the 4-shard call table model must stay
 # exhaustible under DPOR inside a tight budget (plain DFS drowns in its

@@ -247,6 +247,42 @@ fn no_lockfile_entry_references_the_registry() {
 }
 
 #[test]
+fn protocol_spec_is_committed_and_populated() {
+    // The protocol-conformance contract hangs off protocol.toml: the
+    // lint extracts it, the witness table in crates/core mirrors it,
+    // and cross_diff.py checks observed transitions against it. The
+    // spec file must therefore always be committed at the workspace
+    // root and must carry the full transition table.
+    let spec = workspace_root().join("protocol.toml");
+    assert!(
+        spec.is_file(),
+        "protocol.toml is missing from the workspace root"
+    );
+    let text = fs::read_to_string(&spec).expect("readable protocol.toml");
+    for section in ["[packet-types]", "[flags]", "[handlers]", "[transitions]", "[coverage]"] {
+        assert!(
+            text.contains(section),
+            "protocol.toml lost its {section} section"
+        );
+    }
+    // Count quoted transition rows inside [transitions].legal — the
+    // same shape witness.rs's table_matches_protocol_toml parses.
+    let legal = text
+        .split("legal = [")
+        .nth(1)
+        .expect("protocol.toml has a [transitions].legal list")
+        .split(']')
+        .next()
+        .expect("legal list is terminated");
+    let rows = legal.lines().filter(|l| l.trim_start().starts_with('"') && l.contains("->")).count();
+    assert!(
+        rows >= 32,
+        "protocol.toml declares only {rows} legal transitions; the server \
+         state machine alone needs 32"
+    );
+}
+
+#[test]
 fn lint_crate_is_itself_hermetic() {
     // The static-analysis crate guards the dependency policy, so it
     // must satisfy that policy: reachable as a path-only workspace

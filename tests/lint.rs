@@ -534,10 +534,12 @@ fn run_cross_diff(tag: &str, lint_json: &str, check_json: &str) -> (i32, String)
     (out.status.code().unwrap_or(-1), combined)
 }
 
-/// The static side all three fixtures below diff against: one paired
+/// The static side all the fixtures below diff against: one paired
 /// (and allowlisted) atomic location, reachable from the dynamic
-/// `installed` class through the label map.
+/// `installed` class through the label map, plus a two-row protocol
+/// spec whose second row is deliberately allowlisted.
 const CROSS_DIFF_LINT_JSON: &str = r#"{
+  "schema_version": 1,
   "lock_graph": {"classes": ["calltable", "pool"], "parametric": [], "edges": []},
   "atomic_publication": {
     "allow_relaxed": ["INSTALLED"],
@@ -546,6 +548,14 @@ const CROSS_DIFF_LINT_JSON: &str = r#"{
       {"name": "INSTALLED", "releasing_writes": 1, "acquiring_reads": 1,
        "relaxed_loads": 1, "relaxed_writes": 0, "paired": true, "allowlisted": true}
     ]
+  },
+  "protocol": {
+    "types": ["Call", "Result"],
+    "transitions": [
+      "server-new Call last_fragment -> dispatch",
+      "server-stale Call - -> drop-stale"
+    ],
+    "coverage_allowlist": ["server-stale Call - -> drop-stale"]
   }
 }"#;
 
@@ -560,9 +570,11 @@ fn cross_diff_gates_publications_and_accounting() {
         return;
     }
     let good = r#"{
+      "schema_version": 1,
       "edges": [],
       "publications": ["installed"],
-      "accounting": {"pool": {"outstanding": 1, "retained": 1}}
+      "accounting": {"pool": {"outstanding": 1, "retained": 1}},
+      "transitions": ["server-new Call last_fragment -> dispatch"]
     }"#;
     let (code, out) = run_cross_diff("good", CROSS_DIFF_LINT_JSON, good);
     assert_eq!(code, 0, "consistent reports must pass:\n{out}");
@@ -572,9 +584,11 @@ fn cross_diff_gates_publications_and_accounting() {
     );
 
     let unpaired = r#"{
+      "schema_version": 1,
       "edges": [],
       "publications": ["ghost"],
-      "accounting": {}
+      "accounting": {},
+      "transitions": ["server-new Call last_fragment -> dispatch"]
     }"#;
     let (code, out) = run_cross_diff("unpaired", CROSS_DIFF_LINT_JSON, unpaired);
     assert_ne!(
@@ -587,15 +601,103 @@ fn cross_diff_gates_publications_and_accounting() {
     );
 
     let drifted = r#"{
+      "schema_version": 1,
       "edges": [],
       "publications": [],
-      "accounting": {"pool": {"outstanding": 2, "retained": 1}}
+      "accounting": {"pool": {"outstanding": 2, "retained": 1}},
+      "transitions": ["server-new Call last_fragment -> dispatch"]
     }"#;
     let (code, out) = run_cross_diff("drifted", CROSS_DIFF_LINT_JSON, drifted);
     assert_ne!(code, 0, "drifted pool accounting must fail:\n{out}");
     assert!(
         out.contains("accounting drift"),
         "failure should describe the drift:\n{out}"
+    );
+}
+
+/// The fourth cross-diff gate: observed transitions must be legal,
+/// legal rows must be covered (observed or allowlisted), and the
+/// allowlist must stay honest in both directions.
+#[test]
+fn cross_diff_gates_protocol_transitions() {
+    if Command::new("python3").arg("--version").output().is_err() {
+        eprintln!("python3 unavailable; skipping cross-diff fixture test");
+        return;
+    }
+    let check = |transitions: &str| {
+        format!(
+            r#"{{
+              "schema_version": 1,
+              "edges": [],
+              "publications": ["installed"],
+              "accounting": {{}},
+              "transitions": [{transitions}]
+            }}"#
+        )
+    };
+
+    // Legal observed row + allowlisted second row: clean.
+    let (code, out) = run_cross_diff(
+        "proto-good",
+        CROSS_DIFF_LINT_JSON,
+        &check(r#""server-new Call last_fragment -> dispatch""#),
+    );
+    assert_eq!(code, 0, "covered spec must pass:\n{out}");
+    assert!(
+        out.contains("allowlisted (unexercised by design)"),
+        "coverage table should show the allowlisted row:\n{out}"
+    );
+
+    // A transition outside the legal table fails.
+    let (code, out) = run_cross_diff(
+        "proto-illegal",
+        CROSS_DIFF_LINT_JSON,
+        &check(
+            r#""server-new Call last_fragment -> dispatch",
+               "server-new Probe - -> explode""#,
+        ),
+    );
+    assert_ne!(code, 0, "an illegal observed transition must fail:\n{out}");
+    assert!(
+        out.contains("not in the spec's legal table"),
+        "failure should name the illegal row:\n{out}"
+    );
+
+    // A legal row neither observed nor allowlisted is a coverage gap.
+    let (code, out) = run_cross_diff("proto-gap", CROSS_DIFF_LINT_JSON, &check(""));
+    assert_ne!(code, 0, "an uncovered legal row must fail:\n{out}");
+    assert!(
+        out.contains("coverage gap"),
+        "failure should describe the gap:\n{out}"
+    );
+
+    // An allowlisted row that is now observed is stale.
+    let (code, out) = run_cross_diff(
+        "proto-stale",
+        CROSS_DIFF_LINT_JSON,
+        &check(
+            r#""server-new Call last_fragment -> dispatch",
+               "server-stale Call - -> drop-stale""#,
+        ),
+    );
+    assert_ne!(code, 0, "a stale allowlist entry must fail:\n{out}");
+    assert!(
+        out.contains("stale coverage allowlist"),
+        "failure should flag the stale entry:\n{out}"
+    );
+
+    // A check report predating the transitions export fails fast.
+    let legacy = r#"{
+      "schema_version": 1,
+      "edges": [],
+      "publications": ["installed"],
+      "accounting": {}
+    }"#;
+    let (code, out) = run_cross_diff("proto-legacy", CROSS_DIFF_LINT_JSON, legacy);
+    assert_ne!(code, 0, "a report without transitions must fail fast:\n{out}");
+    assert!(
+        out.contains("lacks a 'transitions' array"),
+        "failure should say how to regenerate:\n{out}"
     );
 }
 
